@@ -1,0 +1,43 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``test_fig*`` module regenerates one figure of the paper at a
+reduced instance count (the CLI runs full-scale sweeps), prints the
+rendered table, saves the JSON under ``results/bench/``, and asserts
+the paper's qualitative claims for that figure — who wins, roughly by
+how much, and where the crossovers fall.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.report import render_result
+from repro.experiments.store import save_result
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
+
+
+@pytest.fixture
+def publish():
+    """Print the rendered figure and persist its JSON."""
+
+    def _publish(result: dict) -> None:
+        print()
+        print(render_result(result))
+        save_result(result, RESULTS_DIR)
+
+    return _publish
+
+
+def series_means(panel: dict) -> dict[str, float]:
+    """{algorithm: mean ratio} for a bars panel."""
+    return {s["key"]: s["mean"] for s in panel["series"]}
+
+
+def panel_by_name(result: dict, name: str) -> dict:
+    for panel in result["panels"]:
+        if panel["name"] == name:
+            return panel
+    raise KeyError(name)

@@ -1,0 +1,64 @@
+"""Ablation: which of MQB's design choices carry its advantage?
+
+DESIGN.md calls out three choices the paper leaves implicit; this
+benchmark quantifies each on the workload where MQB's edge is largest
+(small layered EP):
+
+* **balance metric** — the paper's lexicographic order vs comparing
+  only the minimum x-utilization vs maximizing the sum;
+* **intra-round projection** — whether committed picks' descendant
+  values project into the scoring of the same round's later picks;
+* **lookahead scope** — full recursion vs one-step (also in Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_comparison
+from repro.workloads.generator import WORKLOAD_CELLS
+
+N_INSTANCES = 15
+
+VARIANTS = [
+    "kgreedy",
+    "mqb",
+    "mqb[min]",
+    "mqb[sum]",
+    "mqb[nocarry]",
+    "mqb+1step+pre",
+]
+
+
+def run_ablation(n_instances: int = N_INSTANCES, seed: int = 77) -> dict:
+    panels = []
+    for cell in ("small-layered-ep", "medium-layered-ir"):
+        stats = run_comparison(WORKLOAD_CELLS[cell], VARIANTS, n_instances, seed)
+        panels.append(
+            {
+                "name": cell,
+                "label": cell,
+                "series": [s.to_dict() for s in stats],
+            }
+        )
+    return {
+        "figure": "ablation-mqb",
+        "title": "MQB design-choice ablation",
+        "kind": "bars",
+        "metric": "mean",
+        "panels": panels,
+        "config": {"n_instances": n_instances, "seed": seed},
+    }
+
+
+def test_ablation_mqb(benchmark, publish):
+    result = benchmark.pedantic(run_ablation, rounds=1, iterations=1)
+    publish(result)
+
+    for panel in result["panels"]:
+        means = {s["key"]: s["mean"] for s in panel["series"]}
+        # Every variant retains an advantage over online KGreedy.
+        for key, mean in means.items():
+            if key != "kgreedy":
+                assert mean < means["kgreedy"], (panel["name"], key, means)
+        # The paper's lexicographic order is at least as good as "sum"
+        # (sum maximization ignores the starved-queue bottleneck).
+        assert means["mqb"] <= means["mqb[sum]"] + 0.05, (panel["name"], means)

@@ -1,0 +1,46 @@
+"""Figure 5: varying the number of resource types K from 1 to 6.
+
+Paper claims reproduced (Section V-D):
+
+* KGreedy's average ratio grows as K increases (not necessarily
+  linearly — Theorem 2 is a worst-case bound).
+* Offline information flattens the degradation: MQB stays far closer
+  to the lower bound at K = 6 than KGreedy does.
+* At K = 1 (homogeneous) the algorithms essentially tie.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figures import run_fig5
+
+from benchmarks.conftest import panel_by_name
+
+N_INSTANCES = 8
+
+
+def test_fig5(benchmark, publish):
+    result = benchmark.pedantic(
+        run_fig5, kwargs={"n_instances": N_INSTANCES}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    for panel in result["panels"]:
+        kg = panel["series"]["kgreedy"]
+        mqb = panel["series"]["mqb"]
+        # K=1: near tie (within noise).
+        assert abs(kg[0] - mqb[0]) < 0.30, (panel["name"], kg[0], mqb[0])
+        # Growth: KGreedy at K=6 well above K=1.
+        assert kg[5] > kg[0] + 0.15, (panel["name"], kg)
+        # MQB stays below KGreedy for K >= 2.
+        for i in range(1, 6):
+            assert mqb[i] <= kg[i] + 0.05, (panel["name"], i)
+
+    # EP panel: MQB close to optimal at every K (paper Fig. 5a).
+    ep = panel_by_name(result, "small-layered-ep")
+    assert max(ep["series"]["mqb"]) < 2.0
+
+    # KGreedy's degradation is strongest where phases serialize: its
+    # K=6 ratio on EP exceeds twice its K=1 ratio.
+    assert ep["series"]["kgreedy"][5] > 1.6 * ep["series"]["kgreedy"][0]

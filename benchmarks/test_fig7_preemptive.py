@@ -1,0 +1,39 @@
+"""Figure 7: non-preemptive vs preemptive scheduling.
+
+Paper claims reproduced (Section V-F): the preemptive version of each
+algorithm performs comparably with (or slightly better than) its
+non-preemptive counterpart, and preemption does **not** rescue online
+scheduling — preemptive KGreedy still greatly exceeds the good offline
+algorithms on layered workloads.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_fig7
+
+from benchmarks.conftest import series_means
+
+N_INSTANCES = 6
+
+
+def test_fig7(benchmark, publish):
+    result = benchmark.pedantic(
+        run_fig7, kwargs={"n_instances": N_INSTANCES}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    for panel in result["panels"]:
+        means = series_means(panel)
+        for alg in ("kgreedy", "lspan", "dtype", "maxdp", "shiftbt", "mqb"):
+            np_mean = means[alg]
+            p_mean = means[f"{alg} (P)"]
+            # Comparable: preemption changes the ratio by < 20 %.
+            assert abs(p_mean - np_mean) < 0.2 * np_mean + 0.1, (
+                panel["name"], alg, np_mean, p_mean,
+            )
+
+    # Preemption does not fix online scheduling on layered EP/IR.
+    for cell_label in ("small-layered-ep", "medium-layered-ir"):
+        panel = next(p for p in result["panels"] if p["name"] == cell_label)
+        means = series_means(panel)
+        assert means["kgreedy (P)"] > 1.1 * means["mqb (P)"], (cell_label, means)

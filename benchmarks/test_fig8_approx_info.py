@@ -1,0 +1,39 @@
+"""Figure 8: MQB with partial and imprecise lookahead information.
+
+Paper claims reproduced (Section V-G):
+
+* One-step lookahead suffices on tree and IR (MQB+1Step ~ MQB+All),
+  but EP needs global information (MQB+1Step worse than MQB+All).
+* Noisy estimates (Exp / mult+add noise, up to ~2x off) still beat
+  KGreedy clearly on tree and IR.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_fig8
+
+from benchmarks.conftest import panel_by_name, series_means
+
+N_INSTANCES = 10
+
+
+def test_fig8(benchmark, publish):
+    result = benchmark.pedantic(
+        run_fig8, kwargs={"n_instances": N_INSTANCES}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    for cell in ("medium-layered-tree", "medium-layered-ir"):
+        means = series_means(panel_by_name(result, cell))
+        # Every MQB variant — even noisy, one-step — beats KGreedy.
+        for key, mean in means.items():
+            if key != "kgreedy":
+                assert mean < means["kgreedy"], (cell, key, means)
+        # One-step lookahead is enough here: within 10 % of full MQB.
+        assert means["mqb+1step+pre"] <= 1.10 * means["mqb+all+pre"], (cell, means)
+
+    # EP: one-step lookahead is NOT enough — visibly worse than full.
+    ep = series_means(panel_by_name(result, "small-layered-ep"))
+    assert ep["mqb+1step+pre"] >= ep["mqb+all+pre"] - 0.02
+    # Precise full information still beats KGreedy by a wide margin.
+    assert ep["mqb+all+pre"] < 0.8 * ep["kgreedy"]

@@ -1,0 +1,86 @@
+"""Stream-scheduling benchmark (beyond the paper).
+
+Compares the four stream policies on a Poisson stream of layered IR
+jobs under light and heavy load, asserting the expected qualitative
+trade-off: SRPT minimizes mean flow time under heavy load, while
+utilization-balancing (global MQB) minimizes the stream makespan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multijob import (
+    GlobalKGreedy,
+    GlobalMQB,
+    JobFCFS,
+    SmallestRemainingFirst,
+    poisson_stream,
+    simulate_stream,
+)
+from repro.system.resources import medium_system
+from repro.workloads.params import IRParams, WorkloadSpec
+
+POLICIES = (GlobalKGreedy, JobFCFS, SmallestRemainingFirst, GlobalMQB)
+
+SPEC = WorkloadSpec(
+    "ir", "layered", "medium",
+    params=IRParams(
+        iterations_range=(4, 6), maps_range=(20, 40), reduces_range=(6, 10)
+    ),
+)
+
+
+def run_stream_study(n_streams: int = 6, seed: int = 9) -> dict:
+    system = medium_system(4, 12)
+    panels = []
+    for label, gap in (("light load", 80.0), ("heavy load", 20.0)):
+        flow: dict[str, list[float]] = {c.name: [] for c in POLICIES}
+        mksp: dict[str, list[float]] = {c.name: [] for c in POLICIES}
+        for i in range(n_streams):
+            stream = poisson_stream(
+                SPEC, 10, gap, np.random.default_rng(np.random.SeedSequence([seed, i]))
+            )
+            for cls in POLICIES:
+                r = simulate_stream(stream, system, cls())
+                flow[cls.name].append(r.mean_flow_time)
+                mksp[cls.name].append(r.makespan)
+        panels.append(
+            {
+                "name": label.replace(" ", "-"),
+                "label": label,
+                "series": [
+                    {
+                        "key": name,
+                        "mean": float(np.mean(flow[name])),
+                        "max": float(np.mean(mksp[name])),  # makespan column
+                        "std": float(np.std(flow[name])),
+                        "stderr": 0.0,
+                        "n": n_streams,
+                    }
+                    for name in flow
+                ],
+            }
+        )
+    return {
+        "figure": "job-stream",
+        "title": "Stream policies: mean flow time (mean) and makespan (max col)",
+        "kind": "bars",
+        "metric": "mean+max",
+        "panels": panels,
+        "config": {"n_streams": n_streams, "seed": seed},
+    }
+
+
+def test_job_stream(benchmark, publish):
+    result = benchmark.pedantic(run_stream_study, rounds=1, iterations=1)
+    publish(result)
+
+    heavy = next(p for p in result["panels"] if p["name"] == "heavy-load")
+    flow = {s["key"]: s["mean"] for s in heavy["series"]}
+    makespan = {s["key"]: s["max"] for s in heavy["series"]}
+
+    # SRPT's mean flow time leads (or ties within 5 %) under heavy load.
+    assert flow["srpt"] <= 1.05 * min(flow.values())
+    # Balancing wins the stream makespan (within 5 % of the best).
+    assert makespan["global-mqb"] <= 1.05 * min(makespan.values())

@@ -1,0 +1,56 @@
+"""Random-choice control (beyond the paper).
+
+Quantifies the paper's Fig.-4 interpretation — "the lack of structural
+information makes it difficult ... any best-effort algorithm would
+work just fine" on random workloads — by adding a uniformly random
+selector to the comparison: if random ~ KGreedy on random workloads
+but both trail MQB on layered ones, the layered gaps measure
+*information*, not tie-breaking luck.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.runner import run_comparison
+from repro.workloads.generator import WORKLOAD_CELLS
+
+N_INSTANCES = 20
+ALGS = ["random", "kgreedy", "mqb"]
+
+
+def run_control(n_instances: int = N_INSTANCES, seed: int = 17) -> dict:
+    panels = []
+    for cell in ("small-random-ep", "small-layered-ep", "medium-layered-ir"):
+        stats = run_comparison(WORKLOAD_CELLS[cell], ALGS, n_instances, seed)
+        panels.append(
+            {
+                "name": cell,
+                "label": cell,
+                "series": [s.to_dict() for s in stats],
+            }
+        )
+    return {
+        "figure": "random-control",
+        "title": "Uniform-random selection vs KGreedy vs MQB",
+        "kind": "bars",
+        "metric": "mean",
+        "panels": panels,
+        "config": {"n_instances": n_instances, "seed": seed},
+    }
+
+
+def test_random_control(benchmark, publish):
+    result = benchmark.pedantic(run_control, rounds=1, iterations=1)
+    publish(result)
+
+    by_cell = {
+        p["name"]: {s["key"]: s["mean"] for s in p["series"]}
+        for p in result["panels"]
+    }
+    # Random EP: random ~ kgreedy (within 10 %), both near the bound.
+    rnd = by_cell["small-random-ep"]
+    assert abs(rnd["random"] - rnd["kgreedy"]) < 0.1 * rnd["kgreedy"]
+    # Layered cells: MQB clearly beats BOTH uninformed policies.
+    for cell in ("small-layered-ep", "medium-layered-ir"):
+        m = by_cell[cell]
+        assert m["mqb"] < m["random"], (cell, m)
+        assert m["mqb"] < m["kgreedy"], (cell, m)

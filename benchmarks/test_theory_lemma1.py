@@ -1,0 +1,18 @@
+"""Lemma 1 benchmark: closed form == exact sum == Monte Carlo."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.figures import run_lemma1
+
+
+def test_lemma1(benchmark, publish):
+    result = benchmark.pedantic(
+        run_lemma1, kwargs={"n_instances": 20000}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    for n, r, closed, exact, mc in result["rows"]:
+        assert closed == pytest.approx(exact, rel=1e-9), (n, r)
+        assert mc == pytest.approx(closed, rel=0.05), (n, r)

@@ -1,0 +1,25 @@
+"""Theorem 2 benchmark: the adversarial family defeats online scheduling.
+
+Checks, per processor configuration:
+
+* KGreedy's empirical expected ratio exceeds the finite-m form of the
+  Theorem-2 lower bound (Inequality 3) — the construction works;
+* it stays below the K+1 KGreedy guarantee — the upper bound holds;
+* the finite-m bound is below the asymptotic bound.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figures import run_thm2
+
+
+def test_thm2(benchmark, publish):
+    result = benchmark.pedantic(
+        run_thm2, kwargs={"n_instances": 40}, rounds=1, iterations=1
+    )
+    publish(result)
+
+    for p, m, empirical, bound_m, bound_inf, guarantee in result["rows"]:
+        assert empirical >= bound_m - 0.1, (p, empirical, bound_m)
+        assert empirical <= guarantee + 1e-9, (p, empirical, guarantee)
+        assert bound_m <= bound_inf + 1e-9, (p, bound_m, bound_inf)

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Scheduling a stream of jobs on a shared cluster (beyond the paper).
+
+The paper's Cosmos motivation runs "over a thousand jobs" a day, but
+its algorithms schedule one job in isolation.  This example simulates
+what operators actually face: K-DAG jobs arriving as a Poisson stream
+on one shared FHS, comparing four stream policies on both objectives —
+mean flow time (what users feel) and stream makespan (what the cluster
+bill feels):
+
+* global-kgreedy — job-blind FIFO over each type's pool,
+* job-fcfs      — strict arrival-order priority,
+* srpt          — least-remaining-work job first,
+* global-mqb    — the paper's utilization balancing over the union
+                  of all jobs' ready queues.
+
+Run: ``python examples/job_stream.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.multijob import (
+    GlobalKGreedy,
+    GlobalMQB,
+    JobFCFS,
+    SmallestRemainingFirst,
+    poisson_stream,
+    simulate_stream,
+)
+from repro.system.resources import medium_system
+from repro.workloads.params import IRParams, WorkloadSpec
+
+POLICIES = (GlobalKGreedy, JobFCFS, SmallestRemainingFirst, GlobalMQB)
+
+SPEC = WorkloadSpec(
+    "ir", "layered", "medium",
+    params=IRParams(
+        iterations_range=(4, 6), maps_range=(20, 40), reduces_range=(6, 10)
+    ),
+)
+
+
+def main() -> None:
+    system = medium_system(4, 12)
+    print(f"system: {system.counts}; workload: {SPEC.label}\n")
+
+    for load, mean_gap in (("light", 80.0), ("heavy", 20.0)):
+        stream = poisson_stream(
+            SPEC, n_jobs=10, mean_interarrival=mean_gap,
+            rng=np.random.default_rng(7),
+        )
+        print(f"{load} load (mean interarrival {mean_gap:g}):")
+        print(f"  {'policy':16s} {'mean flow':>10s} {'makespan':>9s}")
+        for cls in POLICIES:
+            result = simulate_stream(stream, system, cls())
+            print(
+                f"  {cls.name:16s} {result.mean_flow_time:10.1f} "
+                f"{result.makespan:9.1f}"
+            )
+        print()
+
+    print(
+        "Typical shape: srpt wins mean flow time under heavy load (short"
+        "\njobs escape the queue), global-mqb wins stream makespan (the"
+        "\ncluster's types stay busy), and strict FCFS pays on both."
+    )
+
+
+if __name__ == "__main__":
+    main()

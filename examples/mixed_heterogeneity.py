@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Both heterogeneity axes at once: typed pools of mixed-speed machines.
+
+The paper separates *functional* heterogeneity (typed tasks — what it
+studies) from *performance* heterogeneity (different speeds — prior
+work).  A real cluster has both: each server class contains several
+hardware generations.  This example runs the paper's layered EP
+workload on typed pools whose processor speeds spread from 0.5x to
+2x, and asks whether the paper's conclusion — utilization balancing
+beats online greedy — survives the composition.
+
+Run: ``python examples/mixed_heterogeneity.py``
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import PAPER_ALGORITHMS, make_scheduler
+from repro.hetspeed import SpeedSystem, simulate_speeds
+from repro.workloads.generator import WORKLOAD_CELLS, sample_instance
+
+N_JOBS = 10
+
+
+def main() -> None:
+    spec = WORKLOAD_CELLS["small-layered-ep"]
+    print(f"workload: {spec.label}; per-processor speeds U(0.5, 2.0)\n")
+    print(f"{'algorithm':10s} {'uniform speeds':>14s} {'mixed speeds':>13s}")
+
+    for name in PAPER_ALGORITHMS:
+        uniform, mixed = [], []
+        for i in range(N_JOBS):
+            rng = np.random.default_rng(1000 + i)
+            job, counts = sample_instance(spec, rng)
+            flat = SpeedSystem.uniform(counts.counts)
+            speedy = SpeedSystem.sample(counts.counts, rng)
+            uniform.append(
+                simulate_speeds(job, flat, make_scheduler(name),
+                                rng=np.random.default_rng(i))
+                .completion_time_ratio()
+            )
+            mixed.append(
+                simulate_speeds(job, speedy, make_scheduler(name),
+                                rng=np.random.default_rng(i))
+                .completion_time_ratio()
+            )
+        print(f"{name:10s} {np.mean(uniform):14.3f} {np.mean(mixed):13.3f}")
+
+    print(
+        "\nThe paper's conclusion survives the composition: the online"
+        "\ngreedy stays far above the balancing heuristics, with the same"
+        "\nordering among heuristics on both speed profiles.  (Ratios dip"
+        "\nslightly under mixed speeds because the lower bound's work term"
+        "\ncharges the pool's *total* speed, which phase-serialized"
+        "\nschedules cannot exploit anyway.)"
+    )
+
+
+if __name__ == "__main__":
+    main()

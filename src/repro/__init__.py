@@ -1,0 +1,110 @@
+"""repro — K-DAG scheduling on functionally heterogeneous systems.
+
+A full reproduction of *"Scheduling Functionally Heterogeneous Systems
+with Utilization Balancing"* (He, Liu, Sun — IPDPS 2011): the K-DAG job
+model, the online KGreedy algorithm and its competitive bounds, the
+Multi-Queue Balancing (MQB) offline algorithm with approximate-
+information variants, four comparison heuristics, the discrete-time
+simulator (non-preemptive and preemptive), the paper's three workload
+families, and an experiment harness regenerating every figure of the
+paper's evaluation.
+
+Quickstart::
+
+    import numpy as np
+    from repro import (KDagBuilder, ResourceConfig, make_scheduler,
+                       simulate)
+
+    b = KDagBuilder(num_types=2)
+    cpu = b.add_task(0, work=4.0)
+    gpu = b.add_task(1, work=2.0)
+    b.add_edge(cpu, gpu)
+    job = b.build()
+
+    result = simulate(job, ResourceConfig((2, 1)), make_scheduler("mqb"),
+                      rng=np.random.default_rng(0))
+    print(result.makespan, result.completion_time_ratio())
+"""
+
+from repro.core import (
+    KDag,
+    KDagBuilder,
+    critical_path,
+    lower_bound,
+    span,
+    total_work,
+    type_work,
+    work_per_processor,
+)
+from repro.system import (
+    ResourceConfig,
+    medium_system,
+    sample_medium_system,
+    sample_small_system,
+    skewed,
+    small_system,
+)
+from repro.sim import (
+    ScheduleResult,
+    ScheduleTrace,
+    average_utilization,
+    simulate,
+    simulate_preemptive,
+    type_busy_time,
+    utilization_profile,
+    validate_schedule,
+)
+from repro.schedulers import (
+    MQB,
+    DType,
+    KGreedy,
+    LSpan,
+    MaxDP,
+    PAPER_ALGORITHMS,
+    Scheduler,
+    ShiftBT,
+    available_schedulers,
+    make_scheduler,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # core
+    "KDag",
+    "KDagBuilder",
+    "type_work",
+    "total_work",
+    "span",
+    "critical_path",
+    "lower_bound",
+    "work_per_processor",
+    # system
+    "ResourceConfig",
+    "small_system",
+    "medium_system",
+    "sample_small_system",
+    "sample_medium_system",
+    "skewed",
+    # sim
+    "simulate",
+    "simulate_preemptive",
+    "ScheduleResult",
+    "ScheduleTrace",
+    "validate_schedule",
+    "type_busy_time",
+    "average_utilization",
+    "utilization_profile",
+    # schedulers
+    "Scheduler",
+    "KGreedy",
+    "LSpan",
+    "MaxDP",
+    "DType",
+    "ShiftBT",
+    "MQB",
+    "make_scheduler",
+    "available_schedulers",
+    "PAPER_ALGORITHMS",
+]

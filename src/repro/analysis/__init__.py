@@ -1,0 +1,22 @@
+"""Statistical analysis of scheduling experiments.
+
+The paper reports bare means over 5000 instances; this package adds the
+statistical machinery a careful reproduction needs: confidence
+intervals, paired-difference tests between algorithms (the sweeps are
+paired by construction), bootstrap resampling, and a convergence check
+answering "how many instances until the mean is stable?".
+"""
+
+from repro.analysis.stats import (
+    bootstrap_ci,
+    mean_ci,
+    paired_difference,
+    required_instances,
+)
+
+__all__ = [
+    "mean_ci",
+    "bootstrap_ci",
+    "paired_difference",
+    "required_instances",
+]

@@ -1,0 +1,178 @@
+"""Command-line interface: reproduce the paper's experiments.
+
+Usage::
+
+    repro list
+    repro cells
+    repro run fig4 [--instances 300] [--seed 2011] [--out results/]
+    repro run all --out results/
+    repro report results/fig4.json
+    repro demo medium-layered-ir --scheduler mqb
+
+``repro run`` prints the rendered tables and (with ``--out``) saves the
+raw JSON; ``repro report`` re-renders a saved result; ``repro demo``
+simulates one sampled instance and draws the schedule as an ASCII
+Gantt chart with per-type utilizations.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+from repro.experiments.report import render_result
+from repro.experiments.store import load_result, save_result
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse tree (exposed for tests)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Scheduling Functionally Heterogeneous "
+            "Systems with Utilization Balancing' (IPDPS 2011)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run_p = sub.add_parser("run", help="run one experiment (or 'all')")
+    run_p.add_argument("experiment", help=f"one of {sorted(EXPERIMENTS)} or 'all'")
+    run_p.add_argument(
+        "--instances",
+        type=int,
+        default=None,
+        help="instances per plotted point (default: per-figure; paper used 5000)",
+    )
+    run_p.add_argument("--seed", type=int, default=None, help="base seed")
+    run_p.add_argument("--out", default=None, help="directory for JSON results")
+    run_p.add_argument(
+        "--quiet", action="store_true", help="suppress rendered tables"
+    )
+
+    rep_p = sub.add_parser("report", help="render a saved result JSON")
+    rep_p.add_argument("path", help="path to a result .json file")
+    rep_p.add_argument(
+        "--chart", action="store_true",
+        help="draw bar results as ASCII bar charts (like the paper's figures)",
+    )
+    rep_p.add_argument(
+        "--markdown", action="store_true",
+        help="emit GitHub-flavoured markdown tables",
+    )
+
+    sub.add_parser("cells", help="list workload cells")
+
+    demo_p = sub.add_parser(
+        "demo", help="simulate one instance and draw its Gantt chart"
+    )
+    demo_p.add_argument("cell", help="workload cell name (see `repro cells`)")
+    demo_p.add_argument("--scheduler", default="mqb", help="algorithm name")
+    demo_p.add_argument("--seed", type=int, default=0, help="instance seed")
+    demo_p.add_argument("--width", type=int, default=100, help="chart width")
+    demo_p.add_argument(
+        "--preemptive", action="store_true", help="use the preemptive engine"
+    )
+    return parser
+
+
+def _cmd_list() -> int:
+    for name, fn in sorted(EXPERIMENTS.items()):
+        doc = (fn.__doc__ or "").strip().splitlines()[0]
+        print(f"{name:8s} {doc}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        t0 = time.time()
+        result = run_experiment(name, n_instances=args.instances, seed=args.seed)
+        elapsed = time.time() - t0
+        if not args.quiet:
+            print(render_result(result))
+            print(f"[{name} completed in {elapsed:.1f}s]\n", file=sys.stderr)
+        if args.out:
+            path = save_result(result, args.out)
+            print(f"[saved {path}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    result = load_result(args.path)
+    if getattr(args, "chart", False):
+        from repro.experiments.report import render_bar_chart
+
+        print(render_bar_chart(result))
+    elif getattr(args, "markdown", False):
+        from repro.experiments.report import render_markdown
+
+        print(render_markdown(result))
+    else:
+        print(render_result(result))
+    return 0
+
+
+def _cmd_cells() -> int:
+    from repro.workloads.generator import EXTRA_CELLS, WORKLOAD_CELLS
+
+    for name, spec in {**WORKLOAD_CELLS, **EXTRA_CELLS}.items():
+        print(f"{name:24s} {spec.label}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.engine import simulate
+    from repro.sim.gantt import render_gantt
+    from repro.sim.metrics import average_utilization
+    from repro.sim.preemptive import simulate_preemptive
+    from repro.workloads.generator import sample_instance, workload_cell
+
+    spec = workload_cell(args.cell)
+    job, system = sample_instance(spec, np.random.default_rng(args.seed))
+    engine = simulate_preemptive if args.preemptive else simulate
+    result = engine(
+        job, system, make_scheduler(args.scheduler),
+        rng=np.random.default_rng(args.seed), record_trace=True,
+    )
+    print(
+        f"{spec.label}: {job.n_tasks} tasks, {job.n_edges} edges on "
+        f"{system.counts}"
+    )
+    print(
+        f"{result.scheduler}: makespan {result.makespan:g}, "
+        f"ratio {result.completion_time_ratio():.3f} vs L(J) "
+        f"{result.lower_bound():g}\n"
+    )
+    assert result.trace is not None
+    print(render_gantt(result.trace, system, width=args.width))
+    util = average_utilization(result.trace, system, result.makespan)
+    print("\nper-type utilization: "
+          + "  ".join(f"t{a}={u:.0%}" for a, u in enumerate(util)))
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _cmd_list()
+    if args.command == "run":
+        return _cmd_run(args)
+    if args.command == "cells":
+        return _cmd_cells()
+    if args.command == "demo":
+        return _cmd_demo(args)
+    return _cmd_report(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

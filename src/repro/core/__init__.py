@@ -1,0 +1,54 @@
+"""Core K-DAG model: typed-task DAGs and their structural properties.
+
+This subpackage implements the paper's job model (Section II): a parallel
+job is a :class:`~repro.core.kdag.KDag`, a directed acyclic graph whose
+nodes carry a resource *type* ``alpha`` in ``0..K-1`` and a positive
+*work* amount, plus the derived quantities the schedulers consume —
+per-type total work ``T1(J, alpha)``, the span ``T_inf(J)``, typed
+descendant values, remaining spans, different-child distances, due
+dates, and the x-utilization balance order used by MQB.
+"""
+
+from repro.core.kdag import KDag
+from repro.core.builder import KDagBuilder
+from repro.core.properties import (
+    critical_path,
+    lower_bound,
+    span,
+    total_work,
+    type_work,
+    work_per_processor,
+)
+from repro.core.descendants import (
+    descendant_values,
+    different_child_distance,
+    due_dates,
+    one_step_descendant_values,
+    remaining_span,
+    untyped_descendant_values,
+)
+from repro.core.balance import (
+    balance_key,
+    compare_balance,
+    x_utilization,
+)
+
+__all__ = [
+    "KDag",
+    "KDagBuilder",
+    "type_work",
+    "total_work",
+    "span",
+    "critical_path",
+    "lower_bound",
+    "work_per_processor",
+    "descendant_values",
+    "one_step_descendant_values",
+    "untyped_descendant_values",
+    "remaining_span",
+    "different_child_distance",
+    "due_dates",
+    "x_utilization",
+    "balance_key",
+    "compare_balance",
+]

@@ -1,0 +1,71 @@
+"""MQB's x-utilization balance order over ready-queue snapshots.
+
+Paper Section IV-A defines, for a snapshot ``A`` of the K ready queues,
+the *x-utilization* of the ``alpha``-queue as ``r_alpha(A) =
+l_alpha(A) / P_alpha`` (queued ready work over processor count) and says
+snapshot ``A`` is *better balanced* than ``B`` when the ascending-sorted
+vector ``R_A = sorted(r)`` exceeds ``R_B`` lexicographically — i.e. the
+first place the sorted vectors differ, ``A``'s entry is larger.  The
+shortest queue is the utilization bottleneck, so raising the minima
+first is what "balancing" means here.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ResourceError
+
+__all__ = ["x_utilization", "balance_key", "compare_balance"]
+
+
+def x_utilization(
+    queue_work: Sequence[float] | np.ndarray,
+    processors: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """Per-type x-utilization ``r_alpha = l_alpha / P_alpha``.
+
+    ``queue_work[alpha]`` is the total work of the ready ``alpha``-tasks;
+    ``processors[alpha]`` is ``P_alpha``.
+    """
+    l = np.asarray(queue_work, dtype=np.float64)
+    p = np.asarray(processors, dtype=np.float64)
+    if l.shape != p.shape:
+        raise ResourceError(
+            f"queue_work shape {l.shape} != processors shape {p.shape}"
+        )
+    if np.any(p < 1):
+        raise ResourceError("every resource type needs at least one processor")
+    return l / p
+
+
+def balance_key(
+    queue_work: Sequence[float] | np.ndarray,
+    processors: Sequence[int] | np.ndarray,
+) -> np.ndarray:
+    """The sorted x-utilization vector ``R`` (ascending).
+
+    Snapshots compare by this key lexicographically: a *greater* key
+    means a *better balanced* snapshot.
+    """
+    return np.sort(x_utilization(queue_work, processors))
+
+
+def compare_balance(key_a: np.ndarray, key_b: np.ndarray) -> int:
+    """Three-way lexicographic comparison of two balance keys.
+
+    Returns ``1`` if ``key_a`` is better balanced (greater), ``-1`` if
+    worse, ``0`` on exact tie.  Keys must come from
+    :func:`balance_key` over the same K.
+    """
+    if key_a.shape != key_b.shape:
+        raise ResourceError(
+            f"balance keys have mismatched shapes {key_a.shape} vs {key_b.shape}"
+        )
+    diff = key_a != key_b
+    if not diff.any():
+        return 0
+    first = int(np.argmax(diff))
+    return 1 if key_a[first] > key_b[first] else -1

@@ -1,0 +1,145 @@
+"""Incremental construction of :class:`~repro.core.kdag.KDag` instances.
+
+Workload generators and user code often build jobs node by node with
+meaningful labels ("map-3-7", "reduce-2-0"), while :class:`KDag` itself
+wants dense integer ids and a frozen edge set.  :class:`KDagBuilder`
+bridges the two: it hands out dense ids, remembers labels, checks edge
+endpoints eagerly, and freezes into an immutable ``KDag``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import GraphError
+
+__all__ = ["KDagBuilder"]
+
+
+class KDagBuilder:
+    """Mutable builder that freezes into an immutable :class:`KDag`.
+
+    Parameters
+    ----------
+    num_types:
+        Number of resource types ``K`` for the job being built.
+
+    Examples
+    --------
+    >>> b = KDagBuilder(num_types=2)
+    >>> a = b.add_task(0, 1.0, label="load")
+    >>> c = b.add_task(1, 2.0, label="gpu-kernel")
+    >>> b.add_edge(a, c)
+    >>> job = b.build()
+    >>> job.n_tasks, job.n_edges
+    (2, 1)
+    """
+
+    def __init__(self, num_types: int) -> None:
+        if num_types < 1:
+            raise GraphError(f"num_types must be >= 1, got {num_types}")
+        self._k = int(num_types)
+        self._types: list[int] = []
+        self._work: list[float] = []
+        self._labels: list[Hashable | None] = []
+        self._by_label: dict[Hashable, int] = {}
+        self._edges: list[tuple[int, int]] = []
+        self._edge_set: set[tuple[int, int]] = set()
+
+    @property
+    def num_types(self) -> int:
+        """Number of resource types ``K``."""
+        return self._k
+
+    @property
+    def n_tasks(self) -> int:
+        """Tasks added so far."""
+        return len(self._types)
+
+    @property
+    def n_edges(self) -> int:
+        """Edges added so far."""
+        return len(self._edges)
+
+    def add_task(
+        self,
+        task_type: int,
+        work: float = 1.0,
+        label: Hashable | None = None,
+    ) -> int:
+        """Add a task; returns its dense id.
+
+        ``label``, when given, must be unique and can later be resolved
+        with :meth:`id_of`.
+        """
+        if not 0 <= task_type < self._k:
+            raise GraphError(
+                f"task type {task_type} out of range for K={self._k}"
+            )
+        if not np.isfinite(work) or work <= 0:
+            raise GraphError(f"task work must be finite and positive, got {work}")
+        if label is not None:
+            if label in self._by_label:
+                raise GraphError(f"duplicate task label {label!r}")
+            self._by_label[label] = len(self._types)
+        tid = len(self._types)
+        self._types.append(int(task_type))
+        self._work.append(float(work))
+        self._labels.append(label)
+        return tid
+
+    def add_tasks(self, task_type: int, work: float, count: int) -> list[int]:
+        """Add ``count`` identical tasks; returns their ids."""
+        if count < 0:
+            raise GraphError(f"count must be non-negative, got {count}")
+        return [self.add_task(task_type, work) for _ in range(count)]
+
+    def add_edge(self, u: int, v: int) -> None:
+        """Add a precedence edge *u before v* between existing tasks."""
+        n = len(self._types)
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphError(f"edge ({u}, {v}) references an unknown task")
+        if u == v:
+            raise GraphError(f"self loop on task {u}")
+        key = (int(u), int(v))
+        if key in self._edge_set:
+            raise GraphError(f"duplicate edge ({u}, {v})")
+        self._edge_set.add(key)
+        self._edges.append(key)
+
+    def add_edges(self, pairs: list[tuple[int, int]] | tuple[tuple[int, int], ...]) -> None:
+        """Add many edges at once."""
+        for u, v in pairs:
+            self.add_edge(u, v)
+
+    def chain(self, task_ids: list[int]) -> None:
+        """Add edges making ``task_ids`` a serial chain."""
+        for u, v in zip(task_ids, task_ids[1:]):
+            self.add_edge(u, v)
+
+    def id_of(self, label: Hashable) -> int:
+        """Resolve a task label to its dense id."""
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise GraphError(f"unknown task label {label!r}") from None
+
+    def label_of(self, task_id: int) -> Hashable | None:
+        """Return the label of ``task_id`` (``None`` if unlabeled)."""
+        if not 0 <= task_id < len(self._labels):
+            raise GraphError(f"task id {task_id} out of range")
+        return self._labels[task_id]
+
+    def build(self) -> KDag:
+        """Freeze into an immutable :class:`KDag` (validates acyclicity)."""
+        if not self._types:
+            raise GraphError("cannot build an empty K-DAG")
+        return KDag(
+            types=self._types,
+            work=self._work,
+            edges=self._edges,
+            num_types=self._k,
+        )

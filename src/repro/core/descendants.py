@@ -1,0 +1,156 @@
+"""Per-task lookahead quantities used by the offline heuristics.
+
+These are the four pieces of "offline information" the paper's
+schedulers consume (Section IV):
+
+* **Typed descendant values** ``d_alpha(v)`` — MQB's estimate of how
+  much type-``alpha`` work executing ``v`` unlocks downstream.  A task
+  ``u`` with ``pr(u)`` parents contributes ``1/pr(u)`` of its own
+  descendant value *plus* ``1/pr(u)`` of its own work to each parent::
+
+      d_alpha(v) = sum_{u in children(v)} (d_alpha(u) + w_alpha(u)) / pr(u)
+
+  where ``w_alpha(u)`` is ``work(u)`` if ``u`` is an ``alpha``-task and 0
+  otherwise.  Sinks have ``d_alpha = 0``.
+
+* **Untyped descendant values** (MaxDP) — the same recursion without the
+  type split; equal to ``sum_alpha d_alpha(v)``.
+
+* **Remaining span** (LSpan) — work-weighted longest path from ``v``
+  to a sink, inclusive of ``v``'s own work.
+
+* **Different-child distance** (DType) — edge-count distance from ``v``
+  to the nearest descendant of a *different* type (``inf`` when none
+  exists).
+
+* **Due dates** (ShiftBT) — ``T_inf(J) - remaining_span(v)``, the latest
+  start time that does not stretch the critical path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.core.properties import _bottom_levels, span
+
+__all__ = [
+    "descendant_values",
+    "one_step_descendant_values",
+    "untyped_descendant_values",
+    "remaining_span",
+    "different_child_distance",
+    "due_dates",
+]
+
+
+def descendant_values(job: KDag) -> np.ndarray:
+    """Typed descendant values ``d_alpha(v)``, shape ``(n_tasks, K)``.
+
+    One reverse-topological sweep, vectorized over the K type columns.
+    """
+    n, k = job.n_tasks, job.num_types
+    d = np.zeros((n, k), dtype=np.float64)
+    # own_contrib[u, :] = (d[u, :] + w_alpha-one-hot(u)) / pr(u), filled as
+    # soon as d[u] is final (children are finalized before parents).
+    in_deg = job.in_degrees().astype(np.float64)
+    work_onehot = np.zeros((n, k), dtype=np.float64)
+    work_onehot[np.arange(n), job.types] = job.work
+    contrib = np.zeros((n, k), dtype=np.float64)
+    topo = job.topological_order
+    for v in topo[::-1]:
+        vi = int(v)
+        kids = job.children(vi)
+        if kids.size:
+            d[vi] = contrib[kids].sum(axis=0)
+        pr = in_deg[vi]
+        if pr > 0:
+            contrib[vi] = (d[vi] + work_onehot[vi]) / pr
+        # Sources (pr == 0) never contribute upward; leave contrib at 0.
+    return d
+
+
+def one_step_descendant_values(job: KDag) -> np.ndarray:
+    """One-step-lookahead typed descendant values (MQB+1Step).
+
+    Only immediate children are counted::
+
+        d_alpha(v) = sum_{u in children(v)} w_alpha(u) / pr(u)
+    """
+    n, k = job.n_tasks, job.num_types
+    in_deg = job.in_degrees().astype(np.float64)
+    work_onehot = np.zeros((n, k), dtype=np.float64)
+    work_onehot[np.arange(n), job.types] = job.work
+    with np.errstate(divide="ignore", invalid="ignore"):
+        shared = np.where(in_deg[:, None] > 0, work_onehot / in_deg[:, None], 0.0)
+    d = np.zeros((n, k), dtype=np.float64)
+    for v in range(n):
+        kids = job.children(v)
+        if kids.size:
+            d[v] = shared[kids].sum(axis=0)
+    return d
+
+
+def untyped_descendant_values(job: KDag) -> np.ndarray:
+    """MaxDP's scalar descendant value per task, shape ``(n_tasks,)``.
+
+    Identical recursion to :func:`descendant_values` with the type
+    dimension collapsed; kept as a separate O(V+E) pass because MaxDP
+    never needs the per-type split.
+    """
+    n = job.n_tasks
+    d = np.zeros(n, dtype=np.float64)
+    contrib = np.zeros(n, dtype=np.float64)
+    in_deg = job.in_degrees().astype(np.float64)
+    topo = job.topological_order
+    for v in topo[::-1]:
+        vi = int(v)
+        kids = job.children(vi)
+        if kids.size:
+            d[vi] = float(contrib[kids].sum())
+        if in_deg[vi] > 0:
+            contrib[vi] = (d[vi] + job.work[vi]) / in_deg[vi]
+    return d
+
+
+def remaining_span(job: KDag) -> np.ndarray:
+    """Remaining span of each task (LSpan's priority), shape ``(n_tasks,)``.
+
+    ``remaining_span(v) = work(v) + max(remaining_span(c) for children c)``;
+    a childless task's remaining span is its own work.
+    """
+    return _bottom_levels(job)
+
+
+def different_child_distance(job: KDag) -> np.ndarray:
+    """DType's priority: hop distance to the nearest different-type descendant.
+
+    ``dist(v) = min over children c of (1 if type(c) != type(v) else
+    1 + dist(c))``; ``inf`` when no different-type descendant exists.
+    The recursion is well-founded because in the ``else`` branch ``c``
+    shares ``v``'s type, so ``dist(c)`` measures distance to the same
+    "other type" set.
+    """
+    n = job.n_tasks
+    dist = np.full(n, np.inf, dtype=np.float64)
+    types = job.types
+    topo = job.topological_order
+    for v in topo[::-1]:
+        vi = int(v)
+        best = np.inf
+        for c in job.children(vi):
+            ci = int(c)
+            cand = 1.0 if types[ci] != types[vi] else 1.0 + dist[ci]
+            if cand < best:
+                best = cand
+        dist[vi] = best
+    return dist
+
+
+def due_dates(job: KDag) -> np.ndarray:
+    """ShiftBT's due dates: ``T_inf(J) - remaining_span(v)`` per task.
+
+    A task on the critical path has due date 0; the larger the slack,
+    the later the task may start without delaying the job.
+    """
+    return span(job) - remaining_span(job)

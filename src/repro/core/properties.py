@@ -1,0 +1,110 @@
+"""Aggregate properties of a K-DAG: work, span, and the makespan lower bound.
+
+These implement the quantities from paper Section II and the lower bound
+``L(J)`` from Section V-A::
+
+    T1(J, alpha) = sum of work of the alpha-tasks
+    T_inf(J)     = critical path length (work-weighted longest path)
+    L(J)         = max( T_inf(J), max_alpha T1(J, alpha) / P_alpha )
+
+All functions take the job as the first argument and are pure.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ResourceError
+
+__all__ = [
+    "type_work",
+    "total_work",
+    "span",
+    "critical_path",
+    "work_per_processor",
+    "lower_bound",
+]
+
+
+def type_work(job: KDag) -> np.ndarray:
+    """Per-type total work ``T1(J, alpha)`` for every type, shape ``(K,)``."""
+    return np.bincount(job.types, weights=job.work, minlength=job.num_types)
+
+
+def total_work(job: KDag) -> float:
+    """Total work of the job across all types, ``sum_alpha T1(J, alpha)``."""
+    return float(job.work.sum())
+
+
+def _bottom_levels(job: KDag) -> np.ndarray:
+    """Work-weighted longest path from each node to any sink, inclusive.
+
+    ``bottom[v] = work[v] + max(bottom[c] for c in children(v))`` (0 max
+    for sinks).  Computed in one reverse-topological sweep.
+    """
+    bottom = job.work.copy()
+    topo = job.topological_order
+    for v in topo[::-1]:
+        best = 0.0
+        for c in job.children(int(v)):
+            if bottom[c] > best:
+                best = float(bottom[c])
+        bottom[v] += best
+    return bottom
+
+
+def span(job: KDag) -> float:
+    """Critical path length ``T_inf(J)``: the work on the longest chain."""
+    return float(_bottom_levels(job).max())
+
+
+def critical_path(job: KDag) -> list[int]:
+    """One critical path as a list of task ids (source to sink).
+
+    When several chains tie, the lowest-id child is followed, making the
+    result deterministic.
+    """
+    bottom = _bottom_levels(job)
+    sources = job.sources()
+    v = int(sources[np.argmax(bottom[sources])])
+    path = [v]
+    while job.n_children(v):
+        children = job.children(v)
+        v = int(children[np.argmax(bottom[children])])
+        path.append(v)
+    return path
+
+
+def _check_processors(job: KDag, processors: Sequence[int] | np.ndarray) -> np.ndarray:
+    procs = np.asarray(processors, dtype=np.int64)
+    if procs.shape != (job.num_types,):
+        raise ResourceError(
+            f"expected {job.num_types} processor counts, got shape {procs.shape}"
+        )
+    if np.any(procs < 1):
+        raise ResourceError("every resource type needs at least one processor")
+    return procs
+
+
+def work_per_processor(job: KDag, processors: Sequence[int] | np.ndarray) -> np.ndarray:
+    """Per-type work-per-processor ratios ``T1(J, alpha) / P_alpha``.
+
+    The paper's skew measure (Section V-E): a job whose ratios are close
+    is *well balanced*; large variance means a skewed load.
+    """
+    procs = _check_processors(job, processors)
+    return type_work(job) / procs
+
+
+def lower_bound(job: KDag, processors: Sequence[int] | np.ndarray) -> float:
+    """The paper's makespan lower bound ``L(J)`` (Section V-A).
+
+    ``L(J) = max( T_inf(J), max_alpha T1(J, alpha) / P_alpha )``.
+    Every legal schedule of ``job`` on the given processor counts takes
+    at least this long; the *completion time ratio* reported throughout
+    the evaluation is ``T(J) / L(J)``.
+    """
+    return float(max(span(job), work_per_processor(job, processors).max()))

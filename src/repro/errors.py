@@ -1,0 +1,51 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch the whole family with a single ``except`` clause while still being
+able to discriminate construction errors from runtime scheduling errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphError",
+    "CycleError",
+    "TypeMismatchError",
+    "ResourceError",
+    "SchedulingError",
+    "ValidationError",
+    "ConfigurationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class GraphError(ReproError):
+    """Invalid K-DAG structure (bad node ids, edges, work values, types)."""
+
+
+class CycleError(GraphError):
+    """The supplied edge set contains a cycle, so the graph is not a DAG."""
+
+
+class TypeMismatchError(ReproError):
+    """A task was assigned to a processor of the wrong resource type."""
+
+
+class ResourceError(ReproError):
+    """Invalid resource configuration (non-positive counts, bad K)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced an inconsistent decision at run time."""
+
+
+class ValidationError(ReproError):
+    """A produced schedule violates precedence/capacity/type legality."""
+
+
+class ConfigurationError(ReproError):
+    """Invalid experiment or workload configuration."""

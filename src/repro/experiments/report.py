@@ -1,0 +1,163 @@
+"""ASCII rendering of experiment result dicts.
+
+The paper's figures are bar charts and line plots; in a terminal we
+render bars as tables (one row per algorithm) and line plots as
+(x, series...) tables — everything needed to compare shapes against
+the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["render_result", "render_markdown", "render_bar_chart"]
+
+
+def _fmt(value, width: int = 8) -> str:
+    if isinstance(value, float):
+        return f"{value:{width}.3f}"
+    return f"{value!s:>{width}}"
+
+
+def _table(columns: list[str], rows: list[list]) -> str:
+    widths = [
+        max(len(str(c)), *(len(_fmt(r[i]).strip()) for r in rows)) if rows else len(str(c))
+        for i, c in enumerate(columns)
+    ]
+    head = " | ".join(str(c).ljust(w) for c, w in zip(columns, widths))
+    sep = "-+-".join("-" * w for w in widths)
+    body = [
+        " | ".join(_fmt(cell, w).strip().rjust(w) for cell, w in zip(row, widths))
+        for row in rows
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def _render_bars(result: dict) -> str:
+    chunks = []
+    show_max = result.get("metric") == "mean+max"
+    for panel in result["panels"]:
+        columns = ["algorithm", "mean ratio", "stderr"]
+        if show_max:
+            columns.insert(2, "max ratio")
+        rows = []
+        for s in panel["series"]:
+            row = [s["key"], round(s["mean"], 3)]
+            if show_max:
+                row.append(round(s["max"], 3))
+            row.append(round(s["stderr"], 4))
+            rows.append(row)
+        chunks.append(f"{panel['label']}\n{_table(columns, rows)}")
+    return "\n\n".join(chunks)
+
+
+def _render_lines(result: dict) -> str:
+    chunks = []
+    for panel in result["panels"]:
+        keys = list(panel["series"])
+        columns = [panel.get("x_label", "x"), *keys]
+        rows = [
+            [x, *(round(panel["series"][k][i], 3) for k in keys)]
+            for i, x in enumerate(panel["x"])
+        ]
+        chunks.append(f"{panel['label']}\n{_table(columns, rows)}")
+    return "\n\n".join(chunks)
+
+
+def render_result(result: dict) -> str:
+    """Render one experiment result dict as an ASCII report."""
+    header = (
+        f"== {result['figure']}: {result['title']} ==\n"
+        f"config: {result.get('config', {})}"
+    )
+    kind = result.get("kind")
+    if kind == "bars":
+        body = _render_bars(result)
+    elif kind == "lines":
+        body = _render_lines(result)
+    elif kind == "table":
+        body = _table(result["columns"], result["rows"])
+    else:
+        raise ConfigurationError(f"unknown result kind {kind!r}")
+    return f"{header}\n\n{body}\n"
+
+
+def render_bar_chart(result: dict, width: int = 48) -> str:
+    """Horizontal ASCII bar chart of a ``bars`` result — the closest a
+    terminal gets to the paper's figures.
+
+    Bars are scaled per chart across all panels (shared axis, like the
+    paper), labelled with their mean values.
+    """
+    if result.get("kind") != "bars":
+        raise ConfigurationError("render_bar_chart needs a 'bars' result")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+    peak = max(
+        s["mean"] for panel in result["panels"] for s in panel["series"]
+    )
+    if peak <= 0:
+        raise ConfigurationError("nothing to draw: all means are <= 0")
+    key_w = max(
+        len(s["key"]) for panel in result["panels"] for s in panel["series"]
+    )
+    chunks = [f"{result['figure']}: {result['title']}"]
+    for panel in result["panels"]:
+        lines = [panel["label"]]
+        for s in panel["series"]:
+            n_blocks = int(round(s["mean"] / peak * width))
+            lines.append(
+                f"  {s['key']:{key_w}s} |{'#' * n_blocks:{width}s}| "
+                f"{s['mean']:.3f}"
+            )
+        chunks.append("\n".join(lines))
+    return "\n\n".join(chunks) + "\n"
+
+
+def _md_table(columns: list, rows: list[list]) -> str:
+    head = "| " + " | ".join(str(c) for c in columns) + " |"
+    sep = "|" + "|".join("---" for _ in columns) + "|"
+    body = [
+        "| " + " | ".join(_fmt(cell).strip() for cell in row) + " |"
+        for row in rows
+    ]
+    return "\n".join([head, sep, *body])
+
+
+def render_markdown(result: dict) -> str:
+    """Render one experiment result dict as GitHub-flavoured markdown.
+
+    Used to regenerate the tables embedded in EXPERIMENTS.md from saved
+    JSON results.
+    """
+    parts = [f"### {result['figure']} — {result['title']}", ""]
+    kind = result.get("kind")
+    if kind == "bars":
+        show_max = result.get("metric") == "mean+max"
+        for panel in result["panels"]:
+            columns = ["algorithm", "mean ratio"]
+            if show_max:
+                columns.append("max ratio")
+            columns.append("stderr")
+            rows = []
+            for s in panel["series"]:
+                row = [s["key"], round(s["mean"], 3)]
+                if show_max:
+                    row.append(round(s["max"], 3))
+                row.append(round(s["stderr"], 4))
+                rows.append(row)
+            parts += [f"**{panel['label']}**", "", _md_table(columns, rows), ""]
+    elif kind == "lines":
+        for panel in result["panels"]:
+            keys = list(panel["series"])
+            columns = [panel.get("x_label", "x"), *keys]
+            rows = [
+                [x, *(round(panel["series"][k][i], 3) for k in keys)]
+                for i, x in enumerate(panel["x"])
+            ]
+            parts += [f"**{panel['label']}**", "", _md_table(columns, rows), ""]
+    elif kind == "table":
+        parts += [_md_table(result["columns"], result["rows"]), ""]
+    else:
+        raise ConfigurationError(f"unknown result kind {kind!r}")
+    return "\n".join(parts)

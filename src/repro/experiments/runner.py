@@ -1,0 +1,106 @@
+"""Generic paired-comparison executor for the experiment harness.
+
+:func:`run_comparison` is the primitive every figure builds on: sample
+``n_instances`` (job, system) pairs from a workload cell and run a list
+of algorithms on *the same* instances, returning per-algorithm summary
+statistics of the completion-time ratio ``T(J) / L(J)``.
+
+Seeding: instance ``i`` of a comparison draws its job/system from
+``SeedSequence([seed, i])`` and hands schedulers an independent
+generator from the same sequence, so
+
+* re-running with the same seed reproduces results bit-for-bit, and
+* algorithms are compared on identical instances (paired design),
+  which shrinks the variance of between-algorithm differences far
+  below the paper's 5000-instance unpaired design at a fraction of
+  the compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.preemptive import simulate_preemptive
+from repro.workloads.generator import sample_instance
+from repro.workloads.params import WorkloadSpec
+
+__all__ = ["SeriesStats", "run_comparison"]
+
+
+@dataclass(frozen=True)
+class SeriesStats:
+    """Summary of one algorithm's completion-time ratios over a cell."""
+
+    key: str
+    mean: float
+    maximum: float
+    std: float
+    stderr: float
+    n: int
+
+    def to_dict(self) -> dict:
+        """Plain-dict form for JSON persistence."""
+        return {
+            "key": self.key,
+            "mean": self.mean,
+            "max": self.maximum,
+            "std": self.std,
+            "stderr": self.stderr,
+            "n": self.n,
+        }
+
+
+def run_comparison(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    n_instances: int,
+    seed: int,
+    preemptive: bool = False,
+    quantum: float = 1.0,
+) -> list[SeriesStats]:
+    """Run ``algorithms`` over ``n_instances`` shared instances of ``spec``.
+
+    Returns one :class:`SeriesStats` per algorithm, in input order.
+    ``preemptive`` selects the engine; keys are suffixed with ``" (P)"``
+    in that case so mixed comparisons stay unambiguous.
+    """
+    if n_instances < 1:
+        raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
+    ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
+    for i in range(n_instances):
+        ss = np.random.SeedSequence([seed, i])
+        inst_rng, *alg_seeds = ss.spawn(1 + len(algorithms))
+        job, system = sample_instance(spec, np.random.default_rng(inst_rng))
+        for a, name in enumerate(algorithms):
+            scheduler = make_scheduler(name)
+            alg_rng = np.random.default_rng(alg_seeds[a])
+            if preemptive:
+                result = simulate_preemptive(
+                    job, system, scheduler, rng=alg_rng, quantum=quantum
+                )
+            else:
+                result = simulate(job, system, scheduler, rng=alg_rng)
+            ratios[a, i] = result.completion_time_ratio()
+
+    out: list[SeriesStats] = []
+    suffix = " (P)" if preemptive else ""
+    for a, name in enumerate(algorithms):
+        row = ratios[a]
+        std = float(row.std(ddof=1)) if n_instances > 1 else 0.0
+        out.append(
+            SeriesStats(
+                key=f"{name}{suffix}",
+                mean=float(row.mean()),
+                maximum=float(row.max()),
+                std=std,
+                stderr=std / float(np.sqrt(n_instances)),
+                n=n_instances,
+            )
+        )
+    return out

@@ -1,0 +1,29 @@
+"""JSON persistence for experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import ConfigurationError
+
+__all__ = ["save_result", "load_result"]
+
+
+def save_result(result: dict, directory: str | Path) -> Path:
+    """Write ``result`` to ``<directory>/<figure>.json``; returns the path."""
+    if "figure" not in result:
+        raise ConfigurationError("result dict has no 'figure' key")
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result['figure']}.json"
+    path.write_text(json.dumps(result, indent=2, sort_keys=True))
+    return path
+
+
+def load_result(path: str | Path) -> dict:
+    """Load a result dict previously written by :func:`save_result`."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigurationError(f"no result file at {path}")
+    return json.loads(path.read_text())

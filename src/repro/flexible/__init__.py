@@ -1,0 +1,36 @@
+"""Flexible-type scheduling: the paper's Section-VII open problem.
+
+In the K-DAG model every task has one fixed resource type — "a compiled
+binary ... can only be executed on its matching architecture".  The
+paper closes by observing that Just-In-Time compilation relaxes this:
+a task may be compiled for *several* types at run time, possibly with
+different execution costs, and the scheduler must now also pick the
+type.
+
+This subpackage implements that extended model as a working system:
+
+* :class:`~repro.flexible.job.FlexDag` — a DAG whose tasks carry a
+  per-type work vector (``inf`` marks forbidden types);
+* :func:`~repro.flexible.engine.simulate_flexible` — the event-driven
+  engine extended with type selection;
+* two schedulers: :class:`~repro.flexible.schedulers.FlexGreedy`
+  (earliest-finish greedy, the natural KGreedy generalization) and
+  :class:`~repro.flexible.schedulers.FlexMQB` (balance-aware: chooses
+  (task, type) pairs that keep the per-type backlogs level, MQB's idea
+  lifted to the flexible model);
+* :func:`~repro.flexible.job.flexible_lower_bound` — the makespan
+  bounds the completion-time ratios are measured against.
+"""
+
+from repro.flexible.job import FlexDag, flexible_lower_bound
+from repro.flexible.engine import simulate_flexible
+from repro.flexible.schedulers import FlexGreedy, FlexMQB, FlexScheduler
+
+__all__ = [
+    "FlexDag",
+    "flexible_lower_bound",
+    "simulate_flexible",
+    "FlexScheduler",
+    "FlexGreedy",
+    "FlexMQB",
+]

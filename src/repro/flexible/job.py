@@ -1,0 +1,163 @@
+"""Flexible-type job model: per-type work vectors.
+
+A :class:`FlexDag` generalizes :class:`~repro.core.kdag.KDag`: instead
+of one ``(type, work)`` pair, every task carries a length-``K`` work
+vector ``W[v, alpha]`` — the execution time if compiled for type
+``alpha``, or ``inf`` if that type cannot run it.  A K-DAG is the
+special case where each row has exactly one finite entry.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import GraphError, ResourceError
+
+__all__ = ["FlexDag", "flexible_lower_bound"]
+
+
+class FlexDag:
+    """A DAG of flexible-type tasks.
+
+    Parameters
+    ----------
+    work:
+        ``(n, K)`` array; ``work[v, alpha]`` is v's execution time on an
+        ``alpha``-processor, ``inf`` where forbidden.  Every task needs
+        at least one finite, positive entry.
+    edges:
+        Precedence pairs, as for :class:`KDag`.
+
+    The precedence structure is delegated to an internal :class:`KDag`
+    (built with placeholder types), so all core graph machinery —
+    topological order, adjacency, reachability — is reused.
+    """
+
+    def __init__(
+        self,
+        work: np.ndarray | Sequence[Sequence[float]],
+        edges: Iterable[tuple[int, int]] = (),
+    ) -> None:
+        w = np.asarray(work, dtype=np.float64)
+        if w.ndim != 2 or w.shape[0] < 1 or w.shape[1] < 1:
+            raise GraphError(f"work must be (n, K) with n,K >= 1, got {w.shape}")
+        if np.any(np.isnan(w)):
+            raise GraphError("work entries must be positive or +inf, not NaN")
+        finite = np.isfinite(w)
+        if np.any(w[finite] <= 0):
+            raise GraphError("finite work entries must be positive")
+        if not finite.any(axis=1).all():
+            bad = int(np.flatnonzero(~finite.any(axis=1))[0])
+            raise GraphError(f"task {bad} has no permitted type")
+        self._work = w
+        self._work.setflags(write=False)
+        # Structural backbone: types are placeholders (cheapest type),
+        # the graph algorithms never read them.
+        self._graph = KDag(
+            types=np.argmin(np.where(finite, w, np.inf), axis=1),
+            work=np.min(np.where(finite, w, np.inf), axis=1),
+            edges=edges,
+            num_types=w.shape[1],
+        )
+
+    # -- delegation --------------------------------------------------
+    @property
+    def n_tasks(self) -> int:
+        """Number of tasks."""
+        return self._graph.n_tasks
+
+    @property
+    def num_types(self) -> int:
+        """Number of resource types K."""
+        return self._work.shape[1]
+
+    @property
+    def work(self) -> np.ndarray:
+        """The ``(n, K)`` work matrix (read-only)."""
+        return self._work
+
+    @property
+    def edges(self) -> np.ndarray:
+        """Precedence pairs."""
+        return self._graph.edges
+
+    @property
+    def graph(self) -> KDag:
+        """The structural backbone (min-work typed K-DAG)."""
+        return self._graph
+
+    def permitted(self, v: int) -> np.ndarray:
+        """Types task ``v`` may run on (ascending)."""
+        return np.flatnonzero(np.isfinite(self._work[v]))
+
+    def min_work(self, v: int) -> float:
+        """Fastest execution time of task ``v`` over permitted types."""
+        return float(np.nanmin(np.where(np.isfinite(self._work[v]),
+                                        self._work[v], np.nan)))
+
+    def children(self, v: int) -> np.ndarray:
+        return self._graph.children(v)
+
+    def parents(self, v: int) -> np.ndarray:
+        return self._graph.parents(v)
+
+    def in_degrees(self) -> np.ndarray:
+        return self._graph.in_degrees()
+
+    def sources(self) -> np.ndarray:
+        return self._graph.sources()
+
+    @classmethod
+    def from_kdag(cls, job: KDag, flexibility: float = 0.0,
+                  rng: np.random.Generator | None = None,
+                  penalty: float = 1.5) -> "FlexDag":
+        """Lift a fixed-type K-DAG into the flexible model.
+
+        Each task keeps its native type at its native work; with
+        probability ``flexibility`` a task additionally permits every
+        other type at ``penalty`` times its native work (a JIT-compiled
+        fallback binary that is slower than the tuned native one).
+        """
+        if not 0.0 <= flexibility <= 1.0:
+            raise GraphError(f"flexibility must be in [0, 1], got {flexibility}")
+        if penalty <= 0:
+            raise GraphError(f"penalty must be positive, got {penalty}")
+        if flexibility > 0 and rng is None:
+            raise GraphError("flexibility > 0 requires an rng")
+        n, k = job.n_tasks, job.num_types
+        w = np.full((n, k), np.inf)
+        w[np.arange(n), job.types] = job.work
+        if flexibility > 0:
+            assert rng is not None
+            flex_mask = rng.random(n) < flexibility
+            for v in np.flatnonzero(flex_mask):
+                native = job.work[v]
+                w[v, :] = penalty * native
+                w[v, job.types[v]] = native
+        return cls(w, [tuple(e) for e in job.edges])
+
+
+def flexible_lower_bound(
+    job: FlexDag, processors: Sequence[int] | np.ndarray
+) -> float:
+    """A valid makespan lower bound for the flexible model.
+
+    ``max( span_min , total_min_work / total_processors )`` where
+    ``span_min`` uses each task's fastest permitted time (no schedule
+    can beat the fastest binary on the critical chain) and the second
+    term says the total fastest-possible work must fit on the combined
+    processor pool.  Looser than the K-DAG bound ``L(J)`` — type
+    restrictions can force worse — but always sound, which is what a
+    completion-time-ratio denominator must be.
+    """
+    procs = np.asarray(processors, dtype=np.int64)
+    if procs.shape != (job.num_types,) or np.any(procs < 1):
+        raise ResourceError(f"invalid processor counts {processors!r}")
+    from repro.core.properties import span
+
+    span_min = span(job.graph)  # backbone uses min work per task
+    min_work = np.min(np.where(np.isfinite(job.work), job.work, np.inf), axis=1)
+    return float(max(span_min, min_work.sum() / procs.sum()))

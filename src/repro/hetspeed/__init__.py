@@ -1,0 +1,29 @@
+"""Performance heterogeneity: per-processor speeds within each type.
+
+The paper's introduction distinguishes two heterogeneity axes and
+studies only the second:
+
+* *performance heterogeneity* — any processor can run any task, just
+  at different speeds (the uniformly-related-machines literature);
+* *functional heterogeneity* — typed processors, typed tasks (the
+  K-DAG model).
+
+Real clusters mix both: a server class (functional type) contains
+machine generations of different speeds.  This subpackage composes the
+two — a K-DAG on typed pools whose processors have individual speeds:
+
+* :class:`~repro.hetspeed.config.SpeedSystem` — per-type tuples of
+  processor speeds;
+* :func:`~repro.hetspeed.engine.simulate_speeds` — the event-driven
+  engine with fastest-free-processor dispatch; any
+  :class:`~repro.schedulers.base.Scheduler` plugs in unchanged (the
+  policy picks tasks, the engine picks processors);
+* :func:`~repro.hetspeed.config.speed_lower_bound` — the composed
+  lower bound ``max(speed-aware span, max_a T1(J,a)/S_a)`` where
+  ``S_a`` is type-``a``'s total speed.
+"""
+
+from repro.hetspeed.config import SpeedSystem, speed_lower_bound
+from repro.hetspeed.engine import SpeedResult, simulate_speeds
+
+__all__ = ["SpeedSystem", "speed_lower_bound", "simulate_speeds", "SpeedResult"]

@@ -1,0 +1,119 @@
+"""Speed-annotated systems and their makespan lower bound."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ResourceError
+from repro.system.resources import ResourceConfig
+
+__all__ = ["SpeedSystem", "speed_lower_bound"]
+
+
+@dataclass(frozen=True)
+class SpeedSystem:
+    """Per-type tuples of processor speeds.
+
+    ``speeds[alpha][i]`` is the speed of type-``alpha``'s processor
+    ``i``: a task of work ``w`` takes ``w / speed`` on it.  The plain
+    K-DAG model is the special case of all speeds 1.
+    """
+
+    speeds: tuple[tuple[float, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.speeds:
+            raise ResourceError("a system needs at least one resource type")
+        norm = []
+        for alpha, pool in enumerate(self.speeds):
+            pool = tuple(float(s) for s in pool)
+            if not pool:
+                raise ResourceError(f"type {alpha} has no processors")
+            if any(not np.isfinite(s) or s <= 0 for s in pool):
+                raise ResourceError(
+                    f"type {alpha} has a non-positive/non-finite speed"
+                )
+            # Descending order: the engine dispatches fastest-free-first
+            # and identifies processors by index.
+            norm.append(tuple(sorted(pool, reverse=True)))
+        object.__setattr__(self, "speeds", tuple(norm))
+
+    @property
+    def num_types(self) -> int:
+        """Number of resource types K."""
+        return len(self.speeds)
+
+    @property
+    def counts(self) -> tuple[int, ...]:
+        """Processor counts per type."""
+        return tuple(len(pool) for pool in self.speeds)
+
+    def total_speed(self, alpha: int) -> float:
+        """Aggregate speed ``S_alpha`` of type ``alpha``'s pool."""
+        return float(sum(self.speeds[alpha]))
+
+    def max_speed(self, alpha: int) -> float:
+        """Fastest processor speed of type ``alpha``."""
+        return float(self.speeds[alpha][0])
+
+    def as_resource_config(self) -> ResourceConfig:
+        """The counts-only view (drops speeds)."""
+        return ResourceConfig(self.counts)
+
+    @classmethod
+    def uniform(cls, counts: Sequence[int], speed: float = 1.0) -> "SpeedSystem":
+        """All processors at one speed — the plain K-DAG system."""
+        return cls(tuple((float(speed),) * int(c) for c in counts))
+
+    @classmethod
+    def sample(
+        cls,
+        counts: Sequence[int],
+        rng: np.random.Generator,
+        speed_range: tuple[float, float] = (0.5, 2.0),
+    ) -> "SpeedSystem":
+        """Uniformly random speeds per processor within ``speed_range``."""
+        lo, hi = speed_range
+        if not (0 < lo <= hi) or not np.isfinite(hi):
+            raise ResourceError(f"invalid speed_range {speed_range}")
+        return cls(
+            tuple(
+                tuple(float(s) for s in rng.uniform(lo, hi, int(c)))
+                for c in counts
+            )
+        )
+
+
+def speed_lower_bound(job: KDag, system: SpeedSystem) -> float:
+    """Makespan lower bound on a speed-heterogeneous FHS.
+
+    ``max( speed-aware span , max_alpha T1(J, alpha) / S_alpha )``:
+    the critical path can at best run every task on its type's fastest
+    processor, and type ``alpha``'s work can at best spread over the
+    pool's total speed.
+    """
+    if job.num_types != system.num_types:
+        raise ResourceError("job and system disagree on K")
+    fastest = np.array([system.max_speed(a) for a in range(system.num_types)])
+    scaled = job.work / fastest[job.types]
+    # Speed-aware bottom levels (same sweep as core.properties).
+    bottom = scaled.copy()
+    for v in job.topological_order[::-1]:
+        vi = int(v)
+        best = 0.0
+        for c in job.children(vi):
+            if bottom[c] > best:
+                best = float(bottom[c])
+        bottom[vi] += best
+    span_term = float(bottom.max())
+    from repro.core.properties import type_work
+
+    tw = type_work(job)
+    work_term = max(
+        float(tw[a]) / system.total_speed(a) for a in range(system.num_types)
+    )
+    return max(span_term, work_term)

@@ -1,0 +1,148 @@
+"""Event-driven engine for speed-heterogeneous typed pools.
+
+Identical decision protocol to :func:`repro.sim.engine.simulate`; the
+one new mechanism is processor dispatch: the engine always places a
+started task on the *fastest free* processor of its type.  (Within the
+non-preemptive, policy-picks-tasks protocol this is the canonical
+rule — any schedule that puts a task on a slower free processor can be
+improved by swapping, because pools are type-dedicated and speeds only
+scale durations.)
+
+Schedulers are reused unchanged; they are prepared against the
+counts-only :class:`~repro.system.resources.ResourceConfig` view.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import SchedulingError
+from repro.hetspeed.config import SpeedSystem, speed_lower_bound
+from repro.schedulers.base import Scheduler
+from repro.sim.trace import ScheduleTrace
+
+__all__ = ["SpeedResult", "simulate_speeds"]
+
+
+@dataclass(frozen=True)
+class SpeedResult:
+    """Outcome of one speed-heterogeneous simulation."""
+
+    makespan: float
+    scheduler: str
+    job: KDag
+    system: SpeedSystem
+    trace: ScheduleTrace | None = None
+
+    def lower_bound(self) -> float:
+        """The composed bound of :func:`speed_lower_bound`."""
+        return speed_lower_bound(self.job, self.system)
+
+    def completion_time_ratio(self) -> float:
+        """Makespan over the speed-aware lower bound."""
+        return self.makespan / self.lower_bound()
+
+
+def simulate_speeds(
+    job: KDag,
+    system: SpeedSystem,
+    scheduler: Scheduler,
+    rng: np.random.Generator | None = None,
+    record_trace: bool = False,
+) -> SpeedResult:
+    """Run ``scheduler`` on ``job`` over speed-annotated pools."""
+    scheduler.prepare(job, system.as_resource_config(), rng)
+    k = job.num_types
+    n = job.n_tasks
+    types = job.types
+    work = job.work
+
+    indeg = job.in_degrees()
+    state = np.zeros(n, dtype=np.int8)
+    free = list(system.counts)
+    # Free processors per type as max-heaps on speed: (-speed, index).
+    free_procs: list[list[tuple[float, int]]] = [
+        [(-s, i) for i, s in enumerate(pool)] for pool in system.speeds
+    ]
+    for heap in free_procs:
+        heapq.heapify(heap)
+    trace = ScheduleTrace() if record_trace else None
+
+    events: list[tuple[float, int, int, int]] = []
+    seq = 0
+    completed = 0
+    now = 0.0
+    makespan = 0.0
+    n_ready = 0
+
+    for v in job.sources():
+        vi = int(v)
+        state[vi] = 1
+        n_ready += 1
+        scheduler.task_ready(vi, now, float(work[vi]))
+
+    while completed < n:
+        if n_ready and any(free[a] and scheduler.pending(a) for a in range(k)):
+            chosen = scheduler.assign(free, now)
+            counts = [0] * k
+            for task in chosen:
+                if state[task] != 1:
+                    raise SchedulingError(
+                        f"{scheduler.name} started task {task} in state "
+                        f"{int(state[task])}"
+                    )
+                alpha = int(types[task])
+                counts[alpha] += 1
+                if counts[alpha] > free[alpha]:
+                    raise SchedulingError(
+                        f"{scheduler.name} oversubscribed type {alpha}"
+                    )
+                state[task] = 2
+                n_ready -= 1
+                neg_speed, proc = heapq.heappop(free_procs[alpha])
+                duration = float(work[task]) / -neg_speed
+                finish = now + duration
+                heapq.heappush(events, (finish, seq, task, proc))
+                seq += 1
+                if trace is not None:
+                    trace.add(task, alpha, proc, now, finish)
+            for alpha, c in enumerate(counts):
+                free[alpha] -= c
+
+        if not events:
+            raise SchedulingError(
+                f"{scheduler.name} stalled at t={now}: "
+                f"{n - completed} unfinished"
+            )
+
+        now = events[0][0]
+        while events and events[0][0] == now:
+            _, _, task, proc = heapq.heappop(events)
+            alpha = int(types[task])
+            state[task] = 3
+            completed += 1
+            free[alpha] += 1
+            heapq.heappush(
+                free_procs[alpha], (-system.speeds[alpha][proc], proc)
+            )
+            makespan = now
+            scheduler.task_finished(task, now)
+            for c in job.children(task):
+                ci = int(c)
+                indeg[ci] -= 1
+                if indeg[ci] == 0:
+                    state[ci] = 1
+                    n_ready += 1
+                    scheduler.task_ready(ci, now, float(work[ci]))
+
+    return SpeedResult(
+        makespan=makespan,
+        scheduler=scheduler.name,
+        job=job,
+        system=system,
+        trace=trace,
+    )

@@ -1,0 +1,43 @@
+"""Multi-job scheduling: streams of K-DAG jobs sharing one FHS.
+
+The paper schedules one job at a time, but its motivating system
+(Cosmos) runs "over a thousand jobs" a day on shared server classes.
+This subpackage extends the model to a *stream* of K-DAG jobs with
+arrival times:
+
+* :class:`~repro.multijob.arrival.JobStream` — jobs plus arrival
+  times; :func:`~repro.multijob.arrival.poisson_stream` samples
+  Poisson arrivals over a workload cell;
+* :func:`~repro.multijob.engine.simulate_stream` — event-driven
+  engine handling arrivals and completions;
+* policies in :mod:`repro.multijob.schedulers`:
+  ``GlobalKGreedy`` (one FIFO pool per type, job-blind),
+  ``JobFCFS`` (strict arrival-order priority between jobs),
+  ``SmallestRemainingFirst`` (SRPT-style: jobs with the least
+  remaining total work first), and ``GlobalMQB`` (MQB balancing over
+  the union of all jobs' ready queues);
+* metrics: per-job completion/flow times, mean flow time, stream
+  makespan.
+"""
+
+from repro.multijob.arrival import JobStream, poisson_stream
+from repro.multijob.engine import StreamResult, simulate_stream
+from repro.multijob.schedulers import (
+    GlobalKGreedy,
+    GlobalMQB,
+    JobFCFS,
+    SmallestRemainingFirst,
+    StreamScheduler,
+)
+
+__all__ = [
+    "JobStream",
+    "poisson_stream",
+    "simulate_stream",
+    "StreamResult",
+    "StreamScheduler",
+    "GlobalKGreedy",
+    "JobFCFS",
+    "SmallestRemainingFirst",
+    "GlobalMQB",
+]

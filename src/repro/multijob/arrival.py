@@ -1,0 +1,75 @@
+"""Job streams: K-DAG jobs with arrival times."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError
+from repro.workloads.generator import sample_job
+from repro.workloads.params import WorkloadSpec
+
+__all__ = ["JobStream", "poisson_stream"]
+
+
+@dataclass(frozen=True)
+class JobStream:
+    """A sequence of jobs and their (non-decreasing) arrival times.
+
+    All jobs must agree on ``K`` — they share one system.
+    """
+
+    jobs: tuple[KDag, ...]
+    arrivals: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.jobs:
+            raise ConfigurationError("a stream needs at least one job")
+        if len(self.jobs) != len(self.arrivals):
+            raise ConfigurationError(
+                f"{len(self.jobs)} jobs vs {len(self.arrivals)} arrival times"
+            )
+        if any(t < 0 for t in self.arrivals):
+            raise ConfigurationError("arrival times must be non-negative")
+        if any(b < a for a, b in zip(self.arrivals, self.arrivals[1:])):
+            raise ConfigurationError("arrival times must be non-decreasing")
+        k = self.jobs[0].num_types
+        if any(j.num_types != k for j in self.jobs):
+            raise ConfigurationError("all jobs in a stream must share K")
+
+    @property
+    def num_types(self) -> int:
+        """The shared K of the stream."""
+        return self.jobs[0].num_types
+
+    def __len__(self) -> int:
+        return len(self.jobs)
+
+    def total_work(self) -> float:
+        """Sum of all jobs' work."""
+        return float(sum(j.work.sum() for j in self.jobs))
+
+
+def poisson_stream(
+    spec: WorkloadSpec,
+    n_jobs: int,
+    mean_interarrival: float,
+    rng: np.random.Generator,
+) -> JobStream:
+    """Sample ``n_jobs`` jobs from a cell with Poisson arrivals.
+
+    The first job arrives at time 0 (there is no point simulating an
+    empty prefix); subsequent gaps are exponential with the given mean.
+    """
+    if n_jobs < 1:
+        raise ConfigurationError(f"n_jobs must be >= 1, got {n_jobs}")
+    if mean_interarrival < 0:
+        raise ConfigurationError(
+            f"mean_interarrival must be >= 0, got {mean_interarrival}"
+        )
+    jobs = tuple(sample_job(spec, rng) for _ in range(n_jobs))
+    gaps = rng.exponential(mean_interarrival, size=n_jobs - 1)
+    arrivals = (0.0, *np.cumsum(gaps).tolist())
+    return JobStream(jobs=jobs, arrivals=arrivals)

@@ -1,0 +1,249 @@
+"""Scheduling policies for job streams.
+
+All four policies are work conserving; they differ in how they order
+the union of all arrived jobs' ready tasks within each type's pool:
+
+* :class:`GlobalKGreedy` — job-blind FIFO, the stream analogue of
+  KGreedy and the natural "online" baseline.
+* :class:`JobFCFS` — strict job seniority: every ready task of an
+  earlier-arrived job precedes any task of a later one.  Classic
+  cluster behaviour; minimizes interleaving between jobs.
+* :class:`SmallestRemainingFirst` — SRPT-flavoured: tasks of the job
+  with the least *remaining total work* first; the standard mean-flow-
+  time heuristic, here generalized to typed DAG jobs.
+* :class:`GlobalMQB` — the paper's utilization balancing applied to
+  the union of ready queues: per-job typed descendant values are
+  computed at arrival, and each pick maximizes the lexicographic
+  x-utilization balance exactly as in single-job MQB.
+"""
+
+from __future__ import annotations
+
+import heapq
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.descendants import descendant_values
+from repro.core.kdag import KDag
+from repro.errors import SchedulingError
+from repro.multijob.arrival import JobStream
+from repro.system.resources import ResourceConfig
+
+__all__ = [
+    "StreamScheduler",
+    "GlobalKGreedy",
+    "JobFCFS",
+    "SmallestRemainingFirst",
+    "GlobalMQB",
+]
+
+
+class StreamScheduler(ABC):
+    """Policy interface for :func:`repro.multijob.engine.simulate_stream`."""
+
+    name: str = "stream-abstract"
+
+    def __init__(self) -> None:
+        self._stream: JobStream | None = None
+        self._resources: ResourceConfig | None = None
+
+    def prepare(
+        self,
+        stream: JobStream,
+        resources: ResourceConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        """Reset state for a fresh run."""
+        if stream.num_types != resources.num_types:
+            raise SchedulingError("stream and system disagree on K")
+        self._stream = stream
+        self._resources = resources
+
+    @property
+    def stream(self) -> JobStream:
+        if self._stream is None:
+            raise SchedulingError("scheduler used before prepare()")
+        return self._stream
+
+    def job_arrived(self, jid: int, job: KDag, time: float) -> None:
+        """A new job entered the system (hook; default no-op)."""
+
+    @abstractmethod
+    def task_ready(self, jid: int, task: int, time: float) -> None:
+        """A task of job ``jid`` became ready."""
+
+    @abstractmethod
+    def pending(self, alpha: int) -> int:
+        """Queued ready tasks of type ``alpha`` across all jobs."""
+
+    @abstractmethod
+    def select(self, alpha: int, n_slots: int, time: float) -> list[tuple[int, int]]:
+        """Pop up to ``n_slots`` ``(jid, task)`` pairs of type ``alpha``."""
+
+    def task_finished(self, jid: int, task: int, time: float) -> None:
+        """Completion hook (default no-op)."""
+
+    def job_finished(self, jid: int, time: float) -> None:
+        """Whole-job completion hook (default no-op)."""
+
+
+class _HeapPolicy(StreamScheduler):
+    """Shared machinery: one heap per type, subclass supplies the key."""
+
+    def prepare(self, stream, resources, rng=None) -> None:
+        super().prepare(stream, resources, rng)
+        self._heaps: list[list[tuple]] = [[] for _ in range(stream.num_types)]
+        self._seq = 0
+
+    @abstractmethod
+    def _key(self, jid: int, task: int, time: float) -> tuple:
+        """Heap key; lower pops first (seq appended automatically)."""
+
+    def task_ready(self, jid: int, task: int, time: float) -> None:
+        alpha = int(self.stream.jobs[jid].types[task])
+        heapq.heappush(
+            self._heaps[alpha],
+            (*self._key(jid, task, time), self._seq, jid, task),
+        )
+        self._seq += 1
+
+    def pending(self, alpha: int) -> int:
+        return len(self._heaps[alpha])
+
+    def select(self, alpha, n_slots, time):
+        heap = self._heaps[alpha]
+        out = []
+        while heap and len(out) < n_slots:
+            *_, jid, task = heapq.heappop(heap)
+            out.append((jid, task))
+        return out
+
+
+class GlobalKGreedy(_HeapPolicy):
+    """Job-blind FIFO across the union of ready tasks."""
+
+    name = "global-kgreedy"
+
+    def _key(self, jid, task, time):
+        return ()
+
+
+class JobFCFS(_HeapPolicy):
+    """Strict job seniority (jobs are numbered in arrival order)."""
+
+    name = "job-fcfs"
+
+    def _key(self, jid, task, time):
+        return (jid,)
+
+
+class SmallestRemainingFirst(StreamScheduler):
+    """Tasks of the job with the least remaining total work first.
+
+    Remaining work is tracked exactly (decremented at completions), so
+    the priority is evaluated live at selection time rather than frozen
+    at enqueue.
+    """
+
+    name = "srpt"
+
+    def prepare(self, stream, resources, rng=None) -> None:
+        super().prepare(stream, resources, rng)
+        self._pools: list[dict[tuple[int, int], int]] = [
+            {} for _ in range(stream.num_types)
+        ]
+        self._remaining = [float(j.work.sum()) for j in stream.jobs]
+        self._seq = 0
+
+    def task_ready(self, jid, task, time):
+        alpha = int(self.stream.jobs[jid].types[task])
+        self._pools[alpha][(jid, task)] = self._seq
+        self._seq += 1
+
+    def pending(self, alpha):
+        return len(self._pools[alpha])
+
+    def select(self, alpha, n_slots, time):
+        pool = self._pools[alpha]
+        out = []
+        while pool and len(out) < n_slots:
+            key = min(
+                pool, key=lambda jt: (self._remaining[jt[0]], pool[jt])
+            )
+            del pool[key]
+            out.append(key)
+        return out
+
+    def task_finished(self, jid, task, time):
+        self._remaining[jid] -= float(self.stream.jobs[jid].work[task])
+
+
+class GlobalMQB(StreamScheduler):
+    """MQB balancing over all arrived jobs' ready queues.
+
+    Descendant values are per job (computed once at arrival) — a task's
+    descendants live in its own job — while the queue-work vector and
+    the balance comparison span the whole system, exactly the
+    single-job MQB rule applied to the union.
+    """
+
+    name = "global-mqb"
+
+    def prepare(self, stream, resources, rng=None) -> None:
+        super().prepare(stream, resources, rng)
+        self._pools: list[dict[tuple[int, int], int]] = [
+            {} for _ in range(stream.num_types)
+        ]
+        self._l = np.zeros(stream.num_types)
+        self._parr = resources.as_array().astype(np.float64)
+        self._d: dict[int, np.ndarray] = {}
+        self._seq = 0
+
+    def job_arrived(self, jid, job, time):
+        self._d[jid] = descendant_values(job)
+
+    def task_ready(self, jid, task, time):
+        job = self.stream.jobs[jid]
+        alpha = int(job.types[task])
+        self._pools[alpha][(jid, task)] = self._seq
+        self._seq += 1
+        self._l[alpha] += float(job.work[task])
+
+    def pending(self, alpha):
+        return len(self._pools[alpha])
+
+    def select(self, alpha, n_slots, time):
+        pool = self._pools[alpha]
+        out: list[tuple[int, int]] = []
+        extra = np.zeros(self.stream.num_types)
+        while pool and len(out) < n_slots:
+            if len(pool) <= n_slots - len(out):
+                batch = list(pool.keys())
+                for jid, task in batch:
+                    self._pop(alpha, jid, task)
+                    extra += self._d[jid][task]
+                out.extend(batch)
+                break
+            best = None
+            best_key = None
+            for (jid, task), seq in pool.items():
+                job = self.stream.jobs[jid]
+                hypo = self._l + extra + self._d[jid][task]
+                hypo[alpha] -= float(job.work[task])
+                key = (tuple(-x for x in np.sort(hypo / self._parr)), seq)
+                # Maximize sorted-ascending lexicographically ==
+                # minimize its negation.
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best = (jid, task)
+            assert best is not None
+            jid, task = best
+            self._pop(alpha, jid, task)
+            extra += self._d[jid][task]
+            out.append(best)
+        return out
+
+    def _pop(self, alpha: int, jid: int, task: int) -> None:
+        del self._pools[alpha][(jid, task)]
+        self._l[alpha] -= float(self.stream.jobs[jid].work[task])

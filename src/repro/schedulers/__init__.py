@@ -1,0 +1,58 @@
+"""Scheduling algorithms for K-DAG jobs.
+
+One online algorithm and five offline heuristics, exactly the lineup of
+the paper's evaluation (Sections III and IV):
+
+* :class:`~repro.schedulers.kgreedy.KGreedy` — per-type greedy list
+  scheduling, ``(K+1)``-competitive, uses no lookahead information.
+* :class:`~repro.schedulers.lspan.LSpan` — longest remaining span first.
+* :class:`~repro.schedulers.maxdp.MaxDP` — maximum descendant value first.
+* :class:`~repro.schedulers.dtype.DType` — smallest different-child
+  distance first.
+* :class:`~repro.schedulers.shiftbt.ShiftBT` — shifting bottleneck.
+* :class:`~repro.schedulers.mqb.MQB` — Multi-Queue Balancing (the
+  paper's contribution), with All/1Step × Precise/Exp/Noise
+  information variants.
+
+Use :func:`~repro.schedulers.registry.make_scheduler` to construct by
+name.
+"""
+
+from repro.schedulers.base import QueueScheduler, Scheduler
+from repro.schedulers.kgreedy import KGreedy
+from repro.schedulers.lspan import LSpan
+from repro.schedulers.maxdp import MaxDP
+from repro.schedulers.dtype import DType
+from repro.schedulers.shiftbt import ShiftBT
+from repro.schedulers.mqb import MQB
+from repro.schedulers.info import (
+    ExactInformation,
+    ExponentialInformation,
+    InformationModel,
+    NoisyInformation,
+)
+from repro.schedulers.optimal import optimal_makespan
+from repro.schedulers.registry import (
+    PAPER_ALGORITHMS,
+    available_schedulers,
+    make_scheduler,
+)
+
+__all__ = [
+    "Scheduler",
+    "QueueScheduler",
+    "KGreedy",
+    "LSpan",
+    "MaxDP",
+    "DType",
+    "ShiftBT",
+    "MQB",
+    "InformationModel",
+    "ExactInformation",
+    "ExponentialInformation",
+    "NoisyInformation",
+    "make_scheduler",
+    "available_schedulers",
+    "PAPER_ALGORITHMS",
+    "optimal_makespan",
+]

@@ -1,0 +1,34 @@
+"""DType: different-type-first (paper Section IV-B).
+
+When an ``alpha``-processor is free, start the ready ``alpha``-task with
+the *smallest different-child distance* — the hop distance to the
+nearest descendant whose type differs from the task's own.  Tasks that
+are close ancestors of other-type work get priority, feeding the other
+resource types as quickly as possible.  Tasks with no different-type
+descendant have distance ``+inf`` and are scheduled last.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.descendants import different_child_distance
+from repro.core.kdag import KDag
+from repro.schedulers.base import QueueScheduler
+
+__all__ = ["DType"]
+
+#: Finite stand-in for "no different-type descendant" so heap keys stay
+#: comparable floats; larger than any real hop distance (a DAG path has
+#: at most n-1 hops and jobs here are far below this).
+_NO_OTHER_TYPE = 1e18
+
+
+class DType(QueueScheduler):
+    """Smallest-different-child-distance-first offline heuristic."""
+
+    name = "dtype"
+
+    def priorities(self, job: KDag) -> np.ndarray:
+        dist = different_child_distance(job)
+        return np.where(np.isfinite(dist), dist, _NO_OTHER_TYPE)

@@ -1,0 +1,125 @@
+"""Information models: what MQB believes about descendant workloads.
+
+Paper Section V-G studies MQB under *approximated* offline information,
+crossing two axes:
+
+* **Scope** — ``All`` (full recursive descendant values) versus
+  ``1Step`` (immediate children only).
+* **Precision** — ``Pre`` (exact values), ``Exp`` (each value replaced
+  by an exponential random variable whose mean is the true value) and
+  ``Noise`` (true value times a uniform multiplicative factor in
+  [0.5, 1.5], plus an additive uniform term in [0, mean task work]).
+
+An :class:`InformationModel` turns a job into the ``(n_tasks, K)``
+descendant matrix MQB consumes; stochastic models draw fresh noise per
+``prepare`` from the run's generator, so repeated runs with the same
+seed reproduce exactly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.core.descendants import descendant_values, one_step_descendant_values
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "InformationModel",
+    "ExactInformation",
+    "ExponentialInformation",
+    "NoisyInformation",
+]
+
+
+class InformationModel(ABC):
+    """Produces MQB's typed descendant matrix for a job."""
+
+    #: Suffix used in scheduler registry names, e.g. ``all+pre``.
+    label: str = "abstract"
+
+    def __init__(self, one_step: bool = False) -> None:
+        self.one_step = bool(one_step)
+
+    def _true_values(self, job: KDag) -> np.ndarray:
+        if self.one_step:
+            return one_step_descendant_values(job)
+        return descendant_values(job)
+
+    @abstractmethod
+    def descendant_matrix(
+        self, job: KDag, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        """The ``(n_tasks, K)`` matrix of (possibly noisy) d-values."""
+
+    @property
+    def scope_label(self) -> str:
+        """``"1step"`` or ``"all"`` — the lookahead scope."""
+        return "1step" if self.one_step else "all"
+
+    def full_label(self) -> str:
+        """Combined scope+precision label, e.g. ``all+noise``."""
+        return f"{self.scope_label}+{self.label}"
+
+
+class ExactInformation(InformationModel):
+    """Precise descendant values (MQB+All+Pre / MQB+1Step+Pre)."""
+
+    label = "pre"
+
+    def descendant_matrix(
+        self, job: KDag, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        return self._true_values(job)
+
+
+class ExponentialInformation(InformationModel):
+    """Exponentially distributed estimates with the true value as mean.
+
+    Entries whose true value is zero stay exactly zero (an exponential
+    with mean 0 is degenerate at 0), so the noise never invents
+    descendant work of a type that has none.
+    """
+
+    label = "exp"
+
+    def descendant_matrix(
+        self, job: KDag, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        if rng is None:
+            raise ConfigurationError(
+                "ExponentialInformation needs an rng; pass one to simulate()"
+            )
+        true = self._true_values(job)
+        # Generator.exponential(scale=0) returns 0, preserving zeros.
+        return rng.exponential(scale=true)
+
+
+class NoisyInformation(InformationModel):
+    """Multiplicative + additive uniform noise (MQB+*+Noise).
+
+    ``d~ = d * U(0.5, 1.5) + U(0, w_avg)`` per (task, type) entry, where
+    ``w_avg`` is the job's mean task work — the paper's "average work of
+    the task".  Estimates can thus be up to ~2x off and strictly
+    positive even where the true value is 0.
+    """
+
+    label = "noise"
+
+    #: Multiplicative noise bounds from the paper.
+    MULT_RANGE = (0.5, 1.5)
+
+    def descendant_matrix(
+        self, job: KDag, rng: np.random.Generator | None
+    ) -> np.ndarray:
+        if rng is None:
+            raise ConfigurationError(
+                "NoisyInformation needs an rng; pass one to simulate()"
+            )
+        true = self._true_values(job)
+        lo, hi = self.MULT_RANGE
+        mult = rng.uniform(lo, hi, size=true.shape)
+        add = rng.uniform(0.0, float(job.work.mean()), size=true.shape)
+        return true * mult + add

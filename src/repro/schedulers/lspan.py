@@ -1,0 +1,30 @@
+"""LSpan: longest remaining span first (paper Section IV-B).
+
+A classic homogeneous heuristic (optimal for out-trees on homogeneous
+machines, Hu 1961) applied per type: when an ``alpha``-processor is
+free, start the ready ``alpha``-task with the longest *remaining span*
+— its own work plus the longest span among its children, i.e. the
+work-weighted longest path to a sink.
+
+Remaining spans are static properties of the DAG, so they are computed
+once in ``prepare`` and used as heap keys (negated: longest first).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.descendants import remaining_span
+from repro.core.kdag import KDag
+from repro.schedulers.base import QueueScheduler
+
+__all__ = ["LSpan"]
+
+
+class LSpan(QueueScheduler):
+    """Longest-remaining-span-first offline heuristic."""
+
+    name = "lspan"
+
+    def priorities(self, job: KDag) -> np.ndarray:
+        return -remaining_span(job)

@@ -1,0 +1,30 @@
+"""MaxDP: maximum descendants first (paper Section IV-B).
+
+When an ``alpha``-processor is free, start the ready ``alpha``-task with
+the largest *descendant value*.  The value uses the same parent-sharing
+recursion as MQB — a task ``u`` with ``pr(u)`` parents contributes
+``1/pr(u)`` of its own descendant value plus ``1/pr(u)`` of its own work
+to each parent — but, unlike MQB, it does **not** split by resource
+type, which is exactly why it misfires on layered EP workloads
+(observed in paper Fig. 4(d): knowing *how much* is downstream without
+knowing *which types* cannot balance utilization).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.descendants import untyped_descendant_values
+from repro.core.kdag import KDag
+from repro.schedulers.base import QueueScheduler
+
+__all__ = ["MaxDP"]
+
+
+class MaxDP(QueueScheduler):
+    """Maximum-(untyped)-descendant-value-first offline heuristic."""
+
+    name = "maxdp"
+
+    def priorities(self, job: KDag) -> np.ndarray:
+        return -untyped_descendant_values(job)

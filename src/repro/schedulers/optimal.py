@@ -1,0 +1,151 @@
+"""Exact optimal makespan for small unit-work K-DAGs.
+
+K-DAG makespan minimization is NP-hard (the paper evaluates against
+the lower bound ``L(J)`` for exactly that reason), but for *unit-work*
+jobs of modest size the optimum is computable: with unit tasks and
+dedicated per-type processor pools, every schedule is a sequence of
+unit steps, each step runs a per-type subset of the ready tasks, and
+the whole future depends only on *which tasks are done* — so optimal
+scheduling is a shortest-path search over done-bitmasks.
+
+An exchange argument shows work conservation is WLOG optimal here:
+processors are type-dedicated and tasks are unit, so adding a ready
+task to a step never delays anything else.  Hence each step runs, for
+every type, either all ready tasks of the type (if they fit) or some
+``P_alpha``-subset — only the latter branches.
+
+:func:`optimal_makespan` runs A* with the admissible heuristic
+``h = max(ceil-span, ceil per-type work / P)`` of the residual job.
+Practical to ~25 tasks with small branching; guarded by ``max_states``.
+
+Uses: verify the Theorem-2 construction's claimed optimum
+``T* = K - 1 + m P_K``; measure the true optimality gap of every
+heuristic on small instances (``benchmarks/test_optimality_gap.py``) —
+something the paper itself could not report.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import combinations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError
+from repro.system.resources import ResourceConfig
+
+__all__ = ["optimal_makespan"]
+
+#: Refuse jobs larger than this outright (state space is 2^n).
+MAX_TASKS = 26
+
+
+def _residual_lower_bound(
+    job: KDag, done: int, bottom: np.ndarray, procs: np.ndarray
+) -> int:
+    """Admissible steps-to-go: residual span and residual work / P."""
+    remaining = [v for v in range(job.n_tasks) if not done >> v & 1]
+    if not remaining:
+        return 0
+    rem = np.asarray(remaining)
+    span_lb = int(np.ceil(bottom[rem].max()))
+    counts = np.bincount(job.types[rem], minlength=job.num_types)
+    work_lb = int(np.ceil((counts / procs).max()))
+    return max(span_lb, work_lb)
+
+
+def optimal_makespan(
+    job: KDag,
+    resources: ResourceConfig,
+    max_states: int = 2_000_000,
+) -> int:
+    """Exact minimum makespan of a unit-work K-DAG, in steps.
+
+    Raises
+    ------
+    ConfigurationError
+        If the job has non-unit work, exceeds :data:`MAX_TASKS` tasks,
+        disagrees with the system on K, or the search exceeds
+        ``max_states`` expansions.
+    """
+    if job.num_types != resources.num_types:
+        raise ConfigurationError("job and system disagree on K")
+    if job.n_tasks > MAX_TASKS:
+        raise ConfigurationError(
+            f"{job.n_tasks} tasks exceeds the exact-search limit {MAX_TASKS}"
+        )
+    if not np.all(job.work == 1.0):
+        raise ConfigurationError("optimal_makespan requires unit-work tasks")
+
+    n = job.n_tasks
+    procs = resources.as_array()
+    types = job.types
+
+    # Parent masks: task v is ready when parents_mask[v] & done == mask.
+    parent_mask = np.zeros(n, dtype=np.int64)
+    for v in range(n):
+        for p in job.parents(v):
+            parent_mask[v] |= 1 << int(p)
+
+    from repro.core.properties import _bottom_levels
+
+    bottom = _bottom_levels(job)
+    goal = (1 << n) - 1
+
+    start_h = _residual_lower_bound(job, 0, bottom, procs)
+    open_heap: list[tuple[int, int, int]] = [(start_h, 0, 0)]  # (f, g, done)
+    best_g: dict[int, int] = {0: 0}
+    expanded = 0
+
+    while open_heap:
+        f, g, done = heapq.heappop(open_heap)
+        if done == goal:
+            return g
+        if g > best_g.get(done, 1 << 30):
+            continue
+        expanded += 1
+        if expanded > max_states:
+            raise ConfigurationError(
+                f"exact search exceeded {max_states} expansions"
+            )
+
+        ready_by_type: list[list[int]] = [[] for _ in range(job.num_types)]
+        for v in range(n):
+            if not done >> v & 1 and (parent_mask[v] & done) == parent_mask[v]:
+                ready_by_type[types[v]].append(v)
+
+        # Per-type choices: all ready tasks if they fit, else every
+        # P_alpha-subset (the only place the search branches).
+        per_type_choices: list[list[int]] = []
+        for alpha, ready in enumerate(ready_by_type):
+            cap = int(procs[alpha])
+            if len(ready) <= cap:
+                mask = 0
+                for v in ready:
+                    mask |= 1 << v
+                per_type_choices.append([mask])
+            else:
+                choices = []
+                for combo in combinations(ready, cap):
+                    mask = 0
+                    for v in combo:
+                        mask |= 1 << v
+                    choices.append(mask)
+                per_type_choices.append(choices)
+
+        step_masks = [0]
+        for choices in per_type_choices:
+            step_masks = [base | c for base in step_masks for c in choices]
+
+        for step in step_masks:
+            if step == 0:
+                continue  # deadlock state; unreachable in a valid DAG
+            nxt = done | step
+            ng = g + 1
+            if ng < best_g.get(nxt, 1 << 30):
+                best_g[nxt] = ng
+                h = _residual_lower_bound(job, nxt, bottom, procs)
+                heapq.heappush(open_heap, (ng + h, ng, nxt))
+
+    raise ConfigurationError("search exhausted without reaching the goal")

@@ -1,0 +1,64 @@
+"""Random scheduler: the uniform-choice control baseline.
+
+Picks uniformly at random among each type's ready tasks.  Not in the
+paper's lineup, but the natural control for its Fig.-4 observation
+that on *random* workloads "any best-effort algorithm would work just
+fine": if RandomChoice matches KGreedy there but trails every informed
+heuristic on layered workloads, the gaps measure information, not
+luck.  Online (reads no job structure) and seed-deterministic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import SchedulingError
+from repro.schedulers.base import Scheduler
+from repro.system.resources import ResourceConfig
+
+__all__ = ["RandomChoice"]
+
+
+class RandomChoice(Scheduler):
+    """Uniformly random selection among ready tasks (online control)."""
+
+    name = "random"
+    requires_offline = False
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._pools: list[list[int]] = []
+        self._rng: np.random.Generator | None = None
+
+    def prepare(
+        self,
+        job: KDag,
+        resources: ResourceConfig,
+        rng: np.random.Generator | None = None,
+    ) -> None:
+        super().prepare(job, resources, rng)
+        if rng is None:
+            raise SchedulingError(
+                "RandomChoice needs an rng; pass one to simulate()"
+            )
+        self._pools = [[] for _ in range(job.num_types)]
+        self._rng = rng
+
+    def task_ready(self, task: int, time: float, work: float) -> None:
+        self._pools[int(self.job.types[task])].append(task)
+
+    def pending(self, alpha: int) -> int:
+        return len(self._pools[alpha])
+
+    def select(self, alpha: int, n_slots: int, time: float) -> list[int]:
+        assert self._rng is not None
+        pool = self._pools[alpha]
+        take = min(n_slots, len(pool))
+        picked_idx = self._rng.choice(len(pool), size=take, replace=False)
+        # Remove by index, highest first, so earlier indices stay valid.
+        out = [pool[int(i)] for i in picked_idx]
+        for i in sorted((int(i) for i in picked_idx), reverse=True):
+            pool[i] = pool[-1]
+            pool.pop()
+        return out

@@ -1,0 +1,129 @@
+"""Serialization of jobs, traces and results.
+
+JSON round-tripping for everything a simulation consumes or produces,
+so runs can be archived, diffed and replayed: a saved
+:class:`~repro.sim.result.ScheduleResult` can be re-validated against
+its job later (``validate_schedule``), and a saved job re-scheduled
+under a different policy.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.kdag import KDag
+from repro.errors import ValidationError
+from repro.sim.result import ScheduleResult
+from repro.sim.trace import ScheduleTrace
+from repro.system.resources import ResourceConfig
+
+__all__ = [
+    "job_to_dict",
+    "job_from_dict",
+    "trace_to_dict",
+    "trace_from_dict",
+    "result_to_dict",
+    "result_from_dict",
+    "save_run",
+    "load_run",
+]
+
+_SCHEMA = 1
+
+
+def job_to_dict(job: KDag) -> dict[str, Any]:
+    """A JSON-ready description of a K-DAG."""
+    return {
+        "schema": _SCHEMA,
+        "num_types": job.num_types,
+        "types": job.types.tolist(),
+        "work": job.work.tolist(),
+        "edges": [[int(u), int(v)] for u, v in job.edges],
+    }
+
+
+def job_from_dict(data: dict[str, Any]) -> KDag:
+    """Inverse of :func:`job_to_dict`."""
+    _check_schema(data)
+    return KDag(
+        types=data["types"],
+        work=data["work"],
+        edges=[tuple(e) for e in data["edges"]],
+        num_types=data["num_types"],
+    )
+
+
+def trace_to_dict(trace: ScheduleTrace) -> dict[str, Any]:
+    """A JSON-ready description of a trace (columnar for compactness)."""
+    return {
+        "schema": _SCHEMA,
+        "task": [s.task for s in trace],
+        "alpha": [s.alpha for s in trace],
+        "proc": [s.proc for s in trace],
+        "start": [s.start for s in trace],
+        "end": [s.end for s in trace],
+    }
+
+
+def trace_from_dict(data: dict[str, Any]) -> ScheduleTrace:
+    """Inverse of :func:`trace_to_dict`."""
+    _check_schema(data)
+    trace = ScheduleTrace()
+    for task, alpha, proc, start, end in zip(
+        data["task"], data["alpha"], data["proc"], data["start"], data["end"]
+    ):
+        trace.add(task, alpha, proc, start, end)
+    return trace
+
+
+def result_to_dict(result: ScheduleResult) -> dict[str, Any]:
+    """A JSON-ready description of a full run (job + system + outcome)."""
+    return {
+        "schema": _SCHEMA,
+        "makespan": result.makespan,
+        "scheduler": result.scheduler,
+        "preemptive": result.preemptive,
+        "decisions": result.decisions,
+        "resources": list(result.resources.counts),
+        "job": job_to_dict(result.job),
+        "trace": trace_to_dict(result.trace) if result.trace is not None else None,
+    }
+
+
+def result_from_dict(data: dict[str, Any]) -> ScheduleResult:
+    """Inverse of :func:`result_to_dict`."""
+    _check_schema(data)
+    return ScheduleResult(
+        makespan=float(data["makespan"]),
+        scheduler=str(data["scheduler"]),
+        job=job_from_dict(data["job"]),
+        resources=ResourceConfig(tuple(data["resources"])),
+        preemptive=bool(data["preemptive"]),
+        trace=trace_from_dict(data["trace"]) if data["trace"] is not None else None,
+        decisions=int(data["decisions"]),
+    )
+
+
+def save_run(result: ScheduleResult, path: str | Path) -> Path:
+    """Write one run to a JSON file; returns the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(result_to_dict(result)))
+    return path
+
+
+def load_run(path: str | Path) -> ScheduleResult:
+    """Load a run saved by :func:`save_run`."""
+    path = Path(path)
+    if not path.exists():
+        raise ValidationError(f"no run file at {path}")
+    return result_from_dict(json.loads(path.read_text()))
+
+
+def _check_schema(data: dict[str, Any]) -> None:
+    if data.get("schema") != _SCHEMA:
+        raise ValidationError(
+            f"unsupported schema {data.get('schema')!r}; expected {_SCHEMA}"
+        )

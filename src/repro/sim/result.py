@@ -1,0 +1,50 @@
+"""Result record of one simulated schedule."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.kdag import KDag
+from repro.core.properties import lower_bound
+from repro.sim.trace import ScheduleTrace
+from repro.system.resources import ResourceConfig
+
+__all__ = ["ScheduleResult"]
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of simulating one scheduler on one job/system pair.
+
+    Attributes
+    ----------
+    makespan:
+        Completion time ``T(J)`` of the job under the schedule.
+    scheduler:
+        Registry name of the algorithm that produced it.
+    job, resources:
+        The inputs (kept so the ratio can be computed lazily).
+    preemptive:
+        Whether the preemptive engine produced this result.
+    trace:
+        Optional full execution trace (``None`` unless requested —
+        traces are sizeable and the sweeps only need makespans).
+    decisions:
+        Number of scheduler decision rounds taken (an effort metric).
+    """
+
+    makespan: float
+    scheduler: str
+    job: KDag
+    resources: ResourceConfig
+    preemptive: bool = False
+    trace: ScheduleTrace | None = None
+    decisions: int = 0
+
+    def lower_bound(self) -> float:
+        """The paper's makespan lower bound ``L(J)`` for this job/system."""
+        return lower_bound(self.job, self.resources.as_array())
+
+    def completion_time_ratio(self) -> float:
+        """``T(J) / L(J)`` — the paper's headline metric (>= 1 - eps)."""
+        return self.makespan / self.lower_bound()

@@ -1,0 +1,103 @@
+"""Execution traces: who ran what, where, and when.
+
+A trace is a list of :class:`Segment` records.  Non-preemptive runs
+produce exactly one segment per task; preemptive runs may split a task
+into several segments (possibly on different processors of its type —
+the paper allows free reallocation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+import numpy as np
+
+from repro.errors import ValidationError
+
+__all__ = ["Segment", "ScheduleTrace"]
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One contiguous execution interval of a task on a processor.
+
+    Attributes
+    ----------
+    task:
+        Task id.
+    alpha:
+        Resource type the segment ran on.
+    proc:
+        Processor index within the type's pool, ``0 <= proc < P_alpha``.
+    start, end:
+        Interval ``[start, end)`` with ``end > start``.
+    """
+
+    task: int
+    alpha: int
+    proc: int
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise ValidationError(
+                f"segment for task {self.task} has non-positive duration "
+                f"[{self.start}, {self.end})"
+            )
+
+    @property
+    def duration(self) -> float:
+        """Length of the interval."""
+        return self.end - self.start
+
+
+@dataclass
+class ScheduleTrace:
+    """An ordered collection of execution segments for one run."""
+
+    segments: list[Segment] = field(default_factory=list)
+
+    def add(self, task: int, alpha: int, proc: int, start: float, end: float) -> None:
+        """Append one segment."""
+        self.segments.append(Segment(task, alpha, proc, start, end))
+
+    def __len__(self) -> int:
+        return len(self.segments)
+
+    def __iter__(self) -> Iterator[Segment]:
+        return iter(self.segments)
+
+    def makespan(self) -> float:
+        """Latest segment end (0.0 for an empty trace)."""
+        return max((s.end for s in self.segments), default=0.0)
+
+    def segments_of(self, task: int) -> list[Segment]:
+        """All segments of one task, sorted by start time."""
+        return sorted(
+            (s for s in self.segments if s.task == task), key=lambda s: s.start
+        )
+
+    def executed_work(self, n_tasks: int) -> np.ndarray:
+        """Total executed duration per task, shape ``(n_tasks,)``."""
+        out = np.zeros(n_tasks, dtype=np.float64)
+        for s in self.segments:
+            if not 0 <= s.task < n_tasks:
+                raise ValidationError(f"trace references unknown task {s.task}")
+            out[s.task] += s.duration
+        return out
+
+    def first_start(self, task: int) -> float:
+        """Earliest start of ``task`` (raises if it never ran)."""
+        segs = self.segments_of(task)
+        if not segs:
+            raise ValidationError(f"task {task} never executed")
+        return segs[0].start
+
+    def last_end(self, task: int) -> float:
+        """Latest end of ``task`` (raises if it never ran)."""
+        segs = self.segments_of(task)
+        if not segs:
+            raise ValidationError(f"task {task} never executed")
+        return segs[-1].end

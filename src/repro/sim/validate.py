@@ -1,0 +1,138 @@
+"""Legality checking of produced schedules.
+
+Given a job, a system and a :class:`~repro.sim.trace.ScheduleTrace`,
+:func:`validate_schedule` verifies every property a legal K-DAG
+schedule must satisfy:
+
+1. **Coverage** — every task executes exactly its work amount (within
+   tolerance), in one segment for non-preemptive traces.
+2. **Type matching** — every segment of an ``alpha``-task runs on an
+   ``alpha``-processor with index below ``P_alpha``.
+3. **Exclusivity** — no processor runs two segments at once, which with
+   valid processor indices also implies the ``P_alpha`` capacity limit.
+4. **No intra-task parallelism** — a task's own segments never overlap.
+5. **Precedence** — a task's first start is at or after every parent's
+   last end.
+6. **Makespan consistency** — the reported makespan equals the latest
+   segment end.
+
+The property-based test suite runs this on every engine × scheduler ×
+workload combination it generates.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ValidationError
+from repro.sim.trace import ScheduleTrace
+from repro.system.resources import ResourceConfig
+
+__all__ = ["validate_schedule"]
+
+_EPS = 1e-9
+
+
+def validate_schedule(
+    job: KDag,
+    resources: ResourceConfig,
+    trace: ScheduleTrace,
+    makespan: float | None = None,
+    preemptive: bool = False,
+    tol: float = 1e-6,
+) -> None:
+    """Raise :class:`ValidationError` unless ``trace`` is a legal schedule.
+
+    Parameters
+    ----------
+    makespan:
+        When given, must equal the trace's latest segment end.
+    preemptive:
+        When false, additionally require one segment per task.
+    tol:
+        Absolute tolerance for work-conservation and timing checks.
+    """
+    if job.num_types != resources.num_types:
+        raise ValidationError("job and resources disagree on K")
+
+    n = job.n_tasks
+    per_task: dict[int, list] = defaultdict(list)
+    per_proc: dict[tuple[int, int], list] = defaultdict(list)
+
+    for seg in trace:
+        if not 0 <= seg.task < n:
+            raise ValidationError(f"segment references unknown task {seg.task}")
+        alpha = int(job.types[seg.task])
+        if seg.alpha != alpha:
+            raise ValidationError(
+                f"task {seg.task} of type {alpha} ran on type {seg.alpha}"
+            )
+        if not 0 <= seg.proc < resources.counts[alpha]:
+            raise ValidationError(
+                f"task {seg.task} ran on processor {seg.proc} but type "
+                f"{alpha} has only {resources.counts[alpha]} processors"
+            )
+        per_task[seg.task].append(seg)
+        per_proc[(seg.alpha, seg.proc)].append(seg)
+
+    # 1. coverage / work conservation
+    executed = trace.executed_work(n)
+    bad = np.flatnonzero(np.abs(executed - job.work) > tol)
+    if bad.size:
+        v = int(bad[0])
+        raise ValidationError(
+            f"task {v} executed {executed[v]:g} units of its "
+            f"{job.work[v]:g} work"
+        )
+    if not preemptive:
+        for task, segs in per_task.items():
+            if len(segs) != 1:
+                raise ValidationError(
+                    f"non-preemptive schedule split task {task} into "
+                    f"{len(segs)} segments"
+                )
+
+    # 3. processor exclusivity
+    for (alpha, proc), segs in per_proc.items():
+        segs.sort(key=lambda s: (s.start, s.end))
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - _EPS:
+                raise ValidationError(
+                    f"processor ({alpha}, {proc}) overlaps tasks "
+                    f"{a.task} [{a.start}, {a.end}) and "
+                    f"{b.task} [{b.start}, {b.end})"
+                )
+
+    # 4. no intra-task parallelism
+    for task, segs in per_task.items():
+        segs.sort(key=lambda s: (s.start, s.end))
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - _EPS:
+                raise ValidationError(
+                    f"task {task} executes in parallel with itself: "
+                    f"[{a.start}, {a.end}) and [{b.start}, {b.end})"
+                )
+
+    # 5. precedence
+    first_start = np.full(n, np.inf)
+    last_end = np.full(n, -np.inf)
+    for task, segs in per_task.items():
+        first_start[task] = min(s.start for s in segs)
+        last_end[task] = max(s.end for s in segs)
+    for u, v in job.edges:
+        if first_start[v] < last_end[u] - tol:
+            raise ValidationError(
+                f"task {int(v)} started at {first_start[v]:g} before its "
+                f"parent {int(u)} finished at {last_end[u]:g}"
+            )
+
+    # 6. makespan consistency
+    if makespan is not None:
+        observed = trace.makespan()
+        if abs(observed - makespan) > tol:
+            raise ValidationError(
+                f"reported makespan {makespan:g} != trace makespan {observed:g}"
+            )

@@ -1,0 +1,19 @@
+"""Resource-side model: processor pools of a functionally heterogeneous system."""
+
+from repro.system.resources import (
+    ResourceConfig,
+    medium_system,
+    sample_medium_system,
+    sample_small_system,
+    skewed,
+    small_system,
+)
+
+__all__ = [
+    "ResourceConfig",
+    "small_system",
+    "medium_system",
+    "sample_small_system",
+    "sample_medium_system",
+    "skewed",
+]

@@ -1,0 +1,175 @@
+"""Processor configurations of a functionally heterogeneous system.
+
+A :class:`ResourceConfig` is just the vector ``(P_0, ..., P_{K-1})`` of
+unit-speed processor counts per resource type.  The paper evaluates two
+sizes (Section V-B):
+
+* **small** systems — 1 to 5 processors per type;
+* **medium** systems — 10 to 20 processors per type;
+
+plus a **skewed** variant (Section V-E) where type-0's processor count
+is cut to one fifth while the other types keep theirs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.errors import ResourceError
+
+__all__ = [
+    "ResourceConfig",
+    "small_system",
+    "medium_system",
+    "sample_small_system",
+    "sample_medium_system",
+    "skewed",
+]
+
+SMALL_RANGE = (1, 5)
+"""Inclusive per-type processor-count range of the paper's small systems."""
+
+MEDIUM_RANGE = (10, 20)
+"""Inclusive per-type processor-count range of the paper's medium systems."""
+
+SKEW_FACTOR = 5
+"""The paper's skew experiment divides type-0's processor count by 5."""
+
+
+@dataclass(frozen=True)
+class ResourceConfig:
+    """Immutable processor counts per resource type.
+
+    Attributes
+    ----------
+    counts:
+        Tuple ``(P_0, ..., P_{K-1})`` of positive processor counts.
+    """
+
+    counts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.counts:
+            raise ResourceError("a system needs at least one resource type")
+        if any((not isinstance(c, (int, np.integer))) or c < 1 for c in self.counts):
+            raise ResourceError(
+                f"processor counts must be positive integers, got {self.counts}"
+            )
+        object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+
+    @property
+    def num_types(self) -> int:
+        """Number of resource types ``K``."""
+        return len(self.counts)
+
+    @property
+    def total(self) -> int:
+        """Total processor count across all types."""
+        return sum(self.counts)
+
+    @property
+    def p_max(self) -> int:
+        """``P_max = max_alpha P_alpha`` (used by the online bounds)."""
+        return max(self.counts)
+
+    def as_array(self) -> np.ndarray:
+        """Counts as an int64 numpy array of shape ``(K,)``."""
+        return np.asarray(self.counts, dtype=np.int64)
+
+    def __getitem__(self, alpha: int) -> int:
+        return self.counts[alpha]
+
+    def __len__(self) -> int:
+        return len(self.counts)
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.counts)
+
+    def with_counts(self, counts: Sequence[int]) -> "ResourceConfig":
+        """A new config with the given counts (same constructor checks)."""
+        return ResourceConfig(tuple(int(c) for c in counts))
+
+
+def small_system(num_types: int, per_type: int = 3) -> ResourceConfig:
+    """A deterministic small system: ``per_type`` processors per type.
+
+    ``per_type`` must fall inside the paper's small range (1..5).
+    """
+    _check_in_range(per_type, SMALL_RANGE, "small")
+    return ResourceConfig((per_type,) * num_types)
+
+
+def medium_system(num_types: int, per_type: int = 15) -> ResourceConfig:
+    """A deterministic medium system: ``per_type`` processors per type."""
+    _check_in_range(per_type, MEDIUM_RANGE, "medium")
+    return ResourceConfig((per_type,) * num_types)
+
+
+def sample_small_system(
+    num_types: int, rng: np.random.Generator, uniform: bool = True
+) -> ResourceConfig:
+    """Sample a small system: counts drawn from 1..5.
+
+    With ``uniform=True`` (default) one count is drawn and shared by
+    all types, keeping the default load balanced across types — the
+    paper treats imbalance as its own experiment (skewed load,
+    Section V-E).  ``uniform=False`` draws each type independently.
+    """
+    return _sample(num_types, rng, SMALL_RANGE, uniform)
+
+
+def sample_medium_system(
+    num_types: int, rng: np.random.Generator, uniform: bool = True
+) -> ResourceConfig:
+    """Sample a medium system: counts drawn from 10..20.
+
+    See :func:`sample_small_system` for the ``uniform`` semantics.
+    """
+    return _sample(num_types, rng, MEDIUM_RANGE, uniform)
+
+
+def _sample(
+    num_types: int,
+    rng: np.random.Generator,
+    bounds: tuple[int, int],
+    uniform: bool,
+) -> ResourceConfig:
+    lo, hi = bounds
+    if uniform:
+        c = int(rng.integers(lo, hi + 1))
+        return ResourceConfig((c,) * num_types)
+    return ResourceConfig(tuple(int(c) for c in rng.integers(lo, hi + 1, num_types)))
+
+
+def skewed(
+    config: ResourceConfig,
+    skew_type: int = 0,
+    factor: int = SKEW_FACTOR,
+) -> ResourceConfig:
+    """The paper's skewed-load variant of a system (Section V-E).
+
+    Reduces ``skew_type``'s processor count to ``ceil(P / factor)``
+    (never below 1) and keeps all other types unchanged, mimicking
+    "reducing the number of machines for type 1 resources to 1/5 of the
+    original".
+    """
+    if not 0 <= skew_type < config.num_types:
+        raise ResourceError(
+            f"skew_type {skew_type} out of range for K={config.num_types}"
+        )
+    if factor < 1:
+        raise ResourceError(f"skew factor must be >= 1, got {factor}")
+    counts = list(config.counts)
+    counts[skew_type] = max(1, -(-counts[skew_type] // factor))
+    return ResourceConfig(tuple(counts))
+
+
+def _check_in_range(value: int, bounds: tuple[int, int], name: str) -> None:
+    lo, hi = bounds
+    if not lo <= value <= hi:
+        raise ResourceError(
+            f"{name} systems have {lo}..{hi} processors per type, got {value}"
+        )

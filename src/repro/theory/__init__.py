@@ -1,0 +1,27 @@
+"""Analytic results of the paper: Lemma 1 and the competitive bounds."""
+
+from repro.theory.lemma1 import (
+    expected_draws_closed_form,
+    expected_draws_exact,
+    simulate_draws,
+)
+from repro.theory.bounds import (
+    deterministic_online_lower_bound,
+    graham_bound,
+    kgreedy_competitive_ratio,
+    randomized_online_lower_bound,
+    randomized_online_lower_bound_as_stated,
+    randomized_online_lower_bound_finite_m,
+)
+
+__all__ = [
+    "expected_draws_closed_form",
+    "expected_draws_exact",
+    "simulate_draws",
+    "randomized_online_lower_bound",
+    "randomized_online_lower_bound_as_stated",
+    "randomized_online_lower_bound_finite_m",
+    "deterministic_online_lower_bound",
+    "kgreedy_competitive_ratio",
+    "graham_bound",
+]

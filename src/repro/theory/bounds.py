@@ -1,0 +1,120 @@
+"""Competitive-ratio bounds for online K-DAG scheduling.
+
+Collected formulas from Section III (and the related work they cite):
+
+* :func:`randomized_online_lower_bound` — Theorem 2 as *derived* in the
+  proof (Inequality 4): ``K + 1 - sum_a 1/(P_a + 1) - 1/(P_max + 1)``.
+* :func:`randomized_online_lower_bound_as_stated` — the abstract /
+  theorem-statement form whose last term is ``1/P_max``; the paper
+  states the two inconsistently, so both are exposed and the
+  discrepancy is documented (they differ by
+  ``1/P_max - 1/(P_max+1)``, vanishing as ``P_max`` grows).
+* :func:`deterministic_online_lower_bound` — He, Sun & Hsu (ICPP'07):
+  ``K + 1 - 1/P_max``.
+* :func:`kgreedy_competitive_ratio` — KGreedy's guarantee ``K + 1``.
+* :func:`graham_bound` — Graham's ``2 - 1/P`` for the homogeneous
+  (K = 1) special case.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ResourceError
+
+__all__ = [
+    "randomized_online_lower_bound",
+    "randomized_online_lower_bound_as_stated",
+    "randomized_online_lower_bound_finite_m",
+    "deterministic_online_lower_bound",
+    "kgreedy_competitive_ratio",
+    "graham_bound",
+]
+
+
+def _procs(processors: Sequence[int]) -> np.ndarray:
+    p = np.asarray(processors, dtype=np.float64)
+    if p.ndim != 1 or p.size < 1 or np.any(p < 1):
+        raise ResourceError(f"invalid processor counts {processors!r}")
+    return p
+
+
+def randomized_online_lower_bound(processors: Sequence[int]) -> float:
+    """Theorem 2 (proof form): no randomized online algorithm beats this.
+
+    ``K + 1 - sum_alpha 1/(P_alpha + 1) - 1/(P_max + 1)``.
+    """
+    p = _procs(processors)
+    k = p.size
+    return float(k + 1 - np.sum(1.0 / (p + 1)) - 1.0 / (p.max() + 1))
+
+
+def randomized_online_lower_bound_as_stated(processors: Sequence[int]) -> float:
+    """Theorem 2 as stated in the paper's abstract/theorem text.
+
+    ``K + 1 - sum_alpha 1/(P_alpha + 1) - 1/P_max``.  Slightly smaller
+    than the proof's form; kept for reference.
+    """
+    p = _procs(processors)
+    k = p.size
+    return float(k + 1 - np.sum(1.0 / (p + 1)) - 1.0 / p.max())
+
+
+def randomized_online_lower_bound_finite_m(
+    processors: Sequence[int], m: int
+) -> float:
+    """Theorem 2's finite-m bound (the paper's Inequality 3).
+
+    The expected completion-time ratio of any online algorithm on the
+    adversarial family with scale constant ``m`` is at least::
+
+        [ (K + 1 - sum_a 1/(P_a+1)) m P_K - (P_K/(P_K+1)) m - 1 ]
+        / (K - 1 + m P_K)
+
+    which approaches :func:`randomized_online_lower_bound` as
+    ``m -> inf``.  Empirical adversary runs should be compared against
+    this form at their actual ``m``.
+    """
+    p = _procs(processors)
+    if m < 1:
+        raise ResourceError(f"m must be >= 1, got {m}")
+    k = p.size
+    pk = float(p[-1])
+    if pk != float(p.max()):
+        raise ResourceError(
+            "the adversarial family requires P_K = P_max (last type largest)"
+        )
+    numerator = (k + 1 - np.sum(1.0 / (p + 1))) * m * pk - pk / (pk + 1) * m - 1
+    return float(numerator / (k - 1 + m * pk))
+
+
+def deterministic_online_lower_bound(processors: Sequence[int]) -> float:
+    """He, Sun & Hsu: deterministic online bound ``K + 1 - 1/P_max``."""
+    p = _procs(processors)
+    return float(p.size + 1 - 1.0 / p.max())
+
+
+def kgreedy_competitive_ratio(num_types: int) -> float:
+    """KGreedy's worst-case guarantee: ``K + 1``.
+
+    More precisely (He, Sun & Hsu) KGreedy is
+    ``(K + 1 - 1/P_max)``-competitive; ``K + 1`` is the clean form the
+    paper quotes.
+    """
+    if num_types < 1:
+        raise ResourceError(f"num_types must be >= 1, got {num_types}")
+    return float(num_types + 1)
+
+
+def graham_bound(n_processors: int) -> float:
+    """Graham's list-scheduling guarantee for K = 1: ``2 - 1/P``.
+
+    Also an upper bound on the homogeneous completion-time ratio
+    ``T / max(T_inf, T_1/P)``, since ``T <= T_1/P + T_inf`` implies
+    ``T <= 2 L``.
+    """
+    if n_processors < 1:
+        raise ResourceError(f"n_processors must be >= 1, got {n_processors}")
+    return 2.0 - 1.0 / n_processors

@@ -1,0 +1,53 @@
+"""Workload generators: the paper's three job families plus the adversary.
+
+Paper Section V-B evaluates on three families, each in a *layered*
+variant (task type determined by position — the structured case where
+offline information pays off) and a *random* variant (types uniformly
+random):
+
+* **EP** — embarrassingly parallel: independent chains of tasks.
+* **Tree** — probabilistic fan-out trees (divide and conquer).
+* **IR** — iterative reduction: multi-iteration map/reduce workflows.
+
+:mod:`repro.workloads.adversarial` builds the Theorem-2 lower-bound
+job family (paper Fig. 2).  :mod:`repro.workloads.generator` exposes
+the registry of named workload cells ("small layered EP", …) that the
+experiment harness sweeps over.
+"""
+
+from repro.workloads.params import (
+    CosmosParams,
+    EPParams,
+    IRParams,
+    TreeParams,
+    WorkloadSpec,
+)
+from repro.workloads.ep import generate_ep
+from repro.workloads.tree import generate_tree
+from repro.workloads.ir import generate_ir
+from repro.workloads.cosmos import generate_cosmos
+from repro.workloads.adversarial import adversarial_job, adversarial_optimal_makespan
+from repro.workloads.generator import (
+    EXTRA_CELLS,
+    WORKLOAD_CELLS,
+    sample_instance,
+    workload_cell,
+)
+
+__all__ = [
+    "EPParams",
+    "TreeParams",
+    "IRParams",
+    "CosmosParams",
+    "WorkloadSpec",
+    "generate_ep",
+    "generate_tree",
+    "generate_ir",
+    "generate_cosmos",
+    "adversarial_job",
+    "adversarial_optimal_makespan",
+    "sample_instance",
+    "workload_cell",
+    "WORKLOAD_CELLS",
+    "EXTRA_CELLS",
+]

@@ -1,0 +1,117 @@
+"""The Theorem-2 adversarial job family (paper Fig. 2).
+
+This is the job distribution behind the online lower bound: a job no
+online algorithm can schedule well in expectation, while an offline
+scheduler finishes in ``K - 1 + m * P_K`` time.
+
+Construction (unit work throughout; ``P_K`` must be ``P_max``):
+
+* For each type ``alpha`` there are ``P_alpha * P_K * m`` tasks.
+* For ``alpha < K-1`` (0-indexed): ``P_alpha`` *active* tasks — placed
+  uniformly at random among the type's tasks — have edges to **all**
+  ``(alpha+1)``-tasks; the rest have no outgoing edges.
+* Of the last type's tasks, ``m * P_K - 1`` form a serial *chain*;
+  ``P_K`` active tasks (uniform among the non-chain tasks) feed the
+  first chain task; the rest are childless.
+
+The punchline: to unlock the next type an online scheduler must finish
+all active tasks of the current type, but it cannot tell active tasks
+apart, so by the ball-drawing Lemma 1 it wastes ``~ P_K * m`` expected
+steps per type.  An offline scheduler runs the actives first.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError
+
+__all__ = ["adversarial_job", "adversarial_optimal_makespan"]
+
+
+def adversarial_job(
+    processors: Sequence[int],
+    m: int,
+    rng: np.random.Generator,
+) -> KDag:
+    """Sample one adversarial job for the given per-type processor counts.
+
+    Parameters
+    ----------
+    processors:
+        ``(P_0, ..., P_{K-1})``; the construction requires the last
+        type to have the maximum count (``P_{K-1} = P_max``) — reorder
+        your types accordingly, as the proof does WLOG.
+    m:
+        The scale constant; the bound approaches its limit as
+        ``m >> K``.
+    """
+    procs = np.asarray(processors, dtype=np.int64)
+    k = procs.shape[0]
+    if k < 1 or np.any(procs < 1):
+        raise ConfigurationError(f"invalid processor counts {processors}")
+    if int(procs[-1]) != int(procs.max()):
+        raise ConfigurationError(
+            "the last type must have the maximum processor count "
+            f"(P_K = P_max); got {processors}"
+        )
+    if m < 1:
+        raise ConfigurationError(f"m must be >= 1, got {m}")
+
+    pk = int(procs[-1])
+    counts = [int(p) * pk * m for p in procs]
+    n = sum(counts)
+    types = np.concatenate(
+        [np.full(c, alpha, dtype=np.int64) for alpha, c in enumerate(counts)]
+    )
+    work = np.ones(n, dtype=np.float64)
+    offsets = np.concatenate([[0], np.cumsum(counts)])
+
+    edges: list[tuple[int, int]] = []
+
+    chain_len = m * pk - 1
+    last_lo, last_hi = int(offsets[k - 1]), int(offsets[k])
+    n_last = counts[k - 1]
+    if chain_len > n_last - pk:
+        raise ConfigurationError(
+            f"m={m}, P={list(procs)} leaves no room for {chain_len} chain "
+            f"tasks among {n_last} type-{k - 1} tasks"
+        )
+    # Chain tasks: the last `chain_len` ids of the last type (their
+    # position carries no information — an online scheduler learns a
+    # task's edges only at completion, and chain tasks are not ready
+    # until the actives finish anyway).
+    chain = list(range(last_hi - chain_len, last_hi))
+    for u, v in zip(chain, chain[1:]):
+        edges.append((u, v))
+
+    non_chain = np.arange(last_lo, last_hi - chain_len)
+    active_last = rng.choice(non_chain, size=pk, replace=False)
+    if chain:
+        for a in active_last:
+            edges.append((int(a), chain[0]))
+
+    for alpha in range(k - 1):
+        lo, hi = int(offsets[alpha]), int(offsets[alpha + 1])
+        active = rng.choice(np.arange(lo, hi), size=int(procs[alpha]), replace=False)
+        nxt_lo, nxt_hi = int(offsets[alpha + 1]), int(offsets[alpha + 2])
+        for a in active:
+            for v in range(nxt_lo, nxt_hi):
+                edges.append((int(a), v))
+
+    return KDag(types=types, work=work, edges=edges, num_types=k)
+
+
+def adversarial_optimal_makespan(processors: Sequence[int], m: int) -> float:
+    """The offline-optimal makespan ``T*(J) = K - 1 + m * P_K``.
+
+    Proof sketch (paper, Theorem 2): run the actives of type 0 at step
+    1, of type 1 at step 2, ..., then finish the last type in
+    ``m * P_K`` steps by keeping one processor on the chain and the
+    remaining ``P_K - 1`` on the leftover tasks.
+    """
+    procs = np.asarray(processors, dtype=np.int64)
+    return float(procs.shape[0] - 1 + m * int(procs[-1]))

@@ -1,0 +1,124 @@
+"""Cosmos/Scope-style stage-graph workloads (the paper's motivation).
+
+Section I motivates K-DAG scheduling with Cosmos, Microsoft's map-
+reduce style analytics platform: the Scope compiler turns a query into
+a workflow DAG of ~20 *stages*, each stage a set of data-parallel
+tasks, and servers cluster into classes by data placement — so the
+server classes act as functional types.
+
+This generator synthesizes such workflows:
+
+* a random stage DAG (series-parallel-ish: each new stage reads 1-3
+  earlier stages, biased toward recent ones, like query plans);
+* per-stage parallelism (task count) log-uniform between bounds —
+  extract stages wide, aggregation stages narrow;
+* task-level wiring between dependent stages is either *partitioned*
+  (task i reads the tasks with overlapping hash ranges — a few parents)
+  or *shuffling* (each task reads a random sample of the upstream
+  stage), chosen per edge;
+* each stage is pinned to one server class: the class hosting its data
+  (random per stage) — this is the "layered" structure; a ``random``
+  variant types every task independently for the unstructured control.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError
+from repro.workloads.params import CosmosParams
+
+__all__ = ["CosmosParams", "generate_cosmos"]
+
+
+def _stage_width(params: CosmosParams, rng: np.random.Generator) -> int:
+    lo, hi = params.stage_width_range
+    # Log-uniform: many narrow stages, occasional very wide extracts.
+    return int(round(np.exp(rng.uniform(np.log(lo), np.log(hi)))))
+
+
+def _wire_partitioned(
+    up: list[int], down: list[int], edges: list[tuple[int, int]]
+) -> None:
+    """Range-partitioned read: downstream task i reads the upstream
+    tasks whose hash range overlaps its own (1-2 parents typically)."""
+    nu, nd = len(up), len(down)
+    for i, d in enumerate(down):
+        lo = int(np.floor(i * nu / nd))
+        hi = int(np.ceil((i + 1) * nu / nd))
+        for j in range(lo, max(hi, lo + 1)):
+            edges.append((up[min(j, nu - 1)], d))
+
+
+def _wire_shuffle(
+    up: list[int],
+    down: list[int],
+    fanin: int,
+    edges: list[tuple[int, int]],
+    rng: np.random.Generator,
+) -> None:
+    """Shuffling read: each downstream task samples ``fanin`` upstream
+    tasks (network shuffle), and every upstream task feeds someone."""
+    nu = len(up)
+    fed = np.zeros(nu, dtype=bool)
+    for d in down:
+        k = min(fanin, nu)
+        parents = rng.choice(nu, size=k, replace=False)
+        for j in parents:
+            edges.append((up[int(j)], d))
+            fed[int(j)] = True
+    for j in np.flatnonzero(~fed):
+        edges.append((up[int(j)], down[int(rng.integers(0, len(down)))]))
+
+
+def generate_cosmos(
+    params: CosmosParams,
+    num_types: int,
+    structure: str,
+    rng: np.random.Generator,
+) -> KDag:
+    """Sample one Scope-style workflow (see module docstring)."""
+    if structure not in ("layered", "random"):
+        raise ConfigurationError(f"unknown structure {structure!r}")
+    n_stages = int(
+        rng.integers(params.stages_range[0], params.stages_range[1] + 1)
+    )
+    types: list[int] = []
+    edges: list[tuple[int, int]] = []
+    stage_tasks: list[list[int]] = []
+
+    for s in range(n_stages):
+        width = _stage_width(params, rng)
+        stage_type = int(rng.integers(0, num_types))
+        tasks = []
+        for _ in range(width):
+            tid = len(types)
+            if structure == "layered":
+                types.append(stage_type)
+            else:
+                types.append(int(rng.integers(0, num_types)))
+            tasks.append(tid)
+        # Pick upstream stages: biased toward recent stages, like the
+        # mostly-chain-shaped plans Scope emits.
+        if s > 0:
+            n_parents = int(rng.integers(1, min(params.max_stage_parents, s) + 1))
+            weights = np.arange(1, s + 1, dtype=np.float64) ** 2
+            weights /= weights.sum()
+            parents = rng.choice(s, size=n_parents, replace=False, p=weights)
+            for p in parents:
+                if rng.random() < params.shuffle_prob:
+                    _wire_shuffle(
+                        stage_tasks[int(p)], tasks, params.shuffle_fanin,
+                        edges, rng,
+                    )
+                else:
+                    _wire_partitioned(stage_tasks[int(p)], tasks, edges)
+        stage_tasks.append(tasks)
+
+    # Deduplicate edges (partitioned wiring can repeat endpoints).
+    edges = sorted(set(edges))
+    work = rng.integers(
+        params.work_range[0], params.work_range[1] + 1, size=len(types)
+    ).astype(np.float64)
+    return KDag(types=types, work=work, edges=edges, num_types=num_types)

@@ -1,0 +1,98 @@
+"""Seeded sampling of (job, system) instances for workload cells.
+
+A *cell* pairs a job family/structure with a system size — e.g.
+"medium layered IR" — exactly as the paper's figure captions name
+them.  :func:`sample_instance` draws one (KDag, ResourceConfig) pair
+from a cell using a caller-supplied generator, so experiment sweeps
+control seeding precisely.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError
+from repro.system.resources import (
+    ResourceConfig,
+    sample_medium_system,
+    sample_small_system,
+    skewed,
+)
+from repro.workloads.cosmos import generate_cosmos
+from repro.workloads.ep import generate_ep
+from repro.workloads.ir import generate_ir
+from repro.workloads.params import (
+    CosmosParams,
+    EPParams,
+    IRParams,
+    TreeParams,
+    WorkloadSpec,
+)
+from repro.workloads.tree import generate_tree
+
+__all__ = ["WORKLOAD_CELLS", "EXTRA_CELLS", "workload_cell", "sample_instance"]
+
+
+#: The six cells of the paper's main comparison (Fig. 4), by panel.
+WORKLOAD_CELLS: dict[str, WorkloadSpec] = {
+    "small-random-ep": WorkloadSpec("ep", "random", "small"),
+    "medium-random-tree": WorkloadSpec("tree", "random", "medium"),
+    "medium-random-ir": WorkloadSpec("ir", "random", "medium"),
+    "small-layered-ep": WorkloadSpec("ep", "layered", "small"),
+    "medium-layered-tree": WorkloadSpec("tree", "layered", "medium"),
+    "medium-layered-ir": WorkloadSpec("ir", "layered", "medium"),
+}
+
+#: Beyond the paper: the Cosmos/Scope stage-workflow family the paper's
+#: introduction motivates but its evaluation does not include.
+EXTRA_CELLS: dict[str, WorkloadSpec] = {
+    "medium-layered-cosmos": WorkloadSpec("cosmos", "layered", "medium"),
+    "medium-random-cosmos": WorkloadSpec("cosmos", "random", "medium"),
+}
+
+
+def workload_cell(name: str) -> WorkloadSpec:
+    """Look up a named cell (paper cells first, then extras)."""
+    if name in WORKLOAD_CELLS:
+        return WORKLOAD_CELLS[name]
+    if name in EXTRA_CELLS:
+        return EXTRA_CELLS[name]
+    known = sorted(WORKLOAD_CELLS) + sorted(EXTRA_CELLS)
+    raise ConfigurationError(f"unknown workload cell {name!r}; known: {known}")
+
+
+def sample_job(spec: WorkloadSpec, rng: np.random.Generator) -> KDag:
+    """Sample one job from the cell's family/structure."""
+    params = spec.effective_params
+    if spec.family == "ep":
+        assert isinstance(params, EPParams)
+        return generate_ep(params, spec.num_types, spec.structure, rng)
+    if spec.family == "tree":
+        assert isinstance(params, TreeParams)
+        return generate_tree(params, spec.num_types, spec.structure, rng)
+    if spec.family == "cosmos":
+        assert isinstance(params, CosmosParams)
+        return generate_cosmos(params, spec.num_types, spec.structure, rng)
+    assert isinstance(params, IRParams)
+    return generate_ir(params, spec.num_types, spec.structure, rng)
+
+
+def sample_system(spec: WorkloadSpec, rng: np.random.Generator) -> ResourceConfig:
+    """Sample one system from the cell's size class, applying skew."""
+    if spec.system == "small":
+        config = sample_small_system(spec.num_types, rng)
+    else:
+        config = sample_medium_system(spec.num_types, rng)
+    if spec.skew_factor > 1:
+        config = skewed(config, skew_type=0, factor=spec.skew_factor)
+    return config
+
+
+def sample_instance(
+    spec: WorkloadSpec, rng: np.random.Generator
+) -> tuple[KDag, ResourceConfig]:
+    """Sample one (job, system) pair from a cell."""
+    job = sample_job(spec, rng)
+    system = sample_system(spec, rng)
+    return job, system

@@ -1,0 +1,108 @@
+"""Iterative reduction (IR) workloads — paper Section V-B, Fig. 3(c).
+
+An IR job is a multi-iteration MapReduce: each iteration has a map
+phase (independent parallel tasks) and a reduce phase; "a reduce task
+depends on a subset of all map tasks", with high-fanout maps more
+likely to feed any given reduce; next-iteration maps read one or more
+previous-iteration reduces.
+
+The dependency structure is deliberately *sparse and skewed*: every map
+draws a fanout weight from a heavy-tailed distribution, and each reduce
+picks a small number of map parents with probability proportional to
+those weights.  A few "hot" maps therefore gate most reduces — running
+them early unlocks the next phase (and with it the next resource type)
+long before the map phase drains, which is precisely the interleaving
+opportunity offline schedulers exploit and online KGreedy cannot see.
+
+* **layered** — all tasks of the same phase share one type, drawn
+  uniformly at random per phase (map-0, reduce-0, map-1, ... are the
+  job's "layers").
+* **random** — every task's type is uniform over the K types.
+
+Connectivity invariants regardless of the probability draws: every
+reduce has at least one map parent, every map feeds at least one
+reduce, and every iteration-``i+1`` map reads at least one
+iteration-``i`` reduce.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.workloads.params import IRParams
+
+__all__ = ["generate_ir"]
+
+
+def generate_ir(
+    params: IRParams,
+    num_types: int,
+    structure: str,
+    rng: np.random.Generator,
+) -> KDag:
+    """Sample one IR job (see module docstring)."""
+    n_iter = int(
+        rng.integers(params.iterations_range[0], params.iterations_range[1] + 1)
+    )
+    phase_types: list[int] = []  # type of each phase, filled lazily
+    task_phase: list[int] = []
+
+    def new_phase() -> int:
+        phase_types.append(int(rng.integers(0, num_types)))
+        return len(phase_types) - 1
+
+    def new_task(phase: int) -> int:
+        task_phase.append(phase)
+        return len(task_phase) - 1
+
+    edges: list[tuple[int, int]] = []
+    prev_reduces: list[int] = []
+    for _ in range(n_iter):
+        n_maps = int(rng.integers(params.maps_range[0], params.maps_range[1] + 1))
+        n_reduces = int(
+            rng.integers(params.reduces_range[0], params.reduces_range[1] + 1)
+        )
+
+        map_phase = new_phase()
+        maps = [new_task(map_phase) for _ in range(n_maps)]
+        # Each next-round map reads 1-2 previous-round reduces.
+        if prev_reduces:
+            for t in maps:
+                k_par = int(rng.integers(1, min(2, len(prev_reduces)) + 1))
+                parents = rng.choice(len(prev_reduces), size=k_par, replace=False)
+                for pi in parents:
+                    edges.append((prev_reduces[int(pi)], t))
+
+        reduce_phase = new_phase()
+        reduces = [new_task(reduce_phase) for _ in range(n_reduces)]
+
+        # Heavy-tailed map fanout weights: a few hot maps gate most
+        # reduces.  Pareto(1) + 1 gives a long tail with finite draws.
+        weights = 1.0 + rng.pareto(1.0, size=n_maps)
+        probs = weights / weights.sum()
+        fed = np.zeros(n_maps, dtype=bool)
+        fanin_lo, fanin_hi = params.fanin_range
+        for r in reduces:
+            k_par = int(rng.integers(fanin_lo, min(fanin_hi, n_maps) + 1))
+            parents = rng.choice(n_maps, size=k_par, replace=False, p=probs)
+            for mi in parents:
+                edges.append((maps[int(mi)], r))
+                fed[int(mi)] = True
+        # Every map feeds at least one reduce.
+        for mi in np.flatnonzero(~fed):
+            r = reduces[int(rng.integers(0, n_reduces))]
+            edges.append((maps[int(mi)], r))
+
+        prev_reduces = reduces
+
+    n = len(task_phase)
+    if structure == "layered":
+        ptypes = np.asarray(phase_types, dtype=np.int64)
+        types = ptypes[np.asarray(task_phase, dtype=np.int64)]
+    else:
+        types = rng.integers(0, num_types, size=n)
+    work = rng.integers(
+        params.work_range[0], params.work_range[1] + 1, size=n
+    ).astype(np.float64)
+    return KDag(types=types, work=work, edges=edges, num_types=num_types)

@@ -1,0 +1,231 @@
+"""Parameter dataclasses for the workload generators.
+
+The paper varies, per family, "the number of branches, the number of
+tasks in each branch, and the work and type of each task" (EP), "the
+fanout number, fanout probability, and the work of each task" (tree),
+and "the probability values, the total number of tasks at each phase,
+and the work of each task" (IR) — without publishing the exact ranges.
+The defaults below are this reproduction's documented choices; they
+put the completion-time ratios in the ranges the paper plots (§V-C)
+and are easy to override per experiment.
+
+All ``*_range`` fields are inclusive ``(lo, hi)`` integer bounds
+sampled uniformly per instance (work per task, counts per job).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Literal
+
+from repro.errors import ConfigurationError
+
+__all__ = ["EPParams", "TreeParams", "IRParams", "CosmosParams", "WorkloadSpec"]
+
+
+def _check_range(name: str, rng: tuple[int, int], lo_min: int = 1) -> None:
+    lo, hi = rng
+    if lo < lo_min or hi < lo:
+        raise ConfigurationError(
+            f"{name} must satisfy {lo_min} <= lo <= hi, got ({lo}, {hi})"
+        )
+
+
+@dataclass(frozen=True)
+class EPParams:
+    """Embarrassingly parallel chains.
+
+    ``branches_range`` chains, each with ``chain_length_range`` tasks;
+    work per task uniform in ``work_range``.
+    """
+
+    branches_range: tuple[int, int] = (20, 50)
+    chain_length_range: tuple[int, int] = (36, 44)
+    work_range: tuple[int, int] = (1, 8)
+
+    def __post_init__(self) -> None:
+        _check_range("branches_range", self.branches_range)
+        _check_range("chain_length_range", self.chain_length_range)
+        _check_range("work_range", self.work_range)
+
+
+@dataclass(frozen=True)
+class TreeParams:
+    """Probabilistic fan-out trees.
+
+    Starting from the root, each node has probability ``fanout_prob``
+    of having ``fanout`` direct children and ``1 - fanout_prob`` of
+    being a leaf (the paper's m / p model); both are sampled per job
+    from their ranges.  ``max_depth``/``max_nodes`` bound runaway
+    growth.  Nodes at depth below ``forced_depth`` always expand, so
+    the branching process doesn't go extinct at a trivial size.
+    """
+
+    fanout_range: tuple[int, int] = (6, 12)
+    fanout_prob_range: tuple[float, float] = (0.08, 0.15)
+    work_range: tuple[int, int] = (1, 8)
+    max_depth: int = 32
+    max_nodes: int = 5000
+    forced_depth: int = 2
+
+    def __post_init__(self) -> None:
+        _check_range("fanout_range", self.fanout_range)
+        lo, hi = self.fanout_prob_range
+        if not (0.0 <= lo <= hi <= 1.0):
+            raise ConfigurationError(
+                f"fanout_prob_range must be within [0, 1], got ({lo}, {hi})"
+            )
+        _check_range("work_range", self.work_range)
+        if self.max_depth < 1:
+            raise ConfigurationError("max_depth must be >= 1")
+        if self.max_nodes < 2:
+            raise ConfigurationError("max_nodes must be >= 2")
+        if not 0 <= self.forced_depth <= self.max_depth:
+            raise ConfigurationError(
+                "forced_depth must be within [0, max_depth], got "
+                f"{self.forced_depth}"
+            )
+
+
+@dataclass(frozen=True)
+class IRParams:
+    """Iterative reduction (multi-round map/reduce).
+
+    ``iterations_range`` rounds; round ``i`` has ``maps_range`` map
+    tasks and ``reduces_range`` reduce tasks.  Each map task draws a
+    heavy-tailed fanout weight; each reduce picks ``fanin_range`` map
+    parents with probability proportional to those weights (the
+    paper's "tasks with a high fanout have a higher probability of
+    providing output to each reduce task" / "some reduce tasks have
+    different fanins").  Every reduce depends on at least one map and
+    every map feeds at least one reduce; each next-round map reads one
+    or two previous-round reduces.
+    """
+
+    iterations_range: tuple[int, int] = (16, 24)
+    maps_range: tuple[int, int] = (80, 160)
+    reduces_range: tuple[int, int] = (12, 24)
+    work_range: tuple[int, int] = (1, 8)
+    fanin_range: tuple[int, int] = (1, 3)
+
+    def __post_init__(self) -> None:
+        _check_range("iterations_range", self.iterations_range)
+        _check_range("maps_range", self.maps_range)
+        _check_range("reduces_range", self.reduces_range)
+        _check_range("work_range", self.work_range)
+        _check_range("fanin_range", self.fanin_range)
+
+
+@dataclass(frozen=True)
+class CosmosParams:
+    """Scope-style stage-workflow knobs (see :mod:`repro.workloads.cosmos`).
+
+    ``stages_range`` stages per workflow; per-stage task counts are
+    log-uniform in ``stage_width_range``; each stage reads up to
+    ``max_stage_parents`` earlier stages, each read wired either
+    range-partitioned or as a ``shuffle_fanin``-wide shuffle with
+    probability ``shuffle_prob``.
+    """
+
+    stages_range: tuple[int, int] = (12, 28)
+    stage_width_range: tuple[int, int] = (4, 64)
+    work_range: tuple[int, int] = (1, 8)
+    max_stage_parents: int = 3
+    shuffle_prob: float = 0.35
+    shuffle_fanin: int = 4
+
+    def __post_init__(self) -> None:
+        _check_range("stages_range", self.stages_range)
+        _check_range("stage_width_range", self.stage_width_range)
+        _check_range("work_range", self.work_range)
+        if self.max_stage_parents < 1:
+            raise ConfigurationError("max_stage_parents must be >= 1")
+        if not 0.0 <= self.shuffle_prob <= 1.0:
+            raise ConfigurationError(
+                f"shuffle_prob must be in [0, 1], got {self.shuffle_prob}"
+            )
+        if self.shuffle_fanin < 1:
+            raise ConfigurationError("shuffle_fanin must be >= 1")
+
+
+_FAMILY_PARAMS = {}  # populated after WorkloadSpec (forward reference)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One evaluation cell: job family x type structure x system size.
+
+    Attributes
+    ----------
+    family:
+        ``"ep"``, ``"tree"``, ``"ir"`` or ``"cosmos"``.
+    structure:
+        ``"layered"`` (types assigned by position) or ``"random"``
+        (types uniform per task).
+    system:
+        ``"small"`` (1-5 processors per type) or ``"medium"`` (10-20).
+    num_types:
+        K; the paper's default is 4.
+    skew_factor:
+        When > 1, type-0's processor count is divided by this factor
+        after sampling (the paper's skewed-load experiment uses 5).
+    params:
+        Family-specific generator parameters; ``None`` selects the
+        family default.
+    """
+
+    family: Literal["ep", "tree", "ir", "cosmos"]
+    structure: Literal["layered", "random"]
+    system: Literal["small", "medium"]
+    num_types: int = 4
+    skew_factor: int = 1
+    params: EPParams | TreeParams | IRParams | CosmosParams | None = None
+
+    def __post_init__(self) -> None:
+        if self.family not in ("ep", "tree", "ir", "cosmos"):
+            raise ConfigurationError(f"unknown family {self.family!r}")
+        if self.structure not in ("layered", "random"):
+            raise ConfigurationError(f"unknown structure {self.structure!r}")
+        if self.system not in ("small", "medium"):
+            raise ConfigurationError(f"unknown system {self.system!r}")
+        if self.num_types < 1:
+            raise ConfigurationError(f"num_types must be >= 1, got {self.num_types}")
+        if self.skew_factor < 1:
+            raise ConfigurationError(
+                f"skew_factor must be >= 1, got {self.skew_factor}"
+            )
+        expected = _FAMILY_PARAMS[self.family]
+        if self.params is not None and not isinstance(self.params, expected):
+            raise ConfigurationError(
+                f"{self.family} workload takes {expected.__name__}, got "
+                f"{type(self.params).__name__}"
+            )
+
+    @property
+    def effective_params(self) -> EPParams | TreeParams | IRParams | CosmosParams:
+        """The explicit params, or the family default."""
+        if self.params is not None:
+            return self.params
+        return _FAMILY_PARAMS[self.family]()
+
+    @property
+    def label(self) -> str:
+        """Human-readable cell name matching the paper's captions."""
+        skew = " skewed" if self.skew_factor > 1 else ""
+        return (
+            f"{self.system} {self.structure} {self.family.upper()}"
+            f" (K={self.num_types}){skew}"
+        )
+
+    def with_num_types(self, k: int) -> "WorkloadSpec":
+        """Same cell with a different K (for the changing-K sweep)."""
+        return replace(self, num_types=k)
+
+    def with_skew(self, factor: int) -> "WorkloadSpec":
+        """Same cell with a skewed system (for the skewed-load sweep)."""
+        return replace(self, skew_factor=factor)
+
+
+_FAMILY_PARAMS.update(
+    {"ep": EPParams, "tree": TreeParams, "ir": IRParams, "cosmos": CosmosParams}
+)

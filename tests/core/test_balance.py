@@ -1,0 +1,67 @@
+"""Unit tests for the x-utilization balance order."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.balance import balance_key, compare_balance, x_utilization
+from repro.errors import ResourceError
+
+
+class TestXUtilization:
+    def test_divides_by_processor_count(self):
+        r = x_utilization([6.0, 4.0], [2, 4])
+        assert list(r) == [3.0, 1.0]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ResourceError):
+            x_utilization([1.0], [1, 2])
+
+    def test_zero_processors_rejected(self):
+        with pytest.raises(ResourceError):
+            x_utilization([1.0], [0])
+
+    def test_empty_queues_are_zero(self):
+        assert list(x_utilization([0.0, 0.0], [3, 5])) == [0.0, 0.0]
+
+
+class TestBalanceKey:
+    def test_key_is_sorted_ascending(self):
+        key = balance_key([9.0, 1.0, 4.0], [1, 1, 1])
+        assert list(key) == [1.0, 4.0, 9.0]
+
+    def test_key_uses_utilization_not_raw_work(self):
+        # Queue works equal but processors differ -> keys differ.
+        a = balance_key([4.0, 4.0], [1, 4])
+        assert list(a) == [1.0, 4.0]
+
+
+class TestCompareBalance:
+    def test_better_min_wins(self):
+        a = balance_key([2.0, 9.0], [1, 1])
+        b = balance_key([1.0, 100.0], [1, 1])
+        assert compare_balance(a, b) == 1
+        assert compare_balance(b, a) == -1
+
+    def test_tie_on_min_falls_to_next(self):
+        a = balance_key([1.0, 5.0], [1, 1])
+        b = balance_key([1.0, 4.0], [1, 1])
+        assert compare_balance(a, b) == 1
+
+    def test_exact_tie(self):
+        a = balance_key([3.0, 7.0], [1, 1])
+        b = balance_key([7.0, 3.0], [1, 1])  # order-insensitive
+        assert compare_balance(a, b) == 0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ResourceError):
+            compare_balance(np.array([1.0]), np.array([1.0, 2.0]))
+
+    def test_paper_semantics_shortest_queue_is_bottleneck(self):
+        """Raising the shortest queue beats raising a longer one."""
+        base = np.array([0.0, 10.0])
+        procs = [1, 1]
+        feed_short = balance_key(base + np.array([3.0, 0.0]), procs)
+        feed_long = balance_key(base + np.array([0.0, 3.0]), procs)
+        assert compare_balance(feed_short, feed_long) == 1

@@ -1,0 +1,138 @@
+"""Unit tests for KDagBuilder."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KDagBuilder
+from repro.errors import GraphError
+
+
+class TestAddTask:
+    def test_ids_are_dense(self):
+        b = KDagBuilder(num_types=2)
+        assert b.add_task(0) == 0
+        assert b.add_task(1) == 1
+        assert b.n_tasks == 2
+
+    def test_default_work_is_unit(self):
+        b = KDagBuilder(num_types=1)
+        b.add_task(0)
+        assert b.build().work[0] == 1.0
+
+    def test_invalid_type(self):
+        b = KDagBuilder(num_types=2)
+        with pytest.raises(GraphError, match="out of range"):
+            b.add_task(2)
+
+    def test_invalid_work(self):
+        b = KDagBuilder(num_types=1)
+        with pytest.raises(GraphError, match="positive"):
+            b.add_task(0, work=0.0)
+
+    def test_invalid_num_types(self):
+        with pytest.raises(GraphError):
+            KDagBuilder(num_types=0)
+
+    def test_add_tasks_bulk(self):
+        b = KDagBuilder(num_types=1)
+        ids = b.add_tasks(0, 2.0, 5)
+        assert ids == [0, 1, 2, 3, 4]
+        job = b.build()
+        assert all(job.work == 2.0)
+
+    def test_add_tasks_negative_count(self):
+        b = KDagBuilder(num_types=1)
+        with pytest.raises(GraphError):
+            b.add_tasks(0, 1.0, -1)
+
+
+class TestLabels:
+    def test_label_roundtrip(self):
+        b = KDagBuilder(num_types=1)
+        tid = b.add_task(0, label="map-0")
+        assert b.id_of("map-0") == tid
+        assert b.label_of(tid) == "map-0"
+
+    def test_duplicate_label_rejected(self):
+        b = KDagBuilder(num_types=1)
+        b.add_task(0, label="x")
+        with pytest.raises(GraphError, match="duplicate"):
+            b.add_task(0, label="x")
+
+    def test_unknown_label(self):
+        b = KDagBuilder(num_types=1)
+        with pytest.raises(GraphError, match="unknown"):
+            b.id_of("nope")
+
+    def test_unlabeled_task(self):
+        b = KDagBuilder(num_types=1)
+        tid = b.add_task(0)
+        assert b.label_of(tid) is None
+
+    def test_label_of_out_of_range(self):
+        b = KDagBuilder(num_types=1)
+        with pytest.raises(GraphError):
+            b.label_of(3)
+
+
+class TestEdges:
+    def test_edge_validation_is_eager(self):
+        b = KDagBuilder(num_types=1)
+        b.add_task(0)
+        with pytest.raises(GraphError, match="unknown task"):
+            b.add_edge(0, 1)
+
+    def test_self_loop(self):
+        b = KDagBuilder(num_types=1)
+        b.add_task(0)
+        with pytest.raises(GraphError, match="self loop"):
+            b.add_edge(0, 0)
+
+    def test_duplicate_edge(self):
+        b = KDagBuilder(num_types=1)
+        b.add_tasks(0, 1.0, 2)
+        b.add_edge(0, 1)
+        with pytest.raises(GraphError, match="duplicate"):
+            b.add_edge(0, 1)
+
+    def test_chain_helper(self):
+        b = KDagBuilder(num_types=1)
+        ids = b.add_tasks(0, 1.0, 4)
+        b.chain(ids)
+        job = b.build()
+        assert job.n_edges == 3
+        assert job.precedes(0, 3)
+
+    def test_add_edges_bulk(self):
+        b = KDagBuilder(num_types=1)
+        b.add_tasks(0, 1.0, 3)
+        b.add_edges([(0, 1), (0, 2)])
+        assert b.n_edges == 2
+
+
+class TestBuild:
+    def test_empty_build_rejected(self):
+        with pytest.raises(GraphError, match="empty"):
+            KDagBuilder(num_types=1).build()
+
+    def test_build_preserves_types_and_num_types(self):
+        b = KDagBuilder(num_types=5)
+        b.add_task(3, 2.0)
+        job = b.build()
+        assert job.num_types == 5
+        assert job.types[0] == 3
+
+    def test_cycle_detected_at_build(self):
+        from repro.errors import CycleError
+
+        b = KDagBuilder(num_types=1)
+        b.add_tasks(0, 1.0, 2)
+        b.add_edge(0, 1)
+        b.add_edge(1, 0)
+        with pytest.raises(CycleError):
+            b.build()
+
+    def test_fig1_reconstruction(self, fig1_job):
+        assert fig1_job.n_tasks == 14
+        assert fig1_job.num_types == 3

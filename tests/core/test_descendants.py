@@ -1,0 +1,149 @@
+"""Unit tests for descendant values, spans, distances, due dates."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag
+from repro.core.descendants import (
+    descendant_values,
+    different_child_distance,
+    due_dates,
+    one_step_descendant_values,
+    remaining_span,
+    untyped_descendant_values,
+)
+from repro.core.properties import span
+
+
+class TestTypedDescendantValues:
+    def test_sink_has_zero(self, diamond_job):
+        d = descendant_values(diamond_job)
+        assert np.all(d[3] == 0.0)
+
+    def test_chain_accumulates_downstream(self, chain_job):
+        d = descendant_values(chain_job)
+        # task0's descendants: task1 (type1, w1) and task2 (type2, w1).
+        assert list(d[0]) == [0.0, 1.0, 1.0]
+        assert list(d[1]) == [0.0, 0.0, 1.0]
+        assert list(d[2]) == [0.0, 0.0, 0.0]
+
+    def test_parent_sharing_splits_by_in_degree(self, diamond_job):
+        d = descendant_values(diamond_job)
+        # Task 3 (type 0, work 1) has 2 parents: each gets 1/2.
+        assert d[1, 0] == pytest.approx(0.5)
+        assert d[2, 0] == pytest.approx(0.5)
+        # Task 0: children 1 (type1 w2, pr=1) and 2 (type1 w3, pr=1),
+        # each contributing their own value+work fully.
+        assert d[0, 1] == pytest.approx(5.0)
+        assert d[0, 0] == pytest.approx(1.0)  # the two 1/2 shares of task 3
+
+    def test_sum_over_types_matches_untyped(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=40, k=4)
+            typed = descendant_values(job)
+            untyped = untyped_descendant_values(job)
+            np.testing.assert_allclose(typed.sum(axis=1), untyped, rtol=1e-12)
+
+    def test_shape(self, fig1_job):
+        assert descendant_values(fig1_job).shape == (14, 3)
+
+
+class TestOneStepDescendantValues:
+    def test_counts_children_only(self, chain_job):
+        d1 = one_step_descendant_values(chain_job)
+        assert list(d1[0]) == [0.0, 1.0, 0.0]  # sees task1, not task2
+        assert list(d1[1]) == [0.0, 0.0, 1.0]
+
+    def test_equals_full_on_depth_one_dags(self):
+        # Star: one root, three leaves -> full and 1-step agree.
+        job = KDag(
+            types=[0, 1, 1, 2],
+            work=[1, 2, 3, 4],
+            edges=[(0, 1), (0, 2), (0, 3)],
+            num_types=3,
+        )
+        np.testing.assert_allclose(
+            one_step_descendant_values(job), descendant_values(job)
+        )
+
+    def test_never_exceeds_full(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=30, k=3)
+            assert np.all(
+                one_step_descendant_values(job) <= descendant_values(job) + 1e-12
+            )
+
+
+class TestRemainingSpan:
+    def test_chain(self, chain_job):
+        assert list(remaining_span(chain_job)) == [3.0, 2.0, 1.0]
+
+    def test_source_equals_span_somewhere(self, fig1_job):
+        rs = remaining_span(fig1_job)
+        assert rs.max() == pytest.approx(span(fig1_job))
+
+    def test_childless_task_is_own_work(self, diamond_job):
+        assert remaining_span(diamond_job)[3] == 1.0
+
+    def test_monotone_along_edges(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=40)
+        rs = remaining_span(job)
+        for u, v in job.edges:
+            assert rs[u] >= rs[v] + job.work[u] - 1e-12
+
+
+class TestDifferentChildDistance:
+    def test_chain_distances(self, chain_job):
+        # 0 (t0) -> 1 (t1): distance 1; 1 -> 2 (t2): distance 1; sink inf.
+        d = different_child_distance(chain_job)
+        assert d[0] == 1.0
+        assert d[1] == 1.0
+        assert np.isinf(d[2])
+
+    def test_same_type_chain_is_infinite(self):
+        job = KDag(types=[0, 0, 0], work=[1, 1, 1], edges=[(0, 1), (1, 2)])
+        assert np.all(np.isinf(different_child_distance(job)))
+
+    def test_skips_same_type_hops(self):
+        # 0(t0) -> 1(t0) -> 2(t1): dist(0) = 2 via same-type child.
+        job = KDag(types=[0, 0, 1], work=[1, 1, 1], edges=[(0, 1), (1, 2)])
+        d = different_child_distance(job)
+        assert d[0] == 2.0
+        assert d[1] == 1.0
+
+    def test_takes_minimum_branch(self):
+        # 0(t0) -> 1(t1) and 0 -> 2(t0) -> 3(t1): min is 1.
+        job = KDag(
+            types=[0, 1, 0, 1],
+            work=[1, 1, 1, 1],
+            edges=[(0, 1), (0, 2), (2, 3)],
+            num_types=2,
+        )
+        assert different_child_distance(job)[0] == 1.0
+
+
+class TestDueDates:
+    def test_critical_source_has_zero_due_date(self, chain_job):
+        dd = due_dates(chain_job)
+        assert dd[0] == 0.0
+        assert dd[1] == 1.0
+        assert dd[2] == 2.0
+
+    def test_due_dates_nonnegative(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=40)
+        assert np.all(due_dates(job) >= -1e-12)
+
+    def test_diamond(self, diamond_job):
+        dd = due_dates(diamond_job)
+        # span 5; remaining spans: 0->5, 1->3, 2->4, 3->1.
+        assert list(dd) == [0.0, 2.0, 1.0, 4.0]

@@ -1,0 +1,168 @@
+"""Unit tests for the KDag data structure."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag
+from repro.errors import CycleError, GraphError
+
+
+class TestConstruction:
+    def test_minimal_single_task(self):
+        job = KDag(types=[0], work=[2.5])
+        assert job.n_tasks == 1
+        assert job.n_edges == 0
+        assert job.num_types == 1
+        assert job.work[0] == 2.5
+
+    def test_num_types_inferred_from_max_type(self):
+        job = KDag(types=[0, 2], work=[1, 1])
+        assert job.num_types == 3
+
+    def test_num_types_may_exceed_present_types(self):
+        job = KDag(types=[0, 0], work=[1, 1], num_types=4)
+        assert job.num_types == 4
+        assert job.tasks_of_type(3).size == 0
+
+    def test_type_out_of_range_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            KDag(types=[0, 3], work=[1, 1], num_types=2)
+
+    def test_empty_job_rejected(self):
+        with pytest.raises(GraphError, match="at least one task"):
+            KDag(types=[], work=[])
+
+    def test_work_length_mismatch_rejected(self):
+        with pytest.raises(GraphError, match="does not match"):
+            KDag(types=[0, 1], work=[1.0])
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_nonpositive_or_nonfinite_work_rejected(self, bad):
+        with pytest.raises(GraphError, match="finite and positive"):
+            KDag(types=[0], work=[bad])
+
+    def test_negative_type_rejected(self):
+        with pytest.raises(GraphError, match="non-negative"):
+            KDag(types=[-1], work=[1.0])
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError, match="self loop"):
+            KDag(types=[0, 0], work=[1, 1], edges=[(0, 0)])
+
+    def test_duplicate_edge_rejected(self):
+        with pytest.raises(GraphError, match="duplicate"):
+            KDag(types=[0, 0], work=[1, 1], edges=[(0, 1), (0, 1)])
+
+    def test_edge_out_of_range_rejected(self):
+        with pytest.raises(GraphError, match="out of range"):
+            KDag(types=[0, 0], work=[1, 1], edges=[(0, 5)])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            KDag(types=[0, 0, 0], work=[1, 1, 1], edges=[(0, 1), (1, 2), (2, 0)])
+
+    def test_two_cycle_rejected(self):
+        with pytest.raises(CycleError):
+            KDag(types=[0, 0], work=[1, 1], edges=[(0, 1), (1, 0)])
+
+
+class TestAdjacency:
+    def test_diamond_children_parents(self, diamond_job):
+        assert list(diamond_job.children(0)) == [1, 2]
+        assert list(diamond_job.parents(3)) == [1, 2]
+        assert diamond_job.n_children(0) == 2
+        assert diamond_job.n_parents(3) == 2
+        assert diamond_job.n_parents(0) == 0
+        assert diamond_job.n_children(3) == 0
+
+    def test_sources_and_sinks(self, diamond_job):
+        assert list(diamond_job.sources()) == [0]
+        assert list(diamond_job.sinks()) == [3]
+
+    def test_degree_vectors(self, diamond_job):
+        assert list(diamond_job.in_degrees()) == [0, 1, 1, 2]
+        assert list(diamond_job.out_degrees()) == [2, 1, 1, 0]
+
+    def test_degree_vectors_are_fresh_copies(self, diamond_job):
+        d = diamond_job.in_degrees()
+        d[0] = 99
+        assert diamond_job.in_degrees()[0] == 0
+
+    def test_tasks_of_type(self, diamond_job):
+        assert list(diamond_job.tasks_of_type(0)) == [0, 3]
+        assert list(diamond_job.tasks_of_type(1)) == [1, 2]
+
+    def test_tasks_of_type_out_of_range(self, diamond_job):
+        with pytest.raises(GraphError):
+            diamond_job.tasks_of_type(5)
+
+
+class TestTopology:
+    def test_topological_order_respects_edges(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=60)
+        pos = np.empty(job.n_tasks, dtype=int)
+        pos[job.topological_order] = np.arange(job.n_tasks)
+        for u, v in job.edges:
+            assert pos[u] < pos[v]
+
+    def test_depth_layers(self, chain_job):
+        assert list(chain_job.depth) == [0, 1, 2]
+
+    def test_depth_is_longest_path(self):
+        # 0->1->3 and 0->3: depth of 3 must be 2 (via 1), not 1.
+        job = KDag(types=[0] * 4, work=[1] * 4, edges=[(0, 1), (1, 3), (0, 3), (0, 2)])
+        assert job.depth[3] == 2
+        assert job.depth[2] == 1
+
+    def test_precedes(self, diamond_job):
+        assert diamond_job.precedes(0, 3)
+        assert diamond_job.precedes(0, 1)
+        assert not diamond_job.precedes(1, 2)
+        assert not diamond_job.precedes(3, 0)
+        assert not diamond_job.precedes(0, 0)
+
+    def test_reachable_mask(self, diamond_job):
+        mask = diamond_job.subgraph_reachable_from([1])
+        assert list(np.flatnonzero(mask)) == [1, 3]
+
+    def test_reachable_bad_root(self, diamond_job):
+        with pytest.raises(GraphError):
+            diamond_job.subgraph_reachable_from([9])
+
+
+class TestValueSemantics:
+    def test_equality_and_hash(self, diamond_job):
+        clone = KDag(
+            types=[0, 1, 1, 0],
+            work=[1.0, 2.0, 3.0, 1.0],
+            edges=[(0, 1), (0, 2), (1, 3), (2, 3)],
+            num_types=2,
+        )
+        assert clone == diamond_job
+        assert hash(clone) == hash(diamond_job)
+
+    def test_inequality_on_work(self, diamond_job):
+        other = KDag(
+            types=[0, 1, 1, 0],
+            work=[1.0, 2.0, 3.0, 2.0],
+            edges=[(0, 1), (0, 2), (1, 3), (2, 3)],
+            num_types=2,
+        )
+        assert other != diamond_job
+
+    def test_arrays_are_read_only(self, diamond_job):
+        with pytest.raises(ValueError):
+            diamond_job.work[0] = 5.0
+        with pytest.raises(ValueError):
+            diamond_job.types[0] = 1
+
+    def test_len(self, diamond_job):
+        assert len(diamond_job) == 4
+
+    def test_edges_deduplicated_and_sorted_adjacency(self):
+        job = KDag(types=[0, 0, 0], work=[1, 1, 1], edges=[(0, 2), (0, 1)])
+        assert list(job.children(0)) == [1, 2]

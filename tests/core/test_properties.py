@@ -1,0 +1,107 @@
+"""Unit tests for aggregate K-DAG properties (work, span, lower bound)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, critical_path, lower_bound, span, total_work, type_work
+from repro.core.properties import work_per_processor
+from repro.errors import ResourceError
+
+
+class TestTypeWork:
+    def test_fig1_quantities(self, fig1_job):
+        """The paper's Fig. 1 example: T1 = (7, 4, 3), span 7."""
+        assert list(type_work(fig1_job)) == [7.0, 4.0, 3.0]
+        assert span(fig1_job) == 7.0
+        assert total_work(fig1_job) == 14.0
+
+    def test_type_work_includes_absent_types(self):
+        job = KDag(types=[0], work=[3.0], num_types=3)
+        assert list(type_work(job)) == [3.0, 0.0, 0.0]
+
+    def test_total_is_sum_of_types(self, diamond_job):
+        assert total_work(diamond_job) == pytest.approx(
+            float(type_work(diamond_job).sum())
+        )
+
+
+class TestSpan:
+    def test_single_task(self):
+        assert span(KDag(types=[0], work=[4.0])) == 4.0
+
+    def test_chain_span_is_total(self, chain_job):
+        assert span(chain_job) == 3.0
+
+    def test_diamond_takes_heavier_branch(self, diamond_job):
+        # 0(1) -> 2(3) -> 3(1) = 5.
+        assert span(diamond_job) == 5.0
+
+    def test_independent_tasks_span_is_max(self):
+        job = KDag(types=[0, 0, 0], work=[2.0, 7.0, 3.0])
+        assert span(job) == 7.0
+
+    def test_span_counts_work_not_hops(self):
+        # Short heavy path (work 10+10) beats long light one (1*4).
+        job = KDag(
+            types=[0] * 6,
+            work=[10, 10, 1, 1, 1, 1],
+            edges=[(0, 1), (2, 3), (3, 4), (4, 5)],
+        )
+        assert span(job) == 20.0
+
+
+class TestCriticalPath:
+    def test_chain(self, chain_job):
+        assert critical_path(chain_job) == [0, 1, 2]
+
+    def test_diamond(self, diamond_job):
+        assert critical_path(diamond_job) == [0, 2, 3]
+
+    def test_path_work_equals_span(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=30)
+            path = critical_path(job)
+            assert float(job.work[path].sum()) == pytest.approx(span(job))
+            for u, v in zip(path, path[1:]):
+                assert v in job.children(u)
+
+
+class TestLowerBound:
+    def test_span_dominates(self, chain_job):
+        assert lower_bound(chain_job, [5, 5, 5]) == 3.0
+
+    def test_work_dominates(self):
+        job = KDag(types=[0] * 10, work=[1.0] * 10)
+        assert lower_bound(job, [2]) == 5.0
+
+    def test_fig1_bounds(self, fig1_job):
+        # T1/P = (7/1, 4/1, 3/1) -> max 7 == span.
+        assert lower_bound(fig1_job, [1, 1, 1]) == 7.0
+        # More type-0 procs: span still dominates.
+        assert lower_bound(fig1_job, [2, 1, 1]) == 7.0
+
+    def test_work_per_processor(self, fig1_job):
+        assert list(work_per_processor(fig1_job, [1, 2, 3])) == [7.0, 2.0, 1.0]
+
+    def test_processor_shape_mismatch(self, fig1_job):
+        with pytest.raises(ResourceError):
+            lower_bound(fig1_job, [1, 1])
+
+    def test_nonpositive_processors(self, fig1_job):
+        with pytest.raises(ResourceError):
+            lower_bound(fig1_job, [1, 0, 1])
+
+    def test_lower_bound_never_exceeds_any_makespan(self, rng):
+        """L(J) must lower-bound every legal schedule's makespan."""
+        from tests.conftest import make_random_job
+        from repro import ResourceConfig, make_scheduler, simulate
+
+        for _ in range(5):
+            job = make_random_job(rng, n=25, k=2)
+            system = ResourceConfig((2, 2))
+            result = simulate(job, system, make_scheduler("kgreedy"))
+            assert result.makespan >= lower_bound(job, [2, 2]) - 1e-9

@@ -1,0 +1,115 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command_defaults(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.experiment == "fig4"
+        assert args.instances is None
+        assert args.out is None
+
+    def test_run_with_options(self):
+        args = build_parser().parse_args(
+            ["run", "lemma1", "--instances", "50", "--seed", "9", "--out", "x"]
+        )
+        assert args.instances == 50
+        assert args.seed == 9
+        assert args.out == "x"
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig4" in out and "lemma1" in out
+
+    def test_run_lemma1_prints_table(self, capsys):
+        assert main(["run", "lemma1", "--instances", "200"]) == 0
+        out = capsys.readouterr().out
+        assert "closed form" in out
+
+    def test_run_saves_json(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run", "lemma1", "--instances", "100",
+                    "--out", str(tmp_path), "--quiet",
+                ]
+            )
+            == 0
+        )
+        data = json.loads((tmp_path / "lemma1.json").read_text())
+        assert data["figure"] == "lemma1"
+
+    def test_report_rendering(self, tmp_path, capsys):
+        main(["run", "lemma1", "--instances", "100", "--out", str(tmp_path),
+              "--quiet"])
+        capsys.readouterr()
+        assert main(["report", str(tmp_path / "lemma1.json")]) == 0
+        assert "closed form" in capsys.readouterr().out
+
+    def test_unknown_experiment_raises(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["run", "fig99"])
+
+
+class TestCells:
+    def test_lists_paper_and_extra_cells(self, capsys):
+        assert main(["cells"]) == 0
+        out = capsys.readouterr().out
+        assert "small-layered-ep" in out
+        assert "medium-layered-cosmos" in out
+
+
+class TestDemo:
+    def test_draws_gantt_and_utilization(self, capsys):
+        assert (
+            main(
+                [
+                    "demo", "small-layered-ep",
+                    "--scheduler", "kgreedy", "--width", "40", "--seed", "3",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "per-type utilization" in out
+        assert "t0[0]" in out
+
+    def test_preemptive_flag(self, capsys):
+        assert (
+            main(
+                [
+                    "demo", "small-random-ep",
+                    "--scheduler", "lspan", "--width", "30",
+                    "--preemptive",
+                ]
+            )
+            == 0
+        )
+        assert "makespan" in capsys.readouterr().out
+
+    def test_unknown_cell(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["demo", "nope-cell"])

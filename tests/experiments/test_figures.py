@@ -1,0 +1,82 @@
+"""Smoke tests for the per-figure experiment definitions.
+
+These run every experiment at tiny instance counts: the goal is schema
+and plumbing correctness; the real magnitudes are exercised by the
+benchmark harness and recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.figures import EXPERIMENTS, run_experiment
+
+
+class TestRegistry:
+    def test_contains_every_paper_figure(self):
+        assert {"fig4", "fig5", "fig6", "fig7", "fig8"} <= set(EXPERIMENTS)
+
+    def test_contains_theory_experiments(self):
+        assert {"lemma1", "thm2"} <= set(EXPERIMENTS)
+
+    def test_unknown_experiment(self):
+        with pytest.raises(ConfigurationError):
+            run_experiment("fig99")
+
+
+@pytest.mark.slow
+class TestSchemas:
+    def test_fig4_schema(self):
+        r = run_experiment("fig4", n_instances=2, seed=1)
+        assert r["kind"] == "bars"
+        assert len(r["panels"]) == 6
+        for panel in r["panels"]:
+            keys = [s["key"] for s in panel["series"]]
+            assert keys == ["kgreedy", "lspan", "dtype", "maxdp", "shiftbt", "mqb"]
+            assert all(s["mean"] >= 1.0 - 1e-9 for s in panel["series"])
+
+    def test_fig5_schema(self):
+        r = run_experiment("fig5", n_instances=1, seed=1)
+        assert r["kind"] == "lines"
+        assert len(r["panels"]) == 3
+        for panel in r["panels"]:
+            assert panel["x"] == [1, 2, 3, 4, 5, 6]
+            for series in panel["series"].values():
+                assert len(series) == 6
+
+    def test_fig6_schema(self):
+        r = run_experiment("fig6", n_instances=2, seed=1)
+        assert r["kind"] == "bars"
+        assert len(r["panels"]) == 2
+        assert r["config"]["skew_factor"] == 5
+
+    def test_fig7_schema(self):
+        r = run_experiment("fig7", n_instances=1, seed=1)
+        assert len(r["panels"]) == 3
+        keys = [s["key"] for s in r["panels"][0]["series"]]
+        assert "kgreedy" in keys and "kgreedy (P)" in keys
+        assert len(keys) == 12
+
+    def test_fig8_schema(self):
+        r = run_experiment("fig8", n_instances=2, seed=1)
+        assert r["metric"] == "mean+max"
+        keys = [s["key"] for s in r["panels"][0]["series"]]
+        assert keys[0] == "kgreedy"
+        assert len(keys) == 7
+
+    def test_lemma1_schema(self):
+        r = run_experiment("lemma1", n_instances=200, seed=1)
+        assert r["kind"] == "table"
+        for row in r["rows"]:
+            n, rr, closed, exact, mc = row
+            assert closed == pytest.approx(exact, rel=1e-9)
+            assert mc == pytest.approx(closed, rel=0.1)
+
+    def test_thm2_schema(self):
+        r = run_experiment("thm2", n_instances=3, seed=1)
+        assert r["kind"] == "table"
+        for row in r["rows"]:
+            _, _, empirical, bound_m, bound_inf, guarantee = row
+            assert empirical <= guarantee + 0.5
+            assert bound_m <= bound_inf + 1e-9

@@ -1,0 +1,134 @@
+"""Unit tests for result rendering and persistence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.report import render_result
+from repro.experiments.store import load_result, save_result
+
+
+BARS = {
+    "figure": "figX",
+    "title": "demo",
+    "kind": "bars",
+    "metric": "mean",
+    "panels": [
+        {
+            "name": "cell",
+            "label": "(a) Cell",
+            "series": [
+                {"key": "kgreedy", "mean": 2.5, "max": 3.0, "std": 0.1,
+                 "stderr": 0.01, "n": 10},
+                {"key": "mqb", "mean": 1.5, "max": 2.0, "std": 0.1,
+                 "stderr": 0.01, "n": 10},
+            ],
+        }
+    ],
+    "config": {"n_instances": 10},
+}
+
+LINES = {
+    "figure": "figY",
+    "title": "lines demo",
+    "kind": "lines",
+    "panels": [
+        {
+            "name": "cell",
+            "label": "(a) Cell",
+            "x_label": "K",
+            "x": [1, 2],
+            "series": {"kgreedy": [1.0, 2.0], "mqb": [1.0, 1.2]},
+        }
+    ],
+    "config": {},
+}
+
+TABLE = {
+    "figure": "figZ",
+    "title": "table demo",
+    "kind": "table",
+    "columns": ["n", "value"],
+    "rows": [[10, 1.234], [20, 5.678]],
+    "config": {},
+}
+
+
+class TestRender:
+    def test_bars(self):
+        out = render_result(BARS)
+        assert "kgreedy" in out and "mqb" in out
+        assert "2.5" in out
+        assert "(a) Cell" in out
+
+    def test_bars_with_max(self):
+        r = dict(BARS, metric="mean+max")
+        out = render_result(r)
+        assert "max ratio" in out
+
+    def test_lines(self):
+        out = render_result(LINES)
+        assert "K" in out.splitlines()[4]
+        assert "1.2" in out
+
+    def test_table(self):
+        out = render_result(TABLE)
+        assert "5.678" in out
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            render_result({"figure": "f", "title": "t", "kind": "pie"})
+
+
+class TestMarkdown:
+    def test_bars_markdown(self):
+        from repro.experiments.report import render_markdown
+
+        out = render_markdown(BARS)
+        assert out.startswith("### figX")
+        assert "| algorithm | mean ratio | stderr |" in out
+        assert "| mqb | 1.500 |" in out
+
+    def test_bars_markdown_with_max(self):
+        from repro.experiments.report import render_markdown
+
+        out = render_markdown(dict(BARS, metric="mean+max"))
+        assert "max ratio" in out
+
+    def test_lines_markdown(self):
+        from repro.experiments.report import render_markdown
+
+        out = render_markdown(LINES)
+        assert "| K | kgreedy | mqb |" in out
+
+    def test_table_markdown(self):
+        from repro.experiments.report import render_markdown
+
+        out = render_markdown(TABLE)
+        assert "| 20 | 5.678 |" in out
+
+    def test_unknown_kind(self):
+        from repro.experiments.report import render_markdown
+
+        with pytest.raises(ConfigurationError):
+            render_markdown({"figure": "f", "title": "t", "kind": "pie"})
+
+
+class TestStore:
+    def test_roundtrip(self, tmp_path):
+        path = save_result(BARS, tmp_path)
+        assert path.name == "figX.json"
+        assert load_result(path) == BARS
+
+    def test_missing_figure_key(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            save_result({"title": "x"}, tmp_path)
+
+    def test_load_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_result(tmp_path / "nope.json")
+
+    def test_creates_directory(self, tmp_path):
+        save_result(TABLE, tmp_path / "deep" / "dir")
+        assert (tmp_path / "deep" / "dir" / "figZ.json").exists()

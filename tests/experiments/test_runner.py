@@ -1,0 +1,56 @@
+"""Unit tests for the paired-comparison runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import run_comparison
+from repro.workloads.params import EPParams, WorkloadSpec
+
+
+TINY_EP = WorkloadSpec(
+    "ep", "layered", "small",
+    params=EPParams(branches_range=(3, 5), chain_length_range=(8, 12)),
+)
+
+
+class TestRunComparison:
+    def test_returns_stats_in_order(self):
+        stats = run_comparison(TINY_EP, ["kgreedy", "mqb"], 5, seed=1)
+        assert [s.key for s in stats] == ["kgreedy", "mqb"]
+        assert all(s.n == 5 for s in stats)
+
+    def test_ratios_at_least_one(self):
+        stats = run_comparison(TINY_EP, ["kgreedy"], 5, seed=2)
+        assert stats[0].mean >= 1.0 - 1e-9
+        assert stats[0].maximum >= stats[0].mean
+
+    def test_reproducible(self):
+        a = run_comparison(TINY_EP, ["mqb"], 4, seed=3)
+        b = run_comparison(TINY_EP, ["mqb"], 4, seed=3)
+        assert a[0].mean == b[0].mean
+        assert a[0].maximum == b[0].maximum
+
+    def test_seed_changes_results(self):
+        a = run_comparison(TINY_EP, ["kgreedy"], 4, seed=4)
+        b = run_comparison(TINY_EP, ["kgreedy"], 4, seed=5)
+        assert a[0].mean != b[0].mean
+
+    def test_preemptive_suffix(self):
+        stats = run_comparison(TINY_EP, ["kgreedy"], 2, seed=6, preemptive=True)
+        assert stats[0].key == "kgreedy (P)"
+
+    def test_invalid_instances(self):
+        with pytest.raises(ConfigurationError):
+            run_comparison(TINY_EP, ["kgreedy"], 0, seed=7)
+
+    def test_single_instance_has_zero_std(self):
+        stats = run_comparison(TINY_EP, ["kgreedy"], 1, seed=8)
+        assert stats[0].std == 0.0
+        assert stats[0].stderr == 0.0
+
+    def test_to_dict(self):
+        s = run_comparison(TINY_EP, ["kgreedy"], 2, seed=9)[0]
+        d = s.to_dict()
+        assert set(d) == {"key", "mean", "max", "std", "stderr", "n"}

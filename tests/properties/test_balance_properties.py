@@ -1,0 +1,95 @@
+"""Property-based tests for the balance order and workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.core.balance import balance_key, compare_balance
+from repro.workloads.ep import generate_ep
+from repro.workloads.ir import generate_ir
+from repro.workloads.params import EPParams, IRParams, TreeParams
+from repro.workloads.tree import generate_tree
+
+
+queue_works = st.lists(
+    st.floats(0.0, 100.0, allow_nan=False), min_size=1, max_size=6
+)
+
+
+@given(queue_works, st.data())
+@settings(max_examples=80, deadline=None)
+def test_compare_balance_is_antisymmetric(works, data):
+    k = len(works)
+    procs = data.draw(st.lists(st.integers(1, 5), min_size=k, max_size=k))
+    other = data.draw(
+        st.lists(st.floats(0.0, 100.0, allow_nan=False), min_size=k, max_size=k)
+    )
+    a = balance_key(works, procs)
+    b = balance_key(other, procs)
+    assert compare_balance(a, b) == -compare_balance(b, a)
+
+
+@given(queue_works, st.data())
+@settings(max_examples=80, deadline=None)
+def test_compare_balance_reflexive_and_permutation_invariant(works, data):
+    k = len(works)
+    procs = [1] * k
+    perm = data.draw(st.permutations(list(range(k))))
+    shuffled = [works[i] for i in perm]
+    a = balance_key(works, procs)
+    b = balance_key(shuffled, procs)
+    assert compare_balance(a, b) == 0
+
+
+@given(queue_works, st.data())
+@settings(max_examples=60, deadline=None)
+def test_transitivity_on_triples(works, data):
+    k = len(works)
+    procs = data.draw(st.lists(st.integers(1, 4), min_size=k, max_size=k))
+    w2 = data.draw(st.lists(st.floats(0, 100, allow_nan=False), min_size=k, max_size=k))
+    w3 = data.draw(st.lists(st.floats(0, 100, allow_nan=False), min_size=k, max_size=k))
+    a, b, c = (balance_key(w, procs) for w in (works, w2, w3))
+    if compare_balance(a, b) >= 0 and compare_balance(b, c) >= 0:
+        assert compare_balance(a, c) >= 0
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_ep_generator_always_valid(k, seed):
+    rng = np.random.default_rng(seed)
+    params = EPParams(branches_range=(2, 5), chain_length_range=(4, 10))
+    job = generate_ep(params, k, "layered", rng)
+    assert job.num_types == k
+    assert np.all(job.work >= 1)
+    assert np.all(job.in_degrees() <= 1)
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_tree_generator_always_valid(k, seed):
+    rng = np.random.default_rng(seed)
+    params = TreeParams(
+        fanout_range=(2, 4), fanout_prob_range=(0.2, 0.5),
+        max_depth=6, max_nodes=200, forced_depth=1,
+    )
+    job = generate_tree(params, k, "layered", rng)
+    assert job.sources().size == 1
+    assert job.n_edges == job.n_tasks - 1
+    assert job.n_tasks <= 200
+
+
+@given(st.integers(1, 6), st.integers(0, 2**31 - 1))
+@settings(max_examples=30, deadline=None)
+def test_ir_generator_always_valid(k, seed):
+    rng = np.random.default_rng(seed)
+    params = IRParams(
+        iterations_range=(1, 3), maps_range=(3, 8),
+        reduces_range=(2, 4), fanin_range=(1, 2),
+    )
+    job = generate_ir(params, k, "random", rng)
+    assert job.num_types == k
+    # Acyclic by construction (KDag would raise otherwise); every
+    # reduce reachable: no isolated tasks outside the first map phase.
+    later = np.flatnonzero(job.depth > 0)
+    assert np.all(job.in_degrees()[later] >= 1)

@@ -1,0 +1,99 @@
+"""Property-based tests for the K-DAG core (hypothesis)."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import KDag
+from repro.core.descendants import (
+    descendant_values,
+    one_step_descendant_values,
+    remaining_span,
+    untyped_descendant_values,
+)
+from repro.core.properties import span, total_work, type_work
+
+
+@st.composite
+def kdags(draw, max_tasks: int = 30, max_types: int = 4):
+    """Random K-DAGs: edges only go id-upward, so always acyclic."""
+    n = draw(st.integers(1, max_tasks))
+    k = draw(st.integers(1, max_types))
+    types = draw(
+        st.lists(st.integers(0, k - 1), min_size=n, max_size=n)
+    )
+    work = draw(
+        st.lists(
+            st.floats(0.25, 16.0, allow_nan=False, allow_infinity=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = draw(st.lists(st.sampled_from(possible), unique=True, max_size=60)) if possible else []
+    return KDag(types=types, work=work, edges=edges, num_types=k)
+
+
+@given(kdags())
+@settings(max_examples=60, deadline=None)
+def test_type_work_partitions_total(job):
+    np.testing.assert_allclose(type_work(job).sum(), total_work(job), rtol=1e-12)
+    assert np.all(type_work(job) >= 0.0)
+
+
+@given(kdags())
+@settings(max_examples=60, deadline=None)
+def test_span_bounds(job):
+    s = span(job)
+    assert s <= total_work(job) + 1e-9
+    assert s >= float(job.work.max()) - 1e-9
+
+
+@given(kdags())
+@settings(max_examples=60, deadline=None)
+def test_topological_order_is_permutation_respecting_edges(job):
+    topo = job.topological_order
+    assert sorted(topo.tolist()) == list(range(job.n_tasks))
+    pos = np.empty(job.n_tasks, dtype=int)
+    pos[topo] = np.arange(job.n_tasks)
+    for u, v in job.edges:
+        assert pos[u] < pos[v]
+
+
+@given(kdags())
+@settings(max_examples=60, deadline=None)
+def test_descendant_values_nonnegative_and_consistent(job):
+    typed = descendant_values(job)
+    assert np.all(typed >= -1e-12)
+    np.testing.assert_allclose(
+        typed.sum(axis=1), untyped_descendant_values(job), rtol=1e-9, atol=1e-9
+    )
+    one = one_step_descendant_values(job)
+    assert np.all(one <= typed + 1e-9)
+
+
+@given(kdags())
+@settings(max_examples=60, deadline=None)
+def test_descendant_values_bounded_by_reachable_work(job):
+    """d_alpha(v) cannot exceed the alpha-work actually reachable from v."""
+    typed = descendant_values(job)
+    for v in range(job.n_tasks):
+        mask = job.subgraph_reachable_from([v])
+        mask[v] = False
+        for alpha in range(job.num_types):
+            reachable = float(
+                job.work[(job.types == alpha) & mask].sum()
+            )
+            assert typed[v, alpha] <= reachable + 1e-9
+
+
+@given(kdags())
+@settings(max_examples=60, deadline=None)
+def test_remaining_span_monotone(job):
+    rs = remaining_span(job)
+    for u, v in job.edges:
+        assert rs[u] >= job.work[u] + rs[v] - 1e-9
+    # Max remaining span over sources equals the span.
+    sources = job.sources()
+    assert float(rs[sources].max()) == np.max(rs)

@@ -1,0 +1,125 @@
+"""Property-based tests for the stream and flexible extensions."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro import KDag, ResourceConfig
+from repro.flexible import FlexDag, FlexGreedy, FlexMQB, flexible_lower_bound, simulate_flexible
+from repro.multijob import (
+    GlobalKGreedy,
+    GlobalMQB,
+    JobFCFS,
+    JobStream,
+    SmallestRemainingFirst,
+    simulate_stream,
+)
+
+POLICIES = [GlobalKGreedy, JobFCFS, SmallestRemainingFirst, GlobalMQB]
+
+
+@st.composite
+def small_jobs(draw, k: int):
+    n = draw(st.integers(1, 10))
+    types = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    work = draw(st.lists(st.integers(1, 5), min_size=n, max_size=n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), unique=True, max_size=12))
+        if possible
+        else []
+    )
+    return KDag(types=types, work=[float(w) for w in work], edges=edges,
+                num_types=k)
+
+
+@st.composite
+def streams(draw):
+    k = draw(st.integers(1, 3))
+    n_jobs = draw(st.integers(1, 4))
+    jobs = tuple(draw(small_jobs(k)) for _ in range(n_jobs))
+    gaps = draw(
+        st.lists(st.floats(0.0, 10.0, allow_nan=False),
+                 min_size=n_jobs - 1, max_size=n_jobs - 1)
+    )
+    arrivals = (0.0, *np.cumsum(gaps).tolist()) if gaps else (0.0,)
+    procs = tuple(draw(st.integers(1, 3)) for _ in range(k))
+    return JobStream(jobs, arrivals), ResourceConfig(procs)
+
+
+@given(streams(), st.sampled_from(range(len(POLICIES))))
+@settings(max_examples=40, deadline=None)
+def test_stream_policies_complete_and_bound(data, policy_idx):
+    stream, system = data
+    result = simulate_stream(stream, system, POLICIES[policy_idx]())
+    # Every job finishes at or after its arrival + its own span.
+    from repro.core.properties import span
+
+    for jid, job in enumerate(stream.jobs):
+        assert result.completion_times[jid] >= (
+            stream.arrivals[jid] + span(job) - 1e-9
+        )
+    # Work conservation: makespan <= last arrival + total work.
+    assert result.makespan <= stream.arrivals[-1] + stream.total_work() + 1e-9
+    assert np.all(result.flow_times > 0)
+
+
+@given(streams())
+@settings(max_examples=25, deadline=None)
+def test_fcfs_completes_jobs_in_arrival_order_when_same_shape(data):
+    stream, system = data
+    result = simulate_stream(stream, system, JobFCFS())
+    # FCFS never finishes a later IDENTICAL job before an earlier one.
+    for a in range(len(stream)):
+        for b in range(a + 1, len(stream)):
+            if stream.jobs[a] == stream.jobs[b]:
+                assert (
+                    result.completion_times[a]
+                    <= result.completion_times[b] + 1e-9
+                )
+
+
+@st.composite
+def flex_jobs(draw):
+    n = draw(st.integers(1, 8))
+    k = draw(st.integers(1, 3))
+    rows = []
+    for _ in range(n):
+        row = [
+            draw(st.sampled_from([1.0, 2.0, 4.0, float("inf")]))
+            for _ in range(k)
+        ]
+        if all(x == float("inf") for x in row):
+            row[draw(st.integers(0, k - 1))] = 2.0
+        rows.append(row)
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), unique=True, max_size=10))
+        if possible
+        else []
+    )
+    procs = tuple(draw(st.integers(1, 2)) for _ in range(k))
+    return FlexDag(rows, edges), ResourceConfig(procs)
+
+
+@given(flex_jobs(), st.sampled_from([FlexGreedy, FlexMQB]))
+@settings(max_examples=40, deadline=None)
+def test_flexible_schedules_complete_and_sound(data, policy):
+    job, system = data
+    result = simulate_flexible(job, system, policy(), record_trace=True)
+    # Lower bound holds.
+    assert result.makespan >= flexible_lower_bound(job, system.as_array()) - 1e-9
+    # Every chosen type was permitted, and the realized schedule is legal.
+    for v in range(job.n_tasks):
+        alpha = int(result.type_choices[v])
+        assert np.isfinite(job.work[v, alpha])
+    from repro import validate_schedule
+
+    realized = KDag(
+        types=result.type_choices,
+        work=[float(job.work[v, result.type_choices[v]]) for v in range(job.n_tasks)],
+        edges=[tuple(e) for e in job.edges],
+        num_types=job.num_types,
+    )
+    validate_schedule(realized, system, result.trace, result.makespan)

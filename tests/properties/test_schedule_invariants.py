@@ -1,0 +1,96 @@
+"""Property-based tests: every scheduler produces legal, bounded schedules.
+
+These are the load-bearing invariants of the whole system:
+
+1. **Legality** — precedence, type matching, processor exclusivity and
+   work conservation (checked by ``validate_schedule``).
+2. **Lower bound** — makespan >= L(J) = max(span, max_a T1a/Pa).
+3. **Greedy upper bound** — for any work-conserving scheduler,
+   makespan <= sum_a T1a/Pa + span (the structural bound behind
+   KGreedy's (K+1)-competitiveness).
+4. **Determinism** — same seed, same makespan.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import ResourceConfig, make_scheduler, simulate, simulate_preemptive, validate_schedule
+from repro.core.properties import span, type_work
+from repro.schedulers.registry import available_schedulers
+from repro import KDag
+
+ALL_SCHEDULERS = available_schedulers()
+
+
+@st.composite
+def jobs_and_systems(draw, max_tasks: int = 24):
+    n = draw(st.integers(1, max_tasks))
+    k = draw(st.integers(1, 3))
+    types = draw(st.lists(st.integers(0, k - 1), min_size=n, max_size=n))
+    # Integer work keeps the preemptive quantum engine exact.
+    work = draw(st.lists(st.integers(1, 6), min_size=n, max_size=n))
+    possible = [(i, j) for i in range(n) for j in range(i + 1, n)]
+    edges = (
+        draw(st.lists(st.sampled_from(possible), unique=True, max_size=40))
+        if possible
+        else []
+    )
+    procs = tuple(draw(st.integers(1, 3)) for _ in range(k))
+    job = KDag(types=types, work=[float(w) for w in work], edges=edges, num_types=k)
+    return job, ResourceConfig(procs)
+
+
+def greedy_upper_bound(job, system) -> float:
+    return float((type_work(job) / system.as_array()).sum() + span(job))
+
+
+@pytest.mark.parametrize("name", ALL_SCHEDULERS)
+@given(data=st.data())
+@settings(max_examples=20, deadline=None)
+def test_nonpreemptive_schedule_invariants(name, data):
+    job, system = data.draw(jobs_and_systems())
+    res = simulate(
+        job, system, make_scheduler(name),
+        rng=np.random.default_rng(0), record_trace=True,
+    )
+    validate_schedule(job, system, res.trace, res.makespan)
+    assert res.completion_time_ratio() >= 1.0 - 1e-9
+    assert res.makespan <= greedy_upper_bound(job, system) + 1e-9
+
+
+@pytest.mark.parametrize("name", ["kgreedy", "lspan", "mqb", "mqb+all+noise"])
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_preemptive_schedule_invariants(name, data):
+    job, system = data.draw(jobs_and_systems())
+    res = simulate_preemptive(
+        job, system, make_scheduler(name),
+        rng=np.random.default_rng(0), record_trace=True,
+    )
+    validate_schedule(job, system, res.trace, res.makespan, preemptive=True)
+    assert res.completion_time_ratio() >= 1.0 - 1e-9
+    assert res.makespan <= greedy_upper_bound(job, system) + 1e-9
+
+
+@pytest.mark.parametrize("name", ["mqb", "mqb+all+exp", "shiftbt"])
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_determinism_under_fixed_seed(name, data):
+    job, system = data.draw(jobs_and_systems())
+    a = simulate(job, system, make_scheduler(name), rng=np.random.default_rng(7))
+    b = simulate(job, system, make_scheduler(name), rng=np.random.default_rng(7))
+    assert a.makespan == b.makespan
+
+
+@given(data=st.data())
+@settings(max_examples=15, deadline=None)
+def test_preemptive_never_splits_more_than_quantum(data):
+    job, system = data.draw(jobs_and_systems(max_tasks=12))
+    res = simulate_preemptive(
+        job, system, make_scheduler("lspan"),
+        rng=np.random.default_rng(0), record_trace=True,
+    )
+    assert all(s.duration <= 1.0 + 1e-12 for s in res.trace)

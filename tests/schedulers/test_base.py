@@ -1,0 +1,115 @@
+"""Unit tests for the Scheduler / QueueScheduler base classes."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig
+from repro.errors import SchedulingError
+from repro.schedulers.base import QueueScheduler, Scheduler
+
+
+class Fifo(QueueScheduler):
+    name = "fifo-test"
+
+    def priorities(self, job):
+        return np.zeros(job.n_tasks)
+
+
+class BadShape(QueueScheduler):
+    name = "bad-shape"
+
+    def priorities(self, job):
+        return np.zeros(job.n_tasks + 3)
+
+
+class TestSchedulerBase:
+    def test_job_access_before_prepare(self):
+        s = Fifo()
+        with pytest.raises(SchedulingError, match="before prepare"):
+            _ = s.job
+        with pytest.raises(SchedulingError, match="before prepare"):
+            _ = s.resources
+
+    def test_prepare_k_mismatch(self):
+        job = KDag(types=[0], work=[1.0], num_types=2)
+        with pytest.raises(SchedulingError, match="resource types"):
+            Fifo().prepare(job, ResourceConfig((1,)))
+
+    def test_priorities_shape_checked(self):
+        job = KDag(types=[0], work=[1.0])
+        with pytest.raises(SchedulingError, match="shape"):
+            BadShape().prepare(job, ResourceConfig((1,)))
+
+    def test_default_assign_visits_all_types(self):
+        job = KDag(types=[0, 1, 1], work=[1.0] * 3, num_types=2)
+        s = Fifo()
+        s.prepare(job, ResourceConfig((1, 1)))
+        for t in range(3):
+            s.task_ready(t, 0.0, 1.0)
+        chosen = s.assign([1, 1], 0.0)
+        assert sorted(int(job.types[t]) for t in chosen) == [0, 1]
+
+    def test_default_assign_skips_empty_and_full(self):
+        job = KDag(types=[0, 1], work=[1.0, 1.0], num_types=2)
+        s = Fifo()
+        s.prepare(job, ResourceConfig((1, 1)))
+        s.task_ready(0, 0.0, 1.0)
+        # No free type-0 slots -> nothing from queue 0.
+        assert s.assign([0, 1], 0.0) == []
+
+    def test_assign_guards_against_overcommitting_select(self):
+        class Greedy(Fifo):
+            def select(self, alpha, n_slots, time):
+                # Misbehave: return everything regardless of slots.
+                out = super().select(alpha, 999, time)
+                return out
+
+        job = KDag(types=[0, 0, 0], work=[1.0] * 3, num_types=1)
+        s = Greedy()
+        s.prepare(job, ResourceConfig((1,)))
+        for t in range(3):
+            s.task_ready(t, 0.0, 1.0)
+        with pytest.raises(SchedulingError, match="returned 3 tasks"):
+            s.assign([1], 0.0)
+
+    def test_assign_guards_against_empty_select(self):
+        class Lazy(Fifo):
+            def select(self, alpha, n_slots, time):
+                return []
+
+        job = KDag(types=[0], work=[1.0], num_types=1)
+        s = Lazy()
+        s.prepare(job, ResourceConfig((1,)))
+        s.task_ready(0, 0.0, 1.0)
+        with pytest.raises(SchedulingError, match="returned no task"):
+            s.assign([1], 0.0)
+
+
+class TestQueueSchedulerOrdering:
+    def test_priority_then_fifo(self):
+        class ByWork(QueueScheduler):
+            name = "bywork"
+
+            def priorities(self, job):
+                return job.work.copy()
+
+        job = KDag(types=[0, 0, 0], work=[3.0, 1.0, 1.0], num_types=1)
+        s = ByWork()
+        s.prepare(job, ResourceConfig((1,)))
+        s.task_ready(0, 0.0, 3.0)
+        s.task_ready(2, 0.0, 1.0)
+        s.task_ready(1, 0.0, 1.0)
+        # Lower key first; equal keys in arrival order (2 before 1).
+        assert s.select(0, 3, 0.0) == [2, 1, 0]
+
+    def test_sticky_seq_across_requeue(self):
+        job = KDag(types=[0, 0], work=[2.0, 2.0], num_types=1)
+        s = Fifo()
+        s.prepare(job, ResourceConfig((1,)))
+        s.task_ready(0, 0.0, 2.0)
+        assert s.select(0, 1, 0.0) == [0]
+        s.task_ready(1, 0.5, 2.0)
+        s.task_ready(0, 1.0, 1.0)  # re-announced later but keeps rank
+        assert s.select(0, 2, 1.0) == [0, 1]

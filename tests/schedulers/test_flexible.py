@@ -1,0 +1,189 @@
+"""Unit tests for the flexible-type (JIT) extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, validate_schedule
+from repro.errors import GraphError, ResourceError, SchedulingError
+from repro.flexible import (
+    FlexDag,
+    FlexGreedy,
+    FlexMQB,
+    flexible_lower_bound,
+    simulate_flexible,
+)
+
+INF = float("inf")
+
+
+class TestFlexDag:
+    def test_basic(self):
+        fd = FlexDag([[1.0, 2.0], [INF, 3.0]], edges=[(0, 1)])
+        assert fd.n_tasks == 2
+        assert fd.num_types == 2
+        assert list(fd.permitted(0)) == [0, 1]
+        assert list(fd.permitted(1)) == [1]
+        assert fd.min_work(0) == 1.0
+
+    def test_rejects_all_forbidden_row(self):
+        with pytest.raises(GraphError, match="no permitted type"):
+            FlexDag([[1.0, 2.0], [INF, INF]])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(GraphError, match="positive"):
+            FlexDag([[0.0, 2.0]])
+
+    def test_rejects_nan(self):
+        with pytest.raises(GraphError, match="NaN"):
+            FlexDag([[float("nan"), 2.0]])
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(GraphError):
+            FlexDag([1.0, 2.0])
+
+    def test_structure_delegation(self):
+        fd = FlexDag([[1.0, INF], [INF, 1.0], [1.0, 1.0]], edges=[(0, 2), (1, 2)])
+        assert list(fd.children(0)) == [2]
+        assert list(fd.parents(2)) == [0, 1]
+        assert list(fd.sources()) == [0, 1]
+
+    def test_work_read_only(self):
+        fd = FlexDag([[1.0, 2.0]])
+        with pytest.raises(ValueError):
+            fd.work[0, 0] = 9.0
+
+
+class TestFromKDag:
+    def make_job(self):
+        return KDag(types=[0, 1, 0], work=[2.0, 3.0, 4.0],
+                    edges=[(0, 1), (1, 2)], num_types=2)
+
+    def test_zero_flexibility_is_rigid(self):
+        fd = FlexDag.from_kdag(self.make_job())
+        for v in range(3):
+            assert fd.permitted(v).size == 1
+
+    def test_full_flexibility_permits_everything(self):
+        fd = FlexDag.from_kdag(
+            self.make_job(), flexibility=1.0,
+            rng=np.random.default_rng(0), penalty=2.0,
+        )
+        for v in range(3):
+            assert fd.permitted(v).size == 2
+        # Native cost preserved, fallback at penalty.
+        assert fd.work[0, 0] == 2.0
+        assert fd.work[0, 1] == 4.0
+
+    def test_requires_rng_when_flexible(self):
+        with pytest.raises(GraphError, match="rng"):
+            FlexDag.from_kdag(self.make_job(), flexibility=0.5)
+
+    def test_invalid_flexibility(self):
+        with pytest.raises(GraphError):
+            FlexDag.from_kdag(self.make_job(), flexibility=1.5,
+                              rng=np.random.default_rng(0))
+
+    def test_invalid_penalty(self):
+        with pytest.raises(GraphError):
+            FlexDag.from_kdag(self.make_job(), flexibility=1.0,
+                              rng=np.random.default_rng(0), penalty=0.0)
+
+
+class TestLowerBound:
+    def test_span_term(self):
+        fd = FlexDag([[2.0, 4.0], [3.0, 6.0]], edges=[(0, 1)])
+        # Fastest chain: 2 + 3 = 5; capacity term: 5 / 4 = 1.25.
+        assert flexible_lower_bound(fd, [2, 2]) == 5.0
+
+    def test_capacity_term(self):
+        fd = FlexDag([[2.0, 2.0]] * 8)
+        # 16 total min work on 2 processors -> 8.
+        assert flexible_lower_bound(fd, [1, 1]) == 8.0
+
+    def test_invalid_processors(self):
+        fd = FlexDag([[1.0, 1.0]])
+        with pytest.raises(ResourceError):
+            flexible_lower_bound(fd, [1])
+
+
+class TestEngine:
+    def test_single_task_picks_fastest_type(self):
+        fd = FlexDag([[5.0, 2.0]])
+        res = simulate_flexible(fd, ResourceConfig((1, 1)), FlexGreedy())
+        assert res.makespan == 2.0
+        assert res.type_choices[0] == 1
+
+    def test_forbidden_type_never_used(self):
+        fd = FlexDag([[INF, 3.0], [INF, 2.0]])
+        res = simulate_flexible(fd, ResourceConfig((5, 1)), FlexGreedy())
+        assert np.all(res.type_choices == 1)
+        assert res.makespan == 5.0  # serialized on the single type-1 proc
+
+    def test_trace_is_valid_kdag_schedule(self):
+        """The realized schedule is legal w.r.t. the chosen types."""
+        fd = FlexDag(
+            [[2.0, 3.0], [4.0, 1.0], [2.0, 2.0], [1.0, INF]],
+            edges=[(0, 2), (1, 2), (2, 3)],
+        )
+        system = ResourceConfig((1, 1))
+        res = simulate_flexible(fd, system, FlexGreedy(), record_trace=True)
+        realized = KDag(
+            types=res.type_choices,
+            work=[fd.work[v, res.type_choices[v]] for v in range(fd.n_tasks)],
+            edges=[tuple(e) for e in fd.edges],
+            num_types=2,
+        )
+        validate_schedule(realized, system, res.trace, res.makespan)
+
+    def test_ratio_at_least_one(self):
+        fd = FlexDag([[2.0, 3.0]] * 6, edges=[(0, 5)])
+        for sched in (FlexGreedy(), FlexMQB()):
+            res = simulate_flexible(fd, ResourceConfig((2, 2)), sched)
+            assert res.completion_time_ratio() >= 1.0 - 1e-9
+
+    def test_k_mismatch_rejected(self):
+        fd = FlexDag([[1.0, 1.0]])
+        with pytest.raises(SchedulingError):
+            simulate_flexible(fd, ResourceConfig((1,)), FlexGreedy())
+
+
+class TestSchedulers:
+    def test_greedy_prefers_fast_pair(self):
+        # Two ready tasks, one processor per type: fastest pair first.
+        fd = FlexDag([[1.0, 10.0], [10.0, 2.0]])
+        res = simulate_flexible(fd, ResourceConfig((1, 1)), FlexGreedy())
+        assert res.type_choices[0] == 0
+        assert res.type_choices[1] == 1
+        assert res.makespan == 2.0
+
+    def test_flexmqb_valid_on_lifted_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=25, k=3)
+        fd = FlexDag.from_kdag(job, flexibility=0.5,
+                               rng=np.random.default_rng(1))
+        system = ResourceConfig((2, 2, 2))
+        res = simulate_flexible(fd, system, FlexMQB(), record_trace=True)
+        realized = KDag(
+            types=res.type_choices,
+            work=[fd.work[v, res.type_choices[v]] for v in range(fd.n_tasks)],
+            edges=[tuple(e) for e in fd.edges],
+            num_types=3,
+        )
+        validate_schedule(realized, system, res.trace, res.makespan)
+
+    def test_flexibility_helps_greedy(self):
+        """Full flexibility can only shorten FlexGreedy's makespan on a
+        type-starved job."""
+        # All tasks native to type 0; only 1 type-0 proc but 3 type-1.
+        job = KDag(types=[0] * 6, work=[2.0] * 6, num_types=2)
+        system = ResourceConfig((1, 3))
+        rigid = simulate_flexible(FlexDag.from_kdag(job), system, FlexGreedy())
+        flex = simulate_flexible(
+            FlexDag.from_kdag(job, flexibility=1.0,
+                              rng=np.random.default_rng(0), penalty=1.5),
+            system, FlexGreedy(),
+        )
+        assert flex.makespan < rigid.makespan

@@ -1,0 +1,81 @@
+"""Unit tests for the MQB information models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.descendants import descendant_values, one_step_descendant_values
+from repro.errors import ConfigurationError
+from repro.schedulers.info import (
+    ExactInformation,
+    ExponentialInformation,
+    NoisyInformation,
+)
+
+
+class TestLabels:
+    def test_full_labels(self):
+        assert ExactInformation().full_label() == "all+pre"
+        assert ExactInformation(one_step=True).full_label() == "1step+pre"
+        assert ExponentialInformation().full_label() == "all+exp"
+        assert NoisyInformation(one_step=True).full_label() == "1step+noise"
+
+
+class TestExact:
+    def test_matches_descendant_values(self, fig1_job):
+        d = ExactInformation().descendant_matrix(fig1_job, None)
+        np.testing.assert_allclose(d, descendant_values(fig1_job))
+
+    def test_one_step_matches(self, fig1_job):
+        d = ExactInformation(one_step=True).descendant_matrix(fig1_job, None)
+        np.testing.assert_allclose(d, one_step_descendant_values(fig1_job))
+
+
+class TestExponential:
+    def test_requires_rng(self, fig1_job):
+        with pytest.raises(ConfigurationError, match="rng"):
+            ExponentialInformation().descendant_matrix(fig1_job, None)
+
+    def test_preserves_zeros(self, fig1_job):
+        rng = np.random.default_rng(1)
+        true = descendant_values(fig1_job)
+        est = ExponentialInformation().descendant_matrix(fig1_job, rng)
+        assert np.all(est[true == 0.0] == 0.0)
+
+    def test_mean_approaches_true_value(self, fig1_job):
+        rng = np.random.default_rng(2)
+        info = ExponentialInformation()
+        true = descendant_values(fig1_job)
+        samples = np.mean(
+            [info.descendant_matrix(fig1_job, rng) for _ in range(3000)], axis=0
+        )
+        np.testing.assert_allclose(samples, true, rtol=0.1, atol=0.05)
+
+    def test_nonnegative(self, fig1_job):
+        est = ExponentialInformation().descendant_matrix(
+            fig1_job, np.random.default_rng(3)
+        )
+        assert np.all(est >= 0.0)
+
+
+class TestNoisy:
+    def test_requires_rng(self, fig1_job):
+        with pytest.raises(ConfigurationError, match="rng"):
+            NoisyInformation().descendant_matrix(fig1_job, None)
+
+    def test_within_noise_envelope(self, fig1_job):
+        rng = np.random.default_rng(4)
+        true = descendant_values(fig1_job)
+        w_avg = float(fig1_job.work.mean())
+        est = NoisyInformation().descendant_matrix(fig1_job, rng)
+        assert np.all(est >= 0.5 * true - 1e-12)
+        assert np.all(est <= 1.5 * true + w_avg + 1e-12)
+
+    def test_additive_term_makes_zeros_positive(self, fig1_job):
+        rng = np.random.default_rng(5)
+        true = descendant_values(fig1_job)
+        est = NoisyInformation().descendant_matrix(fig1_job, rng)
+        # With prob 1 the uniform additive draws are positive.
+        assert np.all(est[true == 0.0] >= 0.0)
+        assert est[true == 0.0].mean() > 0.0

@@ -1,0 +1,75 @@
+"""Unit tests for the online KGreedy scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, simulate
+from repro.schedulers.kgreedy import KGreedy
+from repro.theory.bounds import kgreedy_competitive_ratio
+
+
+class TestPolicy:
+    def test_fifo_order(self, two_type_system):
+        job = KDag(types=[0, 0, 0], work=[1.0] * 3, num_types=2)
+        s = KGreedy()
+        s.prepare(job, two_type_system)
+        s.task_ready(2, 0.0, 1.0)
+        s.task_ready(0, 0.0, 1.0)
+        s.task_ready(1, 0.0, 1.0)
+        assert s.select(0, 2, 0.0) == [2, 0]
+        assert s.select(0, 2, 0.0) == [1]
+
+    def test_pending_per_type(self, two_type_system):
+        job = KDag(types=[0, 1], work=[1.0, 1.0], num_types=2)
+        s = KGreedy()
+        s.prepare(job, two_type_system)
+        s.task_ready(0, 0.0, 1.0)
+        assert s.pending(0) == 1
+        assert s.pending(1) == 0
+
+    def test_sticky_requeue_keeps_position(self, two_type_system):
+        """A re-announced (preempted) task outranks later arrivals."""
+        job = KDag(types=[0, 0, 0], work=[2.0] * 3, num_types=2)
+        s = KGreedy()
+        s.prepare(job, two_type_system)
+        s.task_ready(0, 0.0, 2.0)
+        assert s.select(0, 1, 0.0) == [0]
+        s.task_ready(1, 1.0, 2.0)   # arrives while 0 runs
+        s.task_ready(0, 1.0, 1.0)   # 0 preempted, re-announced
+        assert s.select(0, 1, 1.0) == [0]
+
+    def test_is_online(self):
+        assert KGreedy.requires_offline is False
+
+    def test_prepare_resets_state(self, two_type_system):
+        job = KDag(types=[0], work=[1.0], num_types=2)
+        s = KGreedy()
+        s.prepare(job, two_type_system)
+        s.task_ready(0, 0.0, 1.0)
+        s.prepare(job, two_type_system)
+        assert s.pending(0) == 0
+
+
+class TestCompetitiveness:
+    def test_respects_greedy_bound_on_random_jobs(self, rng):
+        """Work conservation implies T <= sum_a T1a/Pa + span."""
+        from tests.conftest import make_random_job
+        from repro.core.properties import span, type_work
+
+        for i in range(5):
+            job = make_random_job(rng, n=40, k=3)
+            system = ResourceConfig((2, 3, 1))
+            res = simulate(job, system, KGreedy())
+            bound = float(
+                (type_work(job) / system.as_array()).sum() + span(job)
+            )
+            assert res.makespan <= bound + 1e-9
+
+    def test_ratio_below_k_plus_one_on_random_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=50, k=4)
+        res = simulate(job, ResourceConfig((2, 2, 2, 2)), KGreedy())
+        assert res.completion_time_ratio() <= kgreedy_competitive_ratio(4) + 1e-9

@@ -1,0 +1,168 @@
+"""Unit tests for the MQB scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, simulate, validate_schedule
+from repro.errors import ConfigurationError
+from repro.schedulers.info import ExactInformation, NoisyInformation
+from repro.schedulers.mqb import MQB
+
+
+def prepare(job, system, **kwargs):
+    s = MQB(**kwargs)
+    s.prepare(job, system, np.random.default_rng(0))
+    return s
+
+
+class TestConstruction:
+    def test_default_name_is_mqb(self):
+        assert MQB().name == "mqb"
+
+    def test_variant_names(self):
+        assert MQB(info=ExactInformation(one_step=True)).name == "mqb+1step+pre"
+        assert MQB(info=NoisyInformation()).name == "mqb+all+noise"
+        assert MQB(balance_mode="min").name == "mqb[min]"
+        assert MQB(carry_projection=False).name == "mqb[nocarry]"
+
+    def test_invalid_balance_mode(self):
+        with pytest.raises(ConfigurationError):
+            MQB(balance_mode="median")
+
+
+class TestQueueAccounting:
+    def test_queue_work_tracks_ready_tasks(self, two_type_system):
+        job = KDag(types=[0, 0, 1], work=[2.0, 3.0, 4.0], num_types=2)
+        s = prepare(job, two_type_system)
+        s.task_ready(0, 0.0, 2.0)
+        s.task_ready(1, 0.0, 3.0)
+        s.task_ready(2, 0.0, 4.0)
+        assert list(s._l) == [5.0, 4.0]
+        s.select(0, 2, 0.0)
+        assert s._l[0] == 0.0
+
+    def test_requeue_updates_remaining_work(self, two_type_system):
+        job = KDag(types=[0], work=[4.0], num_types=2)
+        s = prepare(job, two_type_system)
+        s.task_ready(0, 0.0, 4.0)
+        s.select(0, 1, 0.0)
+        s.task_ready(0, 1.0, 3.0)  # preempted with 3 remaining
+        assert s._l[0] == 3.0
+
+
+class TestBalancePolicy:
+    def test_picks_task_feeding_starved_type(self):
+        """Between two ready type-0 tasks, MQB starts the one whose
+        descendants fill the empty type-1 queue."""
+        job = KDag(
+            types=[0, 0, 1, 0],
+            work=[1.0, 1.0, 5.0, 5.0],
+            edges=[(0, 2), (1, 3)],
+            num_types=2,
+        )
+        s = prepare(job, ResourceConfig((1, 1)))
+        s.task_ready(0, 0.0, 1.0)
+        s.task_ready(1, 0.0, 1.0)
+        # Task 0 unlocks type-1 work (starved); task 1 unlocks type-0.
+        assert s.select(0, 1, 0.0) == [0]
+
+    def test_runs_all_when_under_capacity(self):
+        job = KDag(types=[0, 0], work=[1.0, 1.0], num_types=2)
+        s = prepare(job, ResourceConfig((3, 1)))
+        s.task_ready(0, 0.0, 1.0)
+        s.task_ready(1, 0.0, 1.0)
+        assert s.assign([3, 1], 0.0) == [0, 1]
+
+    def test_fifo_tie_break(self):
+        job = KDag(types=[0, 0, 0], work=[1.0] * 3, num_types=2)
+        s = prepare(job, ResourceConfig((1, 1)))
+        s.task_ready(2, 0.0, 1.0)
+        s.task_ready(0, 0.0, 1.0)
+        s.task_ready(1, 0.0, 1.0)
+        assert s.select(0, 1, 0.0) == [2]
+
+    def test_carry_projection_diversifies_round(self):
+        """With projection, the second pick of a round prefers feeding
+        the type the first pick did not."""
+        # Four ready type-0 tasks: two feed type 1, two feed type 2.
+        job = KDag(
+            types=[0, 0, 0, 0, 1, 1, 2, 2],
+            work=[1.0] * 4 + [6.0] * 4,
+            edges=[(0, 4), (1, 5), (2, 6), (3, 7)],
+            num_types=3,
+        )
+        s = prepare(job, ResourceConfig((2, 1, 1)))
+        for t in range(4):
+            s.task_ready(t, 0.0, 1.0)
+        picked = s.assign([2, 0, 0], 0.0)
+        types_fed = {int(job.children(t)[0]) // 2 for t in picked}
+        feeds = {4 // 2, 6 // 2}  # one feeder of each accelerator type
+        assert {int(job.types[int(job.children(t)[0])]) for t in picked} == {1, 2}
+
+    def test_nocarry_variant_repeats_best(self):
+        job = KDag(
+            types=[0, 0, 0, 0, 1, 1, 2, 2],
+            work=[1.0] * 4 + [6.0] * 4,
+            edges=[(0, 4), (1, 5), (2, 6), (3, 7)],
+            num_types=3,
+        )
+        # type-1 queue will stay "starved" without projection, so both
+        # picks feed type 1 (or both type 2) deterministically by FIFO.
+        s = MQB(carry_projection=False)
+        s.prepare(job, ResourceConfig((2, 1, 1)), np.random.default_rng(0))
+        for t in range(4):
+            s.task_ready(t, 0.0, 1.0)
+        picked = s.assign([2, 0, 0], 0.0)
+        fed = {int(job.types[int(job.children(t)[0])]) for t in picked}
+        assert len(fed) == 1
+
+
+class TestBalanceModes:
+    @pytest.mark.parametrize("mode", ["lex", "min", "sum"])
+    def test_all_modes_schedule_validly(self, mode, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=30, k=3)
+        system = ResourceConfig((2, 2, 2))
+        s = MQB(balance_mode=mode)
+        res = simulate(job, system, s, rng=np.random.default_rng(1),
+                       record_trace=True)
+        validate_schedule(job, system, res.trace, res.makespan)
+
+
+class TestInformationIntegration:
+    def test_bad_info_shape_rejected(self, two_type_system):
+        class BadInfo(ExactInformation):
+            def descendant_matrix(self, job, rng):
+                return np.zeros((1, 1))
+
+        job = KDag(types=[0, 1], work=[1.0, 1.0], num_types=2)
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError, match="shape"):
+            MQB(info=BadInfo()).prepare(job, two_type_system)
+
+    def test_noisy_variants_still_valid(self, rng):
+        from tests.conftest import make_random_job
+        from repro import make_scheduler
+
+        job = make_random_job(rng, n=25, k=3)
+        system = ResourceConfig((2, 1, 2))
+        for name in ["mqb+all+exp", "mqb+all+noise", "mqb+1step+noise"]:
+            res = simulate(job, system, make_scheduler(name),
+                           rng=np.random.default_rng(3), record_trace=True)
+            validate_schedule(job, system, res.trace, res.makespan)
+
+    def test_stochastic_info_is_seed_deterministic(self, rng):
+        from tests.conftest import make_random_job
+        from repro import make_scheduler
+
+        job = make_random_job(rng, n=25, k=3)
+        system = ResourceConfig((2, 1, 2))
+        a = simulate(job, system, make_scheduler("mqb+all+exp"),
+                     rng=np.random.default_rng(42))
+        b = simulate(job, system, make_scheduler("mqb+all+exp"),
+                     rng=np.random.default_rng(42))
+        assert a.makespan == b.makespan

@@ -1,0 +1,117 @@
+"""Unit tests for the exact optimal scheduler (unit-work A*)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, lower_bound, make_scheduler, simulate
+from repro.errors import ConfigurationError
+from repro.schedulers.optimal import optimal_makespan
+from repro.workloads.adversarial import (
+    adversarial_job,
+    adversarial_optimal_makespan,
+)
+
+
+def unit_job(types, edges=(), num_types=None):
+    return KDag(
+        types=types, work=[1.0] * len(types), edges=edges, num_types=num_types
+    )
+
+
+class TestSmallCases:
+    def test_single_task(self):
+        job = unit_job([0])
+        assert optimal_makespan(job, ResourceConfig((1,))) == 1
+
+    def test_chain(self):
+        job = unit_job([0, 1, 0], edges=[(0, 1), (1, 2)], num_types=2)
+        assert optimal_makespan(job, ResourceConfig((3, 3))) == 3
+
+    def test_independent_parallel(self):
+        job = unit_job([0] * 6)
+        assert optimal_makespan(job, ResourceConfig((2,))) == 3
+        assert optimal_makespan(job, ResourceConfig((6,))) == 1
+
+    def test_diamond(self):
+        job = unit_job([0, 1, 1, 0], edges=[(0, 1), (0, 2), (1, 3), (2, 3)],
+                       num_types=2)
+        assert optimal_makespan(job, ResourceConfig((1, 2))) == 3
+        assert optimal_makespan(job, ResourceConfig((1, 1))) == 4
+
+    def test_interleaving_beats_greedy_ordering(self):
+        """A case where the choice of which ready task to run matters:
+        running the 'active' task first is strictly better."""
+        # 0 and 1 are type-0; only 0 unlocks the type-1 chain 2 -> 3.
+        # Optimal runs 0 first (t0), then 1 || 2 (t1), then 3 (t2) -> 3.
+        # Running 1 before 0 forces 4 steps, so the choice matters.
+        job = unit_job([0, 0, 1, 1], edges=[(0, 2), (2, 3)], num_types=2)
+        assert optimal_makespan(job, ResourceConfig((1, 1))) == 3
+
+
+class TestAgainstBounds:
+    def test_at_least_lower_bound_random(self, rng):
+        for i in range(8):
+            n = int(rng.integers(4, 12))
+            k = int(rng.integers(1, 3)) + 1
+            types = rng.integers(0, k, n)
+            edges = [
+                (i2, j)
+                for i2 in range(n)
+                for j in range(i2 + 1, n)
+                if rng.random() < 0.2
+            ]
+            job = unit_job(types, edges, num_types=k)
+            system = ResourceConfig(tuple(int(x) for x in rng.integers(1, 3, k)))
+            opt = optimal_makespan(job, system)
+            assert opt >= lower_bound(job, system.as_array()) - 1e-9
+
+    def test_heuristics_never_beat_optimal(self, rng):
+        for i in range(5):
+            n = int(rng.integers(5, 11))
+            types = rng.integers(0, 2, n)
+            edges = [
+                (a, b)
+                for a in range(n)
+                for b in range(a + 1, n)
+                if rng.random() < 0.25
+            ]
+            job = unit_job(types, edges, num_types=2)
+            system = ResourceConfig((2, 1))
+            opt = optimal_makespan(job, system)
+            for name in ("kgreedy", "mqb", "lspan"):
+                res = simulate(job, system, make_scheduler(name),
+                               rng=np.random.default_rng(i))
+                assert res.makespan >= opt - 1e-9
+
+    def test_adversarial_construction_formula(self, rng):
+        """The paper's claimed T* = K - 1 + m P_K is exactly optimal."""
+        procs = (1, 2)
+        m = 2
+        for i in range(3):
+            job = adversarial_job(procs, m, np.random.default_rng(i))
+            opt = optimal_makespan(job, ResourceConfig(procs))
+            assert opt == adversarial_optimal_makespan(procs, m)
+
+
+class TestValidation:
+    def test_rejects_non_unit_work(self):
+        job = KDag(types=[0], work=[2.0])
+        with pytest.raises(ConfigurationError, match="unit-work"):
+            optimal_makespan(job, ResourceConfig((1,)))
+
+    def test_rejects_large_jobs(self):
+        job = unit_job([0] * 30)
+        with pytest.raises(ConfigurationError, match="exceeds"):
+            optimal_makespan(job, ResourceConfig((2,)))
+
+    def test_rejects_k_mismatch(self):
+        job = unit_job([0])
+        with pytest.raises(ConfigurationError, match="disagree"):
+            optimal_makespan(job, ResourceConfig((1, 1)))
+
+    def test_state_budget(self):
+        job = unit_job([0] * 14)
+        with pytest.raises(ConfigurationError, match="expansions"):
+            optimal_makespan(job, ResourceConfig((2,)), max_states=2)

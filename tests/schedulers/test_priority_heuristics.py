@@ -1,0 +1,117 @@
+"""Unit tests for the priority-based offline heuristics: LSpan, MaxDP, DType."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, simulate
+from repro.schedulers.dtype import DType
+from repro.schedulers.lspan import LSpan
+from repro.schedulers.maxdp import MaxDP
+
+
+def drive(scheduler, job, system, ready):
+    """Prepare a scheduler and mark `ready` tasks ready at t=0."""
+    scheduler.prepare(job, system)
+    for t in ready:
+        scheduler.task_ready(t, 0.0, float(job.work[t]))
+    return scheduler
+
+
+class TestLSpan:
+    def test_prefers_longer_remaining_span(self):
+        # Two independent chains of the same type; heads compete.
+        job = KDag(
+            types=[0, 0, 0, 0, 0],
+            work=[1, 1, 1, 1, 5],
+            edges=[(0, 1), (1, 2), (3, 4)],  # chain A: 0-1-2 (span 3); B: 3-4 (span 6)
+        )
+        s = drive(LSpan(), job, ResourceConfig((1,)), [0, 3])
+        assert s.select(0, 1, 0.0) == [3]
+
+    def test_tie_broken_fifo(self):
+        job = KDag(types=[0, 0], work=[2.0, 2.0])
+        s = drive(LSpan(), job, ResourceConfig((1,)), [1, 0])
+        assert s.select(0, 2, 0.0) == [1, 0]
+
+    def test_end_to_end_chain_priority(self):
+        """With one processor, LSpan finishes the long chain first."""
+        job = KDag(
+            types=[0] * 6,
+            work=[1.0] * 6,
+            edges=[(0, 1), (1, 2), (2, 3), (3, 4)],  # 5-chain + 1 isolated
+        )
+        res = simulate(job, ResourceConfig((1,)), LSpan(), record_trace=True)
+        # The isolated task (5) must not run first.
+        assert res.trace.first_start(5) > 0.0
+
+
+class TestMaxDP:
+    def test_prefers_more_descendants(self):
+        # 0 roots a fan of 3; 4 roots nothing.
+        job = KDag(
+            types=[0, 1, 1, 1, 0],
+            work=[1.0] * 5,
+            edges=[(0, 1), (0, 2), (0, 3)],
+            num_types=2,
+        )
+        s = drive(MaxDP(), job, ResourceConfig((1, 1)), [0, 4])
+        assert s.select(0, 1, 0.0) == [0]
+
+    def test_ignores_descendant_types(self):
+        """MaxDP is type-blind: total descendants decide, not the mix."""
+        # Task 0 -> two type-0 children (work 2 each); task 3 -> one
+        # type-1 child (work 3). Totals: 4 vs 3, so 0 wins even though
+        # 3 would feed the starved type.
+        job = KDag(
+            types=[0, 0, 0, 0, 1],
+            work=[1, 2, 2, 1, 3],
+            edges=[(0, 1), (0, 2), (3, 4)],
+            num_types=2,
+        )
+        s = drive(MaxDP(), job, ResourceConfig((1, 1)), [0, 3])
+        assert s.select(0, 1, 0.0) == [0]
+
+
+class TestDType:
+    def test_prefers_near_type_boundary(self):
+        # 0 -> 1(same type) -> 2(other); 3 -> 4(other type).
+        job = KDag(
+            types=[0, 0, 1, 0, 1],
+            work=[1.0] * 5,
+            edges=[(0, 1), (1, 2), (3, 4)],
+            num_types=2,
+        )
+        s = drive(DType(), job, ResourceConfig((1, 1)), [0, 3])
+        # dist(0) = 2, dist(3) = 1 -> 3 first.
+        assert s.select(0, 1, 0.0) == [3]
+
+    def test_no_other_type_descendant_runs_last(self):
+        job = KDag(
+            types=[0, 0, 0, 1],
+            work=[1.0] * 4,
+            edges=[(2, 3)],
+            num_types=2,
+        )
+        s = drive(DType(), job, ResourceConfig((1, 1)), [0, 1, 2])
+        assert s.select(0, 3, 0.0) == [2, 0, 1]
+
+
+class TestSharedBehaviors:
+    @pytest.mark.parametrize("cls", [LSpan, MaxDP, DType])
+    def test_pending_counts(self, cls, diamond_job, two_type_system):
+        s = drive(cls(), diamond_job, two_type_system, [0])
+        assert s.pending(0) == 1
+        assert s.pending(1) == 0
+
+    @pytest.mark.parametrize("cls", [LSpan, MaxDP, DType])
+    def test_select_caps_at_slots(self, cls, two_type_system):
+        job = KDag(types=[0] * 5, work=[1.0] * 5, num_types=2)
+        s = drive(cls(), job, two_type_system, [0, 1, 2, 3, 4])
+        assert len(s.select(0, 2, 0.0)) == 2
+        assert s.pending(0) == 3
+
+    @pytest.mark.parametrize("cls", [LSpan, MaxDP, DType])
+    def test_offline_flag(self, cls):
+        assert cls.requires_offline is True

@@ -1,0 +1,65 @@
+"""Unit tests for the RandomChoice control scheduler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, simulate, validate_schedule
+from repro.errors import SchedulingError
+from repro.schedulers.randomsched import RandomChoice
+
+
+class TestBehaviour:
+    def test_requires_rng(self):
+        job = KDag(types=[0], work=[1.0])
+        with pytest.raises(SchedulingError, match="rng"):
+            simulate(job, ResourceConfig((1,)), RandomChoice())
+
+    def test_seed_deterministic(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=30, k=2)
+        system = ResourceConfig((2, 2))
+        a = simulate(job, system, RandomChoice(), rng=np.random.default_rng(5))
+        b = simulate(job, system, RandomChoice(), rng=np.random.default_rng(5))
+        assert a.makespan == b.makespan
+
+    def test_different_seeds_vary(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=40, k=2)
+        system = ResourceConfig((1, 1))
+        spans = {
+            simulate(
+                job, system, RandomChoice(), rng=np.random.default_rng(s)
+            ).makespan
+            for s in range(8)
+        }
+        assert len(spans) > 1  # the choice actually varies
+
+    def test_selection_removes_from_pool(self):
+        job = KDag(types=[0, 0, 0], work=[1.0] * 3)
+        s = RandomChoice()
+        s.prepare(job, ResourceConfig((1,)), np.random.default_rng(0))
+        for t in range(3):
+            s.task_ready(t, 0.0, 1.0)
+        picked = []
+        while s.pending(0):
+            picked += s.select(0, 1, 0.0)
+        assert sorted(picked) == [0, 1, 2]
+
+    def test_valid_schedules(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=25, k=3)
+        system = ResourceConfig((2, 1, 2))
+        res = simulate(job, system, RandomChoice(),
+                       rng=np.random.default_rng(1), record_trace=True)
+        validate_schedule(job, system, res.trace, res.makespan)
+
+    def test_registry_name(self):
+        from repro import make_scheduler
+
+        assert make_scheduler("random").name == "random"
+        assert RandomChoice.requires_offline is False

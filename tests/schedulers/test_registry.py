@@ -1,0 +1,64 @@
+"""Unit tests for the scheduler registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.schedulers.registry import (
+    APPROX_INFO_ALGORITHMS,
+    PAPER_ALGORITHMS,
+    available_schedulers,
+    make_scheduler,
+)
+
+
+class TestMakeScheduler:
+    @pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+    def test_paper_algorithms_construct(self, name):
+        s = make_scheduler(name)
+        assert s.name == name
+
+    @pytest.mark.parametrize("name", APPROX_INFO_ALGORITHMS)
+    def test_approx_info_algorithms_construct(self, name):
+        s = make_scheduler(name)
+        # mqb+all+pre is canonicalized to plain "mqb".
+        expected = "mqb" if name == "mqb+all+pre" else name
+        assert s.name == expected
+
+    def test_every_advertised_name_constructs(self):
+        for name in available_schedulers():
+            make_scheduler(name)
+
+    def test_names_are_case_insensitive(self):
+        assert make_scheduler("MQB").name == "mqb"
+        assert make_scheduler(" KGreedy ").name == "kgreedy"
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown scheduler"):
+            make_scheduler("heft")
+
+    def test_malformed_mqb_variant(self):
+        with pytest.raises(ConfigurationError):
+            make_scheduler("mqb+all+bogus")
+        with pytest.raises(ConfigurationError):
+            make_scheduler("mqb+2step+pre")
+
+    def test_fresh_instance_per_call(self):
+        assert make_scheduler("mqb") is not make_scheduler("mqb")
+
+    def test_ablation_variants(self):
+        assert make_scheduler("mqb[min]").name == "mqb[min]"
+        assert make_scheduler("mqb[sum]").name == "mqb[sum]"
+        assert make_scheduler("mqb[nocarry]").name == "mqb[nocarry]"
+
+
+class TestCatalogs:
+    def test_paper_lineup(self):
+        assert PAPER_ALGORITHMS == (
+            "kgreedy", "lspan", "dtype", "maxdp", "shiftbt", "mqb"
+        )
+
+    def test_fig8_lineup_has_seven_bars(self):
+        assert len(APPROX_INFO_ALGORITHMS) == 7
+        assert APPROX_INFO_ALGORITHMS[0] == "kgreedy"

@@ -1,0 +1,153 @@
+"""Unit tests for the non-preemptive event-driven engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    KDag,
+    ResourceConfig,
+    lower_bound,
+    make_scheduler,
+    simulate,
+    validate_schedule,
+)
+from repro.errors import SchedulingError
+from repro.schedulers.base import Scheduler
+
+
+class TestBasicExecution:
+    def test_single_task(self):
+        job = KDag(types=[0], work=[4.0])
+        res = simulate(job, ResourceConfig((1,)), make_scheduler("kgreedy"))
+        assert res.makespan == 4.0
+        assert res.completion_time_ratio() == 1.0
+
+    def test_chain_is_serial(self, chain_job):
+        res = simulate(chain_job, ResourceConfig((2, 2, 2)), make_scheduler("kgreedy"))
+        assert res.makespan == 3.0
+
+    def test_independent_tasks_parallelize(self):
+        job = KDag(types=[0] * 4, work=[2.0] * 4)
+        res = simulate(job, ResourceConfig((2,)), make_scheduler("kgreedy"))
+        assert res.makespan == 4.0  # two waves of two
+
+    def test_single_processor_serializes(self):
+        job = KDag(types=[0] * 3, work=[1.0, 2.0, 3.0])
+        res = simulate(job, ResourceConfig((1,)), make_scheduler("kgreedy"))
+        assert res.makespan == 6.0
+
+    def test_diamond(self, diamond_job):
+        # 0 (1) then 1 (2) || 2 (3), then 3 (1): 1 + 3 + 1.
+        res = simulate(diamond_job, ResourceConfig((1, 2)), make_scheduler("kgreedy"))
+        assert res.makespan == 5.0
+
+    def test_type_separation(self):
+        """Tasks of different types never compete for processors."""
+        job = KDag(types=[0, 1], work=[5.0, 5.0], num_types=2)
+        res = simulate(job, ResourceConfig((1, 1)), make_scheduler("kgreedy"))
+        assert res.makespan == 5.0
+
+    def test_mismatched_k_rejected(self, chain_job):
+        with pytest.raises(SchedulingError, match="resource types"):
+            simulate(chain_job, ResourceConfig((1, 1)), make_scheduler("kgreedy"))
+
+
+class TestResultFields:
+    def test_result_metadata(self, diamond_job, two_type_system):
+        res = simulate(diamond_job, two_type_system, make_scheduler("lspan"))
+        assert res.scheduler == "lspan"
+        assert res.preemptive is False
+        assert res.decisions >= 1
+        assert res.trace is None
+
+    def test_ratio_uses_lower_bound(self, diamond_job, two_type_system):
+        res = simulate(diamond_job, two_type_system, make_scheduler("kgreedy"))
+        expected = res.makespan / lower_bound(
+            diamond_job, two_type_system.as_array()
+        )
+        assert res.completion_time_ratio() == pytest.approx(expected)
+
+
+class TestTraceRecording:
+    def test_trace_one_segment_per_task(self, fig1_job):
+        system = ResourceConfig((2, 1, 1))
+        res = simulate(fig1_job, system, make_scheduler("mqb"),
+                       rng=np.random.default_rng(0), record_trace=True)
+        assert res.trace is not None
+        assert len(res.trace) == fig1_job.n_tasks
+        validate_schedule(fig1_job, system, res.trace, res.makespan)
+
+    def test_trace_matches_makespan(self, diamond_job, two_type_system):
+        res = simulate(
+            diamond_job, two_type_system, make_scheduler("kgreedy"),
+            record_trace=True,
+        )
+        assert res.trace.makespan() == res.makespan
+
+
+class TestSchedulerMisbehaviorDetection:
+    def test_unready_task_detected(self, chain_job):
+        class Cheater(Scheduler):
+            name = "cheater"
+
+            def __init__(self):
+                super().__init__()
+                self._pending = []
+
+            def task_ready(self, task, time, work):
+                self._pending.append(task)
+
+            def pending(self, alpha):
+                return sum(
+                    1 for t in self._pending if self.job.types[t] == alpha
+                )
+
+            def select(self, alpha, n_slots, time):
+                # Always claims the LAST task of the chain.
+                return [2]
+
+        with pytest.raises(SchedulingError, match="not ready"):
+            simulate(chain_job, ResourceConfig((1, 1, 1)), Cheater())
+
+    def test_oversubscription_detected(self):
+        job = KDag(types=[0, 0, 0], work=[1.0] * 3)
+
+        class Overs(Scheduler):
+            name = "overs"
+
+            def __init__(self):
+                super().__init__()
+                self._q = []
+
+            def task_ready(self, task, time, work):
+                self._q.append(task)
+
+            def pending(self, alpha):
+                return len(self._q)
+
+            def select(self, alpha, n_slots, time):
+                out, self._q = self._q, []
+                return out  # ignores n_slots
+
+        with pytest.raises(SchedulingError):
+            simulate(job, ResourceConfig((2,)), Overs())
+
+
+class TestAllSchedulersProduceValidSchedules:
+    @pytest.mark.parametrize(
+        "name", ["kgreedy", "lspan", "maxdp", "dtype", "shiftbt", "mqb"]
+    )
+    def test_valid_on_random_jobs(self, name, rng):
+        from tests.conftest import make_random_job
+
+        for i in range(3):
+            job = make_random_job(rng, n=35, k=3)
+            system = ResourceConfig((2, 1, 3))
+            res = simulate(
+                job, system, make_scheduler(name),
+                rng=np.random.default_rng(i), record_trace=True,
+            )
+            validate_schedule(job, system, res.trace, res.makespan)
+            assert res.completion_time_ratio() >= 1.0 - 1e-9

@@ -1,0 +1,91 @@
+"""Engine event-handling edge cases: ties, decision counting, reuse."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, make_scheduler, simulate, validate_schedule
+
+
+class TestSimultaneousCompletions:
+    def test_batch_completion_unlocks_join(self):
+        """Two equal-length parents finish at the same instant; the
+        join must start exactly then, not a step later."""
+        job = KDag(
+            types=[0, 0, 1],
+            work=[3.0, 3.0, 1.0],
+            edges=[(0, 2), (1, 2)],
+            num_types=2,
+        )
+        res = simulate(job, ResourceConfig((2, 1)), make_scheduler("kgreedy"),
+                       record_trace=True)
+        assert res.makespan == 4.0
+        assert res.trace.first_start(2) == 3.0
+
+    def test_many_ties_single_decision_round(self):
+        """Eight tasks finishing together trigger one decision round."""
+        job = KDag(
+            types=[0] * 16,
+            work=[2.0] * 16,
+            edges=[(i, i + 8) for i in range(8)],
+        )
+        res = simulate(job, ResourceConfig((8,)), make_scheduler("kgreedy"))
+        assert res.makespan == 4.0
+        assert res.decisions == 2  # t=0 and t=2
+
+
+class TestDecisionAccounting:
+    def test_serial_chain_one_decision_per_task(self, chain_job):
+        res = simulate(chain_job, ResourceConfig((1, 1, 1)),
+                       make_scheduler("kgreedy"))
+        assert res.decisions == 3
+
+    def test_wide_job_single_round(self):
+        job = KDag(types=[0] * 5, work=[1.0] * 5)
+        res = simulate(job, ResourceConfig((5,)), make_scheduler("lspan"))
+        assert res.decisions == 1
+
+
+class TestSchedulerReuse:
+    @pytest.mark.parametrize("name", ["kgreedy", "mqb", "shiftbt"])
+    def test_instance_reusable_across_jobs(self, name, rng):
+        """prepare() fully resets state — one instance, many runs."""
+        from tests.conftest import make_random_job
+
+        sched = make_scheduler(name)
+        for i in range(3):
+            job = make_random_job(rng, n=20, k=2)
+            system = ResourceConfig((2, 2))
+            res = simulate(job, system, sched,
+                           rng=np.random.default_rng(i), record_trace=True)
+            validate_schedule(job, system, res.trace, res.makespan)
+
+    def test_reuse_matches_fresh_instance(self, rng):
+        from tests.conftest import make_random_job
+
+        jobs = [make_random_job(rng, n=18, k=2) for _ in range(3)]
+        system = ResourceConfig((2, 1))
+        reused = make_scheduler("mqb")
+        reused_spans = [
+            simulate(j, system, reused, rng=np.random.default_rng(7)).makespan
+            for j in jobs
+        ]
+        fresh_spans = [
+            simulate(j, system, make_scheduler("mqb"),
+                     rng=np.random.default_rng(7)).makespan
+            for j in jobs
+        ]
+        assert reused_spans == fresh_spans
+
+
+class TestFloatingPointWork:
+    def test_fractional_work_exact_events(self):
+        job = KDag(types=[0, 0], work=[0.1, 0.2], edges=[(0, 1)])
+        res = simulate(job, ResourceConfig((1,)), make_scheduler("kgreedy"))
+        assert res.makespan == pytest.approx(0.30000000000000004)
+
+    def test_tiny_work_values(self):
+        job = KDag(types=[0] * 10, work=[1e-9] * 10)
+        res = simulate(job, ResourceConfig((2,)), make_scheduler("kgreedy"))
+        assert res.makespan == pytest.approx(5e-9)

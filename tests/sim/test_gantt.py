@@ -1,0 +1,72 @@
+"""Unit tests for the ASCII Gantt renderer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, make_scheduler, simulate
+from repro.errors import ValidationError
+from repro.sim.gantt import render_gantt
+from repro.sim.trace import ScheduleTrace
+
+
+@pytest.fixture
+def simple_trace():
+    t = ScheduleTrace()
+    t.add(0, 0, 0, 0.0, 4.0)
+    t.add(1, 1, 0, 4.0, 8.0)
+    return t
+
+
+class TestRendering:
+    def test_rows_per_processor(self, simple_trace):
+        out = render_gantt(simple_trace, ResourceConfig((2, 1)), width=16)
+        rows = [l for l in out.splitlines() if "|" in l]
+        assert len(rows) == 3  # 2 type-0 procs + 1 type-1 proc
+
+    def test_busy_and_idle_glyphs(self, simple_trace):
+        out = render_gantt(simple_trace, ResourceConfig((1, 1)), width=16)
+        rows = [
+            l.split("|")[1] for l in out.splitlines() if l.count("|") == 2
+        ]
+        # Type 0 busy first half (glyph '0'), idle second.
+        assert rows[0].count("0") == 8
+        assert rows[0].count(".") == 8
+        # Type 1 mirrored (glyph '1').
+        assert rows[1].count("1") == 8
+
+    def test_custom_type_names(self, simple_trace):
+        out = render_gantt(
+            simple_trace, ResourceConfig((1, 1)), width=12,
+            type_names=["CPU", "GPU"],
+        )
+        assert "CPU[0]" in out and "GPU[0]" in out
+
+    def test_makespan_in_header(self, simple_trace):
+        out = render_gantt(simple_trace, ResourceConfig((1, 1)), width=12)
+        assert "makespan = 8" in out
+
+    def test_bad_width(self, simple_trace):
+        with pytest.raises(ValidationError):
+            render_gantt(simple_trace, ResourceConfig((1, 1)), width=4)
+
+    def test_empty_trace(self):
+        with pytest.raises(ValidationError):
+            render_gantt(ScheduleTrace(), ResourceConfig((1,)))
+
+    def test_wrong_name_count(self, simple_trace):
+        with pytest.raises(ValidationError):
+            render_gantt(simple_trace, ResourceConfig((1, 1)),
+                         type_names=["only-one"])
+
+    def test_real_schedule_renders(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=20, k=2)
+        system = ResourceConfig((2, 2))
+        res = simulate(job, system, make_scheduler("mqb"),
+                       rng=np.random.default_rng(0), record_trace=True)
+        out = render_gantt(res.trace, system, width=40)
+        # Every processor row is drawn and framed.
+        assert out.count("|") == 2 * system.total

@@ -1,0 +1,93 @@
+"""Unit tests for job/trace/result serialization."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ResourceConfig, make_scheduler, simulate, validate_schedule
+from repro.errors import ValidationError
+from repro.sim.io import (
+    job_from_dict,
+    job_to_dict,
+    load_run,
+    result_from_dict,
+    result_to_dict,
+    save_run,
+    trace_from_dict,
+    trace_to_dict,
+)
+
+
+class TestJobRoundTrip:
+    def test_roundtrip_equality(self, fig1_job):
+        clone = job_from_dict(job_to_dict(fig1_job))
+        assert clone == fig1_job
+
+    def test_dict_is_json_ready(self, fig1_job):
+        import json
+
+        json.dumps(job_to_dict(fig1_job))
+
+    def test_schema_checked(self, fig1_job):
+        data = job_to_dict(fig1_job)
+        data["schema"] = 99
+        with pytest.raises(ValidationError, match="schema"):
+            job_from_dict(data)
+
+
+class TestTraceRoundTrip:
+    def test_roundtrip(self, diamond_job, two_type_system):
+        res = simulate(diamond_job, two_type_system, make_scheduler("kgreedy"),
+                       record_trace=True)
+        clone = trace_from_dict(trace_to_dict(res.trace))
+        assert len(clone) == len(res.trace)
+        assert clone.makespan() == res.trace.makespan()
+        validate_schedule(diamond_job, two_type_system, clone, res.makespan)
+
+
+class TestResultRoundTrip:
+    def test_full_roundtrip(self, diamond_job, two_type_system, tmp_path):
+        res = simulate(diamond_job, two_type_system, make_scheduler("mqb"),
+                       rng=np.random.default_rng(0), record_trace=True)
+        path = save_run(res, tmp_path / "run.json")
+        loaded = load_run(path)
+        assert loaded.makespan == res.makespan
+        assert loaded.scheduler == res.scheduler
+        assert loaded.job == res.job
+        assert loaded.resources == res.resources
+        assert loaded.completion_time_ratio() == pytest.approx(
+            res.completion_time_ratio()
+        )
+        # The reloaded trace still validates against the reloaded job.
+        validate_schedule(
+            loaded.job, loaded.resources, loaded.trace, loaded.makespan
+        )
+
+    def test_traceless_result(self, diamond_job, two_type_system, tmp_path):
+        res = simulate(diamond_job, two_type_system, make_scheduler("lspan"))
+        loaded = load_run(save_run(res, tmp_path / "r.json"))
+        assert loaded.trace is None
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ValidationError, match="no run file"):
+            load_run(tmp_path / "nope.json")
+
+    def test_creates_parent_dirs(self, diamond_job, two_type_system, tmp_path):
+        res = simulate(diamond_job, two_type_system, make_scheduler("lspan"))
+        path = save_run(res, tmp_path / "a" / "b" / "r.json")
+        assert path.exists()
+
+    def test_preemptive_flag_preserved(self, diamond_job, two_type_system, tmp_path):
+        from repro import simulate_preemptive
+
+        res = simulate_preemptive(
+            diamond_job, two_type_system, make_scheduler("kgreedy")
+        )
+        loaded = load_run(save_run(res, tmp_path / "p.json"))
+        assert loaded.preemptive is True
+
+    def test_result_dict_roundtrip_without_file(self, diamond_job, two_type_system):
+        res = simulate(diamond_job, two_type_system, make_scheduler("dtype"))
+        clone = result_from_dict(result_to_dict(res))
+        assert clone.decisions == res.decisions

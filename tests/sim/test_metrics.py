@@ -1,0 +1,84 @@
+"""Unit tests for trace utilization metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ResourceConfig
+from repro.errors import ValidationError
+from repro.sim.metrics import (
+    average_utilization,
+    type_busy_time,
+    utilization_profile,
+)
+from repro.sim.trace import ScheduleTrace
+
+
+@pytest.fixture
+def trace():
+    t = ScheduleTrace()
+    t.add(0, 0, 0, 0.0, 4.0)   # type 0 busy 0-4
+    t.add(1, 1, 0, 2.0, 4.0)   # type 1 busy 2-4
+    return t
+
+
+class TestTypeBusyTime:
+    def test_sums_durations(self, trace):
+        assert list(type_busy_time(trace, 2)) == [4.0, 2.0]
+
+    def test_absent_type_zero(self, trace):
+        assert type_busy_time(trace, 3)[2] == 0.0
+
+    def test_out_of_range_type(self, trace):
+        with pytest.raises(ValidationError):
+            type_busy_time(trace, 1)
+
+
+class TestAverageUtilization:
+    def test_full_and_half(self, trace):
+        util = average_utilization(trace, ResourceConfig((1, 1)))
+        assert list(util) == [1.0, 0.5]
+
+    def test_scaled_by_processor_count(self, trace):
+        util = average_utilization(trace, ResourceConfig((2, 1)))
+        assert util[0] == 0.5
+
+    def test_explicit_makespan(self, trace):
+        util = average_utilization(trace, ResourceConfig((1, 1)), makespan=8.0)
+        assert list(util) == [0.5, 0.25]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValidationError):
+            average_utilization(ScheduleTrace(), ResourceConfig((1,)))
+
+
+class TestUtilizationProfile:
+    def test_shape_and_edges(self, trace):
+        edges, prof = utilization_profile(trace, ResourceConfig((1, 1)), n_bins=4)
+        assert edges.shape == (5,)
+        assert prof.shape == (2, 4)
+        assert edges[0] == 0.0 and edges[-1] == 4.0
+
+    def test_values(self, trace):
+        _, prof = utilization_profile(trace, ResourceConfig((1, 1)), n_bins=4)
+        np.testing.assert_allclose(prof[0], [1, 1, 1, 1])
+        np.testing.assert_allclose(prof[1], [0, 0, 1, 1])
+
+    def test_profile_average_matches_average_utilization(self, trace):
+        system = ResourceConfig((2, 1))
+        _, prof = utilization_profile(trace, system, n_bins=8)
+        np.testing.assert_allclose(
+            prof.mean(axis=1), average_utilization(trace, system), rtol=1e-9
+        )
+
+    def test_partial_bin_overlap(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        t.add(1, 0, 0, 1.0, 4.0)
+        _, prof = utilization_profile(t, ResourceConfig((1,)), n_bins=2)
+        np.testing.assert_allclose(prof[0], [1.0, 1.0])
+
+    def test_bad_bins(self, trace):
+        with pytest.raises(ValidationError):
+            utilization_profile(trace, ResourceConfig((1, 1)), n_bins=0)

@@ -1,0 +1,106 @@
+"""Unit tests for the quantum-stepped preemptive engine."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    KDag,
+    ResourceConfig,
+    make_scheduler,
+    simulate,
+    simulate_preemptive,
+    validate_schedule,
+)
+from repro.errors import SchedulingError
+
+
+class TestBasics:
+    def test_single_task(self):
+        job = KDag(types=[0], work=[4.0])
+        res = simulate_preemptive(job, ResourceConfig((1,)), make_scheduler("kgreedy"))
+        assert res.makespan == 4.0
+        assert res.preemptive is True
+
+    def test_chain(self, chain_job):
+        res = simulate_preemptive(
+            chain_job, ResourceConfig((1, 1, 1)), make_scheduler("kgreedy")
+        )
+        assert res.makespan == 3.0
+
+    def test_fractional_work_completes_mid_quantum(self):
+        job = KDag(types=[0], work=[2.5])
+        res = simulate_preemptive(job, ResourceConfig((1,)), make_scheduler("kgreedy"))
+        assert res.makespan == 2.5
+
+    def test_invalid_quantum(self, chain_job):
+        with pytest.raises(SchedulingError, match="quantum"):
+            simulate_preemptive(
+                chain_job, ResourceConfig((1, 1, 1)), make_scheduler("kgreedy"),
+                quantum=0.0,
+            )
+
+    def test_trace_is_valid_and_split_into_quanta(self):
+        job = KDag(types=[0, 0], work=[3.0, 2.0])
+        system = ResourceConfig((1,))
+        res = simulate_preemptive(
+            job, system, make_scheduler("kgreedy"), record_trace=True
+        )
+        validate_schedule(job, system, res.trace, res.makespan, preemptive=True)
+        assert all(s.duration <= 1.0 + 1e-12 for s in res.trace)
+
+    def test_larger_quantum(self):
+        job = KDag(types=[0, 0], work=[4.0, 4.0])
+        res = simulate_preemptive(
+            job, ResourceConfig((1,)), make_scheduler("kgreedy"), quantum=4.0
+        )
+        assert res.makespan == 8.0
+
+
+class TestEquivalenceWithNonPreemptive:
+    """With integer work and quantum 1, makespans should be close; for
+    a single processor per type and FIFO they should match exactly."""
+
+    def test_kgreedy_single_proc_matches(self, rng):
+        from tests.conftest import make_random_job
+
+        for i in range(3):
+            job = make_random_job(rng, n=20, k=2)
+            system = ResourceConfig((1, 1))
+            a = simulate(job, system, make_scheduler("kgreedy"))
+            b = simulate_preemptive(job, system, make_scheduler("kgreedy"))
+            assert a.makespan == pytest.approx(b.makespan)
+
+    @pytest.mark.parametrize("name", ["kgreedy", "lspan", "mqb"])
+    def test_all_schedulers_valid_preemptively(self, name, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=30, k=3)
+        system = ResourceConfig((2, 2, 2))
+        res = simulate_preemptive(
+            job, system, make_scheduler(name),
+            rng=np.random.default_rng(1), record_trace=True,
+        )
+        validate_schedule(job, system, res.trace, res.makespan, preemptive=True)
+        assert res.completion_time_ratio() >= 1.0 - 1e-9
+
+
+class TestWorkConservationGuard:
+    def test_stalling_scheduler_detected(self, chain_job):
+        from repro.schedulers.base import Scheduler
+
+        class Lazy(Scheduler):
+            name = "lazy"
+
+            def task_ready(self, task, time, work):
+                pass
+
+            def pending(self, alpha):
+                return 0
+
+            def select(self, alpha, n_slots, time):
+                return []
+
+        with pytest.raises(SchedulingError, match="stalled"):
+            simulate_preemptive(chain_job, ResourceConfig((1, 1, 1)), Lazy())

@@ -1,0 +1,75 @@
+"""Unit tests for ScheduleTrace / Segment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.sim.trace import ScheduleTrace, Segment
+
+
+class TestSegment:
+    def test_duration(self):
+        s = Segment(task=0, alpha=1, proc=0, start=2.0, end=5.0)
+        assert s.duration == 3.0
+
+    @pytest.mark.parametrize("start,end", [(1.0, 1.0), (2.0, 1.0)])
+    def test_nonpositive_duration_rejected(self, start, end):
+        with pytest.raises(ValidationError):
+            Segment(task=0, alpha=0, proc=0, start=start, end=end)
+
+    def test_frozen(self):
+        s = Segment(0, 0, 0, 0.0, 1.0)
+        with pytest.raises(AttributeError):
+            s.end = 9.0
+
+
+class TestScheduleTrace:
+    def test_add_and_len(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        t.add(1, 0, 0, 1.0, 2.0)
+        assert len(t) == 2
+
+    def test_makespan(self):
+        t = ScheduleTrace()
+        assert t.makespan() == 0.0
+        t.add(0, 0, 0, 0.0, 3.0)
+        t.add(1, 1, 0, 1.0, 2.0)
+        assert t.makespan() == 3.0
+
+    def test_segments_of_sorted(self):
+        t = ScheduleTrace()
+        t.add(5, 0, 0, 4.0, 5.0)
+        t.add(5, 0, 1, 0.0, 2.0)
+        segs = t.segments_of(5)
+        assert [s.start for s in segs] == [0.0, 4.0]
+
+    def test_executed_work(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0)
+        t.add(0, 0, 1, 3.0, 4.0)
+        t.add(1, 0, 0, 2.0, 3.0)
+        assert list(t.executed_work(3)) == [3.0, 1.0, 0.0]
+
+    def test_executed_work_unknown_task(self):
+        t = ScheduleTrace()
+        t.add(7, 0, 0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            t.executed_work(3)
+
+    def test_first_start_last_end(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 1.0, 2.0)
+        t.add(0, 0, 0, 5.0, 6.0)
+        assert t.first_start(0) == 1.0
+        assert t.last_end(0) == 6.0
+
+    def test_first_start_missing_task(self):
+        with pytest.raises(ValidationError):
+            ScheduleTrace().first_start(0)
+
+    def test_iteration(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        assert [s.task for s in t] == [0]

@@ -1,0 +1,119 @@
+"""Unit tests for the schedule legality checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KDag, ResourceConfig, validate_schedule
+from repro.errors import ValidationError
+from repro.sim.trace import ScheduleTrace
+
+
+@pytest.fixture
+def job():
+    return KDag(
+        types=[0, 1, 0],
+        work=[2.0, 1.0, 1.0],
+        edges=[(0, 1), (1, 2)],
+        num_types=2,
+    )
+
+
+@pytest.fixture
+def system():
+    return ResourceConfig((1, 1))
+
+
+def good_trace():
+    t = ScheduleTrace()
+    t.add(0, 0, 0, 0.0, 2.0)
+    t.add(1, 1, 0, 2.0, 3.0)
+    t.add(2, 0, 0, 3.0, 4.0)
+    return t
+
+
+class TestAccepts:
+    def test_valid_schedule_passes(self, job, system):
+        validate_schedule(job, system, good_trace(), makespan=4.0)
+
+    def test_valid_without_makespan(self, job, system):
+        validate_schedule(job, system, good_trace())
+
+    def test_preemptive_split_allowed(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        t.add(0, 0, 0, 1.0, 2.0)
+        t.add(1, 1, 0, 2.0, 3.0)
+        t.add(2, 0, 0, 3.0, 4.0)
+        validate_schedule(job, system, t, preemptive=True)
+
+
+class TestRejects:
+    def test_k_mismatch(self, job):
+        with pytest.raises(ValidationError, match="disagree on K"):
+            validate_schedule(job, ResourceConfig((1,)), good_trace())
+
+    def test_wrong_type(self, job, system):
+        t = good_trace()
+        t.segments[1] = type(t.segments[1])(1, 0, 0, 2.0, 3.0)
+        with pytest.raises(ValidationError, match="ran on type"):
+            validate_schedule(job, system, t)
+
+    def test_processor_index_out_of_pool(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 5, 0.0, 2.0)
+        t.add(1, 1, 0, 2.0, 3.0)
+        t.add(2, 0, 0, 3.0, 4.0)
+        with pytest.raises(ValidationError, match="only 1 processors"):
+            validate_schedule(job, system, t)
+
+    def test_unknown_task(self, job, system):
+        t = good_trace()
+        t.add(9, 0, 0, 4.0, 5.0)
+        with pytest.raises(ValidationError, match="unknown task"):
+            validate_schedule(job, system, t)
+
+    def test_under_executed_work(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)  # task 0 needs 2 units
+        t.add(1, 1, 0, 1.0, 2.0)
+        t.add(2, 0, 0, 2.0, 3.0)
+        with pytest.raises(ValidationError, match="executed"):
+            validate_schedule(job, system, t)
+
+    def test_split_rejected_in_nonpreemptive_mode(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        t.add(0, 0, 0, 1.0, 2.0)
+        t.add(1, 1, 0, 2.0, 3.0)
+        t.add(2, 0, 0, 3.0, 4.0)
+        with pytest.raises(ValidationError, match="split"):
+            validate_schedule(job, system, t, preemptive=False)
+
+    def test_processor_overlap(self, system):
+        job = KDag(types=[0, 0], work=[2.0, 2.0], num_types=2)
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0)
+        t.add(1, 0, 0, 1.0, 3.0)  # same processor, overlapping
+        with pytest.raises(ValidationError, match="overlaps"):
+            validate_schedule(job, system, t)
+
+    def test_intra_task_parallelism(self):
+        job = KDag(types=[0], work=[4.0], num_types=1)
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0)
+        t.add(0, 0, 1, 0.0, 2.0)  # task runs on 2 procs at once
+        with pytest.raises(ValidationError, match="parallel with itself"):
+            validate_schedule(job, ResourceConfig((2,)), t, preemptive=True)
+
+    def test_precedence_violation(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 1.0, 3.0)
+        t.add(1, 1, 0, 0.0, 1.0)  # child before parent finished
+        t.add(2, 0, 0, 3.0, 4.0)
+        with pytest.raises(ValidationError, match="before its\n?.*parent|parent"):
+            validate_schedule(job, system, t)
+
+    def test_makespan_mismatch(self, job, system):
+        with pytest.raises(ValidationError, match="makespan"):
+            validate_schedule(job, system, good_trace(), makespan=7.0)

@@ -1,0 +1,111 @@
+"""Unit tests for resource configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ResourceError
+from repro.system.resources import (
+    MEDIUM_RANGE,
+    SMALL_RANGE,
+    ResourceConfig,
+    medium_system,
+    sample_medium_system,
+    sample_small_system,
+    skewed,
+    small_system,
+)
+
+
+class TestResourceConfig:
+    def test_basic_accessors(self):
+        cfg = ResourceConfig((2, 3, 1))
+        assert cfg.num_types == 3
+        assert cfg.total == 6
+        assert cfg.p_max == 3
+        assert cfg[1] == 3
+        assert len(cfg) == 3
+        assert list(cfg) == [2, 3, 1]
+
+    def test_as_array(self):
+        arr = ResourceConfig((2, 3)).as_array()
+        assert arr.dtype == np.int64
+        assert list(arr) == [2, 3]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResourceError):
+            ResourceConfig(())
+
+    @pytest.mark.parametrize("bad", [(0,), (-1, 2), (1.5, 2)])
+    def test_invalid_counts_rejected(self, bad):
+        with pytest.raises(ResourceError):
+            ResourceConfig(bad)
+
+    def test_numpy_ints_accepted(self):
+        cfg = ResourceConfig(tuple(np.array([2, 3], dtype=np.int64)))
+        assert cfg.counts == (2, 3)
+
+    def test_with_counts(self):
+        cfg = ResourceConfig((1, 1)).with_counts([4, 5])
+        assert cfg.counts == (4, 5)
+
+    def test_frozen(self):
+        cfg = ResourceConfig((1, 2))
+        with pytest.raises(AttributeError):
+            cfg.counts = (3,)
+
+
+class TestFactories:
+    def test_small_system(self):
+        assert small_system(4, per_type=3).counts == (3, 3, 3, 3)
+
+    def test_small_range_enforced(self):
+        with pytest.raises(ResourceError):
+            small_system(2, per_type=9)
+
+    def test_medium_system(self):
+        assert medium_system(2, per_type=15).counts == (15, 15)
+
+    def test_medium_range_enforced(self):
+        with pytest.raises(ResourceError):
+            medium_system(2, per_type=5)
+
+    def test_sample_small_uniform_shares_one_count(self, rng):
+        cfg = sample_small_system(4, rng)
+        assert len(set(cfg.counts)) == 1
+        lo, hi = SMALL_RANGE
+        assert lo <= cfg.counts[0] <= hi
+
+    def test_sample_small_independent(self, rng):
+        counts = {sample_small_system(6, rng, uniform=False).counts for _ in range(20)}
+        # With 6 independent draws, some config has unequal counts.
+        assert any(len(set(c)) > 1 for c in counts)
+
+    def test_sample_medium_in_range(self, rng):
+        lo, hi = MEDIUM_RANGE
+        for _ in range(10):
+            cfg = sample_medium_system(3, rng)
+            assert all(lo <= c <= hi for c in cfg.counts)
+
+
+class TestSkew:
+    def test_divides_first_type_by_factor(self):
+        cfg = skewed(ResourceConfig((15, 15, 15)), skew_type=0, factor=5)
+        assert cfg.counts == (3, 15, 15)
+
+    def test_rounds_up_and_floors_at_one(self):
+        assert skewed(ResourceConfig((4, 8)), factor=5).counts == (1, 8)
+        assert skewed(ResourceConfig((1, 8)), factor=5).counts == (1, 8)
+
+    def test_other_type(self):
+        cfg = skewed(ResourceConfig((10, 10)), skew_type=1, factor=2)
+        assert cfg.counts == (10, 5)
+
+    def test_bad_type(self):
+        with pytest.raises(ResourceError):
+            skewed(ResourceConfig((2, 2)), skew_type=5)
+
+    def test_bad_factor(self):
+        with pytest.raises(ResourceError):
+            skewed(ResourceConfig((2, 2)), factor=0)

@@ -1,0 +1,108 @@
+"""Unit tests for the statistical analysis helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    bootstrap_ci,
+    mean_ci,
+    paired_difference,
+    required_instances,
+)
+from repro.errors import ConfigurationError
+
+
+class TestMeanCI:
+    def test_contains_true_mean_usually(self, rng):
+        hits = 0
+        for _ in range(200):
+            x = rng.normal(3.0, 1.0, size=50)
+            if mean_ci(x, 0.95).contains(3.0):
+                hits += 1
+        assert hits > 175  # ~95 % coverage with slack
+
+    def test_width_shrinks_with_n(self, rng):
+        small = mean_ci(rng.normal(0, 1, 20))
+        large = mean_ci(rng.normal(0, 1, 2000))
+        assert large.half_width < small.half_width
+
+    def test_estimate_is_sample_mean(self):
+        ci = mean_ci([1.0, 2.0, 3.0])
+        assert ci.estimate == pytest.approx(2.0)
+
+    def test_requires_two_samples(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0])
+
+    def test_rejects_nonfinite(self):
+        with pytest.raises(ConfigurationError):
+            mean_ci([1.0, float("nan")])
+
+    def test_unknown_level(self):
+        with pytest.raises(ConfigurationError, match="confidence level"):
+            mean_ci([1.0, 2.0], level=0.5)
+
+
+class TestBootstrapCI:
+    def test_mean_bootstrap_matches_normal_ci(self, rng):
+        x = rng.normal(5.0, 2.0, size=400)
+        boot = bootstrap_ci(x, rng)
+        norm = mean_ci(x)
+        assert boot.low == pytest.approx(norm.low, abs=0.25)
+        assert boot.high == pytest.approx(norm.high, abs=0.25)
+
+    def test_other_statistic(self, rng):
+        x = rng.exponential(1.0, size=300)
+        ci = bootstrap_ci(x, rng, statistic=np.median)
+        assert ci.low <= ci.estimate <= ci.high
+
+    def test_resample_floor(self, rng):
+        with pytest.raises(ConfigurationError):
+            bootstrap_ci([1.0, 2.0], rng, n_resamples=3)
+
+
+class TestPairedDifference:
+    def test_detects_consistent_improvement(self, rng):
+        b = rng.uniform(2.0, 3.0, size=60)
+        a = b - rng.uniform(0.2, 0.4, size=60)  # A always better
+        cmp = paired_difference(a, b)
+        assert cmp.significant
+        assert cmp.a_better
+        assert cmp.mean_difference < 0
+
+    def test_no_false_positive_on_identical(self, rng):
+        x = rng.uniform(1, 2, size=50)
+        noise = rng.normal(0, 1e-3, size=50)
+        cmp = paired_difference(x, x + noise)
+        assert abs(cmp.mean_difference) < 0.01
+
+    def test_pairing_beats_unpaired_variance(self, rng):
+        """The paired CI is far tighter than the per-sample spread."""
+        base = rng.uniform(1.0, 4.0, size=80)  # instance difficulty
+        a = base + rng.normal(0.0, 0.01, 80)
+        b = base + 0.05 + rng.normal(0.0, 0.01, 80)
+        cmp = paired_difference(a, b)
+        assert cmp.significant  # 0.05 shift found despite 3x spread
+        assert cmp.ci.half_width < 0.01
+
+    def test_alignment_checked(self):
+        with pytest.raises(ConfigurationError, match="align"):
+            paired_difference([1.0, 2.0], [1.0, 2.0, 3.0])
+
+
+class TestRequiredInstances:
+    def test_scales_inverse_square(self, rng):
+        x = rng.normal(0, 1, size=100)
+        n1 = required_instances(x, 0.1)
+        n2 = required_instances(x, 0.05)
+        assert n2 == pytest.approx(4 * n1, rel=0.1)
+
+    def test_floor_of_two(self, rng):
+        x = rng.normal(0, 1e-9, size=10)
+        assert required_instances(x, 1.0) == 2
+
+    def test_positive_target(self, rng):
+        with pytest.raises(ConfigurationError):
+            required_instances([1.0, 2.0], 0.0)

@@ -1,0 +1,127 @@
+"""Unit tests for the speed-heterogeneity extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, make_scheduler
+from repro.errors import ResourceError
+from repro.hetspeed import SpeedSystem, simulate_speeds, speed_lower_bound
+
+
+class TestSpeedSystem:
+    def test_basic(self):
+        s = SpeedSystem(((1.0, 2.0), (4.0,)))
+        assert s.num_types == 2
+        assert s.counts == (2, 1)
+        assert s.total_speed(0) == 3.0
+        assert s.max_speed(0) == 2.0  # pools sorted descending
+
+    def test_sorted_descending(self):
+        s = SpeedSystem(((1.0, 3.0, 2.0),))
+        assert s.speeds[0] == (3.0, 2.0, 1.0)
+
+    def test_uniform_factory(self):
+        s = SpeedSystem.uniform((2, 3), speed=2.0)
+        assert s.counts == (2, 3)
+        assert all(x == 2.0 for pool in s.speeds for x in pool)
+
+    def test_sample_factory(self, rng):
+        s = SpeedSystem.sample((3, 3), rng, speed_range=(0.5, 2.0))
+        assert all(0.5 <= x <= 2.0 for pool in s.speeds for x in pool)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ResourceError):
+            SpeedSystem(())
+        with pytest.raises(ResourceError):
+            SpeedSystem(((),))
+
+    def test_bad_speed_rejected(self):
+        with pytest.raises(ResourceError):
+            SpeedSystem(((0.0,),))
+        with pytest.raises(ResourceError):
+            SpeedSystem(((float("inf"),),))
+
+    def test_resource_config_view(self):
+        assert SpeedSystem(((1.0,), (1.0, 1.0))).as_resource_config().counts == (1, 2)
+
+
+class TestLowerBound:
+    def test_work_term(self):
+        job = KDag(types=[0] * 4, work=[2.0] * 4)
+        system = SpeedSystem(((2.0, 2.0),))
+        # 8 work over total speed 4 -> 2.
+        assert speed_lower_bound(job, system) == 2.0
+
+    def test_span_term_uses_fastest(self):
+        job = KDag(types=[0, 0], work=[4.0, 4.0], edges=[(0, 1)])
+        system = SpeedSystem(((1.0, 4.0),))
+        # Chain at speed 4: 1 + 1 = 2; work term 8/5 = 1.6.
+        assert speed_lower_bound(job, system) == 2.0
+
+    def test_k_mismatch(self):
+        job = KDag(types=[0], work=[1.0])
+        with pytest.raises(ResourceError):
+            speed_lower_bound(job, SpeedSystem(((1.0,), (1.0,))))
+
+
+class TestEngine:
+    def test_single_task_uses_fastest(self):
+        job = KDag(types=[0], work=[6.0])
+        system = SpeedSystem(((1.0, 3.0),))
+        res = simulate_speeds(job, system, make_scheduler("kgreedy"))
+        assert res.makespan == 2.0  # 6 / 3
+
+    def test_unit_speeds_match_plain_engine(self, rng):
+        from tests.conftest import make_random_job
+        from repro import ResourceConfig, simulate
+
+        for i in range(3):
+            job = make_random_job(rng, n=25, k=2)
+            plain = simulate(job, ResourceConfig((2, 2)), make_scheduler("lspan"))
+            speedy = simulate_speeds(
+                job, SpeedSystem.uniform((2, 2)), make_scheduler("lspan")
+            )
+            assert speedy.makespan == pytest.approx(plain.makespan)
+
+    def test_two_tasks_fast_and_slow(self):
+        job = KDag(types=[0, 0], work=[6.0, 6.0])
+        system = SpeedSystem(((3.0, 1.0),))
+        res = simulate_speeds(job, system, make_scheduler("kgreedy"),
+                              record_trace=True)
+        # One task at speed 3 (2s), one at speed 1 (6s), in parallel.
+        assert res.makespan == 6.0
+
+    def test_faster_pool_shortens_makespan(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=30, k=2)
+        slow = simulate_speeds(
+            job, SpeedSystem.uniform((2, 2), 1.0), make_scheduler("mqb"),
+            rng=np.random.default_rng(0),
+        )
+        fast = simulate_speeds(
+            job, SpeedSystem.uniform((2, 2), 2.0), make_scheduler("mqb"),
+            rng=np.random.default_rng(0),
+        )
+        assert fast.makespan == pytest.approx(slow.makespan / 2.0)
+
+    def test_ratio_at_least_one(self, rng):
+        from tests.conftest import make_random_job
+
+        for name in ("kgreedy", "mqb", "lspan"):
+            job = make_random_job(rng, n=25, k=3)
+            system = SpeedSystem.sample((2, 2, 2), rng)
+            res = simulate_speeds(job, system, make_scheduler(name),
+                                  rng=np.random.default_rng(1))
+            assert res.completion_time_ratio() >= 1.0 - 1e-9
+
+    def test_trace_recorded(self):
+        job = KDag(types=[0, 1], work=[2.0, 3.0], edges=[(0, 1)], num_types=2)
+        system = SpeedSystem(((2.0,), (1.0,)))
+        res = simulate_speeds(job, system, make_scheduler("kgreedy"),
+                              record_trace=True)
+        assert res.trace is not None
+        assert len(res.trace) == 2
+        assert res.makespan == 4.0  # 1 + 3

@@ -1,0 +1,96 @@
+"""Integration tests: miniature versions of the paper's headline claims.
+
+The benchmark harness asserts these at figure scale; the versions here
+run in a few seconds and guard the claims during normal development.
+Every comparison uses the paired runner, so algorithm differences are
+not sampling noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.runner import run_comparison
+from repro.workloads.generator import WORKLOAD_CELLS
+
+N = 8  # instances per claim; paired design keeps this meaningful
+SEED = 424242
+
+
+def means(cell: str, algorithms, n=N, **kw) -> dict[str, float]:
+    stats = run_comparison(WORKLOAD_CELLS[cell], algorithms, n, SEED, **kw)
+    return {s.key: s.mean for s in stats}
+
+
+@pytest.mark.slow
+class TestFig4Claims:
+    def test_random_workloads_flat(self):
+        for cell in ("small-random-ep", "medium-random-ir"):
+            m = means(cell, ["kgreedy", "mqb", "lspan"])
+            assert all(v < 1.4 for v in m.values()), (cell, m)
+
+    def test_layered_ep_mqb_beats_kgreedy_big(self):
+        m = means("small-layered-ep", ["kgreedy", "mqb", "maxdp", "dtype"])
+        assert m["mqb"] < 0.8 * m["kgreedy"]
+        assert m["maxdp"] > m["mqb"]  # type-blind descendants misfire on EP
+
+    def test_layered_tree_offline_wins(self):
+        m = means("medium-layered-tree", ["kgreedy", "lspan", "mqb", "shiftbt"])
+        for alg in ("lspan", "mqb", "shiftbt"):
+            assert m[alg] < m["kgreedy"], m
+
+    def test_layered_ir_mqb_maxdp_lead(self):
+        m = means("medium-layered-ir", ["kgreedy", "mqb", "maxdp", "dtype"])
+        assert m["mqb"] < m["kgreedy"]
+        assert m["maxdp"] < m["dtype"], m
+
+
+@pytest.mark.slow
+class TestFig5Claim:
+    def test_kgreedy_degrades_with_k(self):
+        spec = WORKLOAD_CELLS["small-layered-ep"]
+        ratios = []
+        for k in (1, 4):
+            stats = run_comparison(
+                spec.with_num_types(k), ["kgreedy"], N, SEED + k
+            )
+            ratios.append(stats[0].mean)
+        assert ratios[1] > ratios[0] + 0.3
+
+
+@pytest.mark.slow
+class TestFig6Claim:
+    def test_skew_collapses_spread(self):
+        algs = ["kgreedy", "mqb"]
+        plain = means("medium-layered-ir", algs)
+        skew = {
+            s.key: s.mean
+            for s in run_comparison(
+                WORKLOAD_CELLS["medium-layered-ir"].with_skew(5), algs, N, SEED
+            )
+        }
+        assert (skew["kgreedy"] - skew["mqb"]) < (
+            plain["kgreedy"] - plain["mqb"]
+        )
+
+
+@pytest.mark.slow
+class TestFig7Claim:
+    def test_preemption_roughly_neutral(self):
+        algs = ["kgreedy", "mqb"]
+        np_m = means("small-layered-ep", algs, n=4)
+        p_m = means("small-layered-ep", algs, n=4, preemptive=True)
+        for alg in algs:
+            assert abs(p_m[f"{alg} (P)"] - np_m[alg]) < 0.35
+
+
+@pytest.mark.slow
+class TestFig8Claim:
+    def test_noisy_info_still_beats_kgreedy(self):
+        m = means(
+            "small-layered-ep",
+            ["kgreedy", "mqb+all+noise", "mqb+1step+noise"],
+        )
+        assert m["mqb+all+noise"] < m["kgreedy"]
+        assert m["mqb+1step+noise"] < m["kgreedy"]

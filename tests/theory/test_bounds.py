@@ -1,0 +1,89 @@
+"""Unit tests for the competitive-ratio bound formulas."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.theory.bounds import (
+    deterministic_online_lower_bound,
+    graham_bound,
+    kgreedy_competitive_ratio,
+    randomized_online_lower_bound,
+    randomized_online_lower_bound_as_stated,
+    randomized_online_lower_bound_finite_m,
+)
+
+
+class TestRandomizedBound:
+    def test_formula(self):
+        # K=2, P=(2,2): 3 - 1/3 - 1/3 - 1/3 = 2.
+        assert randomized_online_lower_bound((2, 2)) == pytest.approx(2.0)
+
+    def test_stated_form_differs_by_pmax_term(self):
+        p = (2, 3, 4)
+        derived = randomized_online_lower_bound(p)
+        stated = randomized_online_lower_bound_as_stated(p)
+        assert derived - stated == pytest.approx(1 / 4 - 1 / 5)
+
+    def test_grows_linearly_in_k(self):
+        vals = [
+            randomized_online_lower_bound((3,) * k) for k in range(1, 7)
+        ]
+        diffs = [b - a for a, b in zip(vals, vals[1:])]
+        assert all(d == pytest.approx(1 - 1 / 4) for d in diffs)
+
+    def test_large_p_approaches_k_plus_one(self):
+        k = 4
+        val = randomized_online_lower_bound((10_000,) * k)
+        assert val == pytest.approx(k + 1, abs=1e-3)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ResourceError):
+            randomized_online_lower_bound(())
+        with pytest.raises(ResourceError):
+            randomized_online_lower_bound((0, 2))
+
+
+class TestFiniteMBound:
+    def test_converges_to_asymptotic(self):
+        p = (2, 2, 2)
+        limit = randomized_online_lower_bound(p)
+        vals = [randomized_online_lower_bound_finite_m(p, m) for m in (1, 10, 100, 10000)]
+        assert vals == sorted(vals)  # monotone increasing in m
+        assert vals[-1] == pytest.approx(limit, abs=1e-2)
+
+    def test_below_asymptotic(self):
+        p = (3, 3)
+        assert randomized_online_lower_bound_finite_m(p, 5) < (
+            randomized_online_lower_bound(p)
+        )
+
+    def test_requires_last_type_maximal(self):
+        with pytest.raises(ResourceError):
+            randomized_online_lower_bound_finite_m((5, 2), 3)
+
+    def test_bad_m(self):
+        with pytest.raises(ResourceError):
+            randomized_online_lower_bound_finite_m((2, 2), 0)
+
+
+class TestOtherBounds:
+    def test_deterministic(self):
+        assert deterministic_online_lower_bound((2, 4)) == pytest.approx(3 - 0.25)
+
+    def test_kgreedy_guarantee(self):
+        assert kgreedy_competitive_ratio(4) == 5.0
+        with pytest.raises(ResourceError):
+            kgreedy_competitive_ratio(0)
+
+    def test_graham(self):
+        assert graham_bound(1) == 1.0
+        assert graham_bound(4) == 1.75
+        with pytest.raises(ResourceError):
+            graham_bound(0)
+
+    def test_randomized_at_k1_is_below_graham_style(self):
+        # K=1, P=(p,): bound = 2 - 2/(p+1) <= 2 - 1/p for p >= 1.
+        for p in (1, 2, 8):
+            assert randomized_online_lower_bound((p,)) <= graham_bound(p) + 1e-12

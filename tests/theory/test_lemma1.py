@@ -1,0 +1,63 @@
+"""Unit tests for Lemma 1 (ball drawing)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.theory.lemma1 import (
+    expected_draws_closed_form,
+    expected_draws_exact,
+    simulate_draws,
+)
+
+
+class TestClosedForm:
+    def test_all_red(self):
+        # r == n: must draw everything; E = n/(n+1)*(n+1) = n.
+        assert expected_draws_closed_form(5, 5) == 5.0
+
+    def test_single_red(self):
+        # r=1: E = (n+1)/2 — the average position of one marked ball.
+        assert expected_draws_closed_form(9, 1) == 5.0
+
+    def test_paper_form(self):
+        assert expected_draws_closed_form(10, 2) == pytest.approx(2 / 3 * 11)
+
+    @pytest.mark.parametrize("n,r", [(0, 1), (5, 0), (3, 4)])
+    def test_invalid_args(self, n, r):
+        with pytest.raises(ConfigurationError):
+            expected_draws_closed_form(n, r)
+
+
+class TestExactMatchesClosedForm:
+    @pytest.mark.parametrize(
+        "n,r", [(1, 1), (5, 2), (10, 3), (30, 7), (50, 50), (100, 1)]
+    )
+    def test_agreement(self, n, r):
+        assert expected_draws_exact(n, r) == pytest.approx(
+            expected_draws_closed_form(n, r), rel=1e-12
+        )
+
+
+class TestMonteCarlo:
+    def test_matches_closed_form(self, rng):
+        n, r = 40, 6
+        draws = simulate_draws(n, r, 20000, rng)
+        assert draws.mean() == pytest.approx(
+            expected_draws_closed_form(n, r), rel=0.02
+        )
+
+    def test_draw_support(self, rng):
+        draws = simulate_draws(10, 3, 500, rng)
+        assert draws.min() >= 3
+        assert draws.max() <= 10
+
+    def test_invalid_trials(self, rng):
+        with pytest.raises(ConfigurationError):
+            simulate_draws(5, 2, 0, rng)
+
+    def test_deterministic_when_all_red(self, rng):
+        draws = simulate_draws(4, 4, 50, rng)
+        assert np.all(draws == 4)

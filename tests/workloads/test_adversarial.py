@@ -1,0 +1,115 @@
+"""Unit tests for the Theorem-2 adversarial job family."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import ResourceConfig, make_scheduler, simulate
+from repro.core.properties import type_work
+from repro.errors import ConfigurationError
+from repro.workloads.adversarial import (
+    adversarial_job,
+    adversarial_optimal_makespan,
+)
+
+
+class TestConstruction:
+    def test_task_counts_match_formula(self, rng):
+        procs = (2, 3)
+        m = 4
+        job = adversarial_job(procs, m, rng)
+        pk = procs[-1]
+        expected = [p * pk * m for p in procs]
+        counts = [int(job.tasks_of_type(a).size) for a in range(2)]
+        assert counts == expected
+
+    def test_unit_work(self, rng):
+        job = adversarial_job((2, 2), 3, rng)
+        assert np.all(job.work == 1.0)
+
+    def test_active_tasks_feed_all_next_type(self, rng):
+        procs = (2, 2)
+        job = adversarial_job(procs, 3, rng)
+        # Exactly P_0 = 2 type-0 tasks have out-edges, each to ALL
+        # type-1 tasks.
+        type0 = job.tasks_of_type(0)
+        out = [job.n_children(int(v)) for v in type0]
+        active = [o for o in out if o > 0]
+        n_type1 = job.tasks_of_type(1).size
+        assert len(active) == 2
+        assert all(o == n_type1 for o in active)
+
+    def test_chain_structure(self, rng):
+        procs = (2, 2)
+        m = 3
+        job = adversarial_job(procs, m, rng)
+        pk = procs[-1]
+        chain_len = m * pk - 1
+        last = job.tasks_of_type(1)
+        # Chain tasks: in the last type, exactly chain_len - 1 edges
+        # between type-1 tasks plus P_K active->chain-head edges.
+        intra = [
+            (u, v) for u, v in job.edges
+            if job.types[u] == 1 and job.types[v] == 1
+        ]
+        assert len(intra) == (chain_len - 1) + pk
+
+    def test_requires_last_type_maximal(self, rng):
+        with pytest.raises(ConfigurationError, match="maximum"):
+            adversarial_job((5, 2), 3, rng)
+
+    def test_bad_m(self, rng):
+        with pytest.raises(ConfigurationError):
+            adversarial_job((2, 2), 0, rng)
+
+    def test_k_equals_one(self, rng):
+        job = adversarial_job((3,), 4, rng)
+        assert job.num_types == 1
+        assert job.n_tasks == 3 * 3 * 4
+
+
+class TestOptimalMakespan:
+    def test_formula(self):
+        assert adversarial_optimal_makespan((2, 2, 3), 6) == 2 + 18
+        assert adversarial_optimal_makespan((4,), 5) == 20
+
+    def test_lower_bound_of_job_at_most_optimal(self, rng):
+        procs = (2, 2, 2)
+        m = 5
+        job = adversarial_job(procs, m, rng)
+        from repro.core.properties import lower_bound
+
+        assert lower_bound(job, procs) <= adversarial_optimal_makespan(procs, m)
+
+
+class TestOnlinePenalty:
+    def test_kgreedy_exceeds_finite_m_bound(self, rng):
+        """KGreedy's expected ratio matches Theorem 2's construction."""
+        from repro.theory.bounds import randomized_online_lower_bound_finite_m
+
+        procs = (2, 2)
+        m = 8
+        bound = randomized_online_lower_bound_finite_m(procs, m)
+        ratios = []
+        for i in range(30):
+            job = adversarial_job(procs, m, np.random.default_rng(i))
+            res = simulate(job, ResourceConfig(procs), make_scheduler("kgreedy"))
+            ratios.append(res.makespan / adversarial_optimal_makespan(procs, m))
+        assert float(np.mean(ratios)) >= bound - 0.1  # sampling slack
+
+    def test_offline_mqb_beats_kgreedy_on_adversary(self, rng):
+        procs = (2, 2)
+        m = 8
+        kg, mq = [], []
+        for i in range(10):
+            job = adversarial_job(procs, m, np.random.default_rng(100 + i))
+            system = ResourceConfig(procs)
+            kg.append(simulate(job, system, make_scheduler("kgreedy")).makespan)
+            mq.append(
+                simulate(
+                    job, system, make_scheduler("mqb"),
+                    rng=np.random.default_rng(i),
+                ).makespan
+            )
+        assert np.mean(mq) < np.mean(kg)

@@ -1,0 +1,103 @@
+"""Unit tests for the Cosmos/Scope stage-workflow generator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.cosmos import CosmosParams, generate_cosmos
+from repro.workloads.generator import EXTRA_CELLS, sample_instance, workload_cell
+from repro.workloads.params import WorkloadSpec
+
+
+def small_params(**kw):
+    defaults = dict(
+        stages_range=(5, 8),
+        stage_width_range=(2, 10),
+        work_range=(1, 4),
+    )
+    defaults.update(kw)
+    return CosmosParams(**defaults)
+
+
+class TestParams:
+    def test_defaults_valid(self):
+        CosmosParams()
+
+    def test_bad_shuffle_prob(self):
+        with pytest.raises(ConfigurationError):
+            CosmosParams(shuffle_prob=1.5)
+
+    def test_bad_parents(self):
+        with pytest.raises(ConfigurationError):
+            CosmosParams(max_stage_parents=0)
+
+    def test_bad_fanin(self):
+        with pytest.raises(ConfigurationError):
+            CosmosParams(shuffle_fanin=0)
+
+
+class TestGenerator:
+    def test_acyclic_and_connected_stages(self, rng):
+        job = generate_cosmos(small_params(), 4, "layered", rng)
+        # Acyclic by KDag construction; after stage 0 every task
+        # belongs to a stage that reads an earlier one, so only the
+        # first stage can hold sources... stages' tasks share sources.
+        assert job.n_tasks > 5
+        assert job.sources().size >= 1
+
+    def test_layered_stages_share_type(self, rng):
+        job = generate_cosmos(small_params(), 4, "layered", rng)
+        # Tasks with identical parent sets within a stage share a type;
+        # verify type-count is bounded by the stage count upper bound.
+        # (Stage boundaries = contiguous id blocks in this generator.)
+        types = job.types
+        changes = int(np.sum(np.diff(types) != 0))
+        assert changes <= 8  # at most one change per stage boundary
+
+    def test_random_structure_mixes_types(self, rng):
+        job = generate_cosmos(
+            small_params(stage_width_range=(20, 30)), 4, "random", rng
+        )
+        # A single wide stage nearly surely holds several types.
+        first_stage = job.types[:20]
+        assert len(set(first_stage.tolist())) > 1
+
+    def test_work_range(self, rng):
+        job = generate_cosmos(small_params(), 3, "layered", rng)
+        assert job.work.min() >= 1 and job.work.max() <= 4
+
+    def test_no_duplicate_edges(self, rng):
+        job = generate_cosmos(small_params(shuffle_prob=1.0), 2, "layered", rng)
+        pairs = {tuple(e) for e in job.edges}
+        assert len(pairs) == job.n_edges
+
+    def test_unknown_structure(self, rng):
+        with pytest.raises(ConfigurationError):
+            generate_cosmos(small_params(), 2, "sorted", rng)
+
+    def test_k1(self, rng):
+        job = generate_cosmos(small_params(), 1, "layered", rng)
+        assert np.all(job.types == 0)
+
+
+class TestCells:
+    def test_extra_cells_resolvable(self):
+        for name in EXTRA_CELLS:
+            assert workload_cell(name).family == "cosmos"
+
+    def test_sampling_extra_cell(self, rng):
+        job, system = sample_instance(workload_cell("medium-layered-cosmos"), rng)
+        assert job.num_types == system.num_types == 4
+
+    def test_schedulable(self, rng):
+        from repro import make_scheduler, simulate, validate_schedule
+
+        job, system = sample_instance(
+            WorkloadSpec("cosmos", "layered", "small", params=small_params()),
+            rng,
+        )
+        res = simulate(job, system, make_scheduler("mqb"),
+                       rng=np.random.default_rng(0), record_trace=True)
+        validate_schedule(job, system, res.trace, res.makespan)

