@@ -1,0 +1,137 @@
+#!/usr/bin/env python
+"""Regenerate ``benchmarks/BENCH_engine.json``.
+
+Times the hot paths the optimization work targets — MQB/KGreedy runs on
+a paper-scale IR instance, the offline descendant/span passes, and a
+Fig.-4-scale paired sweep serial vs parallel — and writes the numbers
+next to the recorded pre-optimization baselines so the speedups are
+auditable.
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/bench_baseline.py
+
+The baselines under ``"before"`` were measured on commit 354fe77 (the
+seed, before the vectorized sweeps / offline cache / engine+MQB hot-path
+work) on the same host class; re-measure them from that commit if the
+host changes materially.  Parallel-sweep results depend on the host's
+core count, which is recorded under ``"host"`` — on a single-core
+container the 8-worker sweep cannot beat serial and the numbers say so.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+import timeit
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import make_scheduler, simulate  # noqa: E402
+from repro.core.cache import clear_offline_cache  # noqa: E402
+from repro.core.descendants import (  # noqa: E402
+    descendant_values,
+    remaining_span,
+)
+from repro.experiments.runner import run_comparison  # noqa: E402
+from repro.schedulers.registry import PAPER_ALGORITHMS  # noqa: E402
+from repro.workloads.generator import WORKLOAD_CELLS, sample_instance  # noqa: E402
+
+OUT_PATH = REPO_ROOT / "benchmarks" / "BENCH_engine.json"
+
+#: Seed-commit (354fe77) timings, seconds — the "before" column.
+BASELINE = {
+    "engine_mqb_ir": 0.09123798527272697,
+    "engine_kgreedy_ir": 0.013182770230263199,
+    "descendant_values_pass": 0.011887787094117893,
+    "remaining_span_pass": 0.004513976873874008,
+    "fig4_ir_sweep_16_serial": 5.457877637000024,
+}
+
+SWEEP_INSTANCES = 16
+SWEEP_SEED = 2011
+
+
+def _best_of(fn, repeat: int = 5, number: int = 1) -> float:
+    """Min-of-N wall time for one call (min is robust to scheduler noise)."""
+    return min(timeit.repeat(fn, repeat=repeat, number=number)) / number
+
+
+def measure() -> dict[str, float]:
+    job, system = sample_instance(
+        WORKLOAD_CELLS["medium-layered-ir"], np.random.default_rng(42)
+    )
+    after: dict[str, float] = {}
+
+    clear_offline_cache()
+    rng = np.random.default_rng(0)
+    after["engine_mqb_ir"] = _best_of(
+        lambda: simulate(job, system, make_scheduler("mqb"), rng=rng), repeat=10
+    )
+    after["engine_kgreedy_ir"] = _best_of(
+        lambda: simulate(job, system, make_scheduler("kgreedy")), repeat=10
+    )
+    after["descendant_values_pass"] = _best_of(
+        lambda: descendant_values(job), repeat=20
+    )
+    after["remaining_span_pass"] = _best_of(
+        lambda: remaining_span(job), repeat=20
+    )
+
+    spec = WORKLOAD_CELLS["medium-layered-ir"]
+
+    def sweep(workers: int) -> float:
+        t0 = time.perf_counter()
+        run_comparison(
+            spec, PAPER_ALGORITHMS, SWEEP_INSTANCES, SWEEP_SEED,
+            n_workers=workers,
+        )
+        return time.perf_counter() - t0
+
+    after["fig4_ir_sweep_16_serial"] = min(sweep(1) for _ in range(2))
+    after["fig4_ir_sweep_16_workers8"] = min(sweep(8) for _ in range(2))
+    return after
+
+
+def main() -> int:
+    after = measure()
+    speedups = {
+        key: round(BASELINE[key] / after[key], 3)
+        for key in BASELINE
+        if key in after
+    }
+    speedups["fig4_ir_sweep_16_workers8_vs_seed_serial"] = round(
+        BASELINE["fig4_ir_sweep_16_serial"] / after["fig4_ir_sweep_16_workers8"], 3
+    )
+    payload = {
+        "description": (
+            "Engine/offline-pass hot-path timings, seconds (min over "
+            "repeats). 'before' = seed commit 354fe77; 'after' = current "
+            "tree. Sweep = run_comparison(medium-layered-ir, 6 paper "
+            "algorithms, 16 instances, seed 2011)."
+        ),
+        "host": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+        },
+        "before": BASELINE,
+        "after": {k: round(v, 6) for k, v in after.items()},
+        "speedup": speedups,
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    print(f"\nwrote {OUT_PATH}", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -50,6 +50,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="instances per plotted point (default: per-figure; paper used 5000)",
     )
     run_p.add_argument("--seed", type=int, default=None, help="base seed")
+    run_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for instance sweeps (default: serial, or the "
+            "REPRO_WORKERS env var; results are identical for any count)"
+        ),
+    )
     run_p.add_argument("--out", default=None, help="directory for JSON results")
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress rendered tables"
@@ -92,7 +101,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
-        result = run_experiment(name, n_instances=args.instances, seed=args.seed)
+        result = run_experiment(
+            name, n_instances=args.instances, seed=args.seed, n_workers=args.workers
+        )
         elapsed = time.time() - t0
         if not args.quiet:
             print(render_result(result))

@@ -32,6 +32,16 @@ from repro.core.balance import (
     compare_balance,
     x_utilization,
 )
+from repro.core.cache import (
+    cached_descendant_values,
+    cached_different_child_distance,
+    cached_due_dates,
+    cached_one_step_descendant_values,
+    cached_remaining_span,
+    cached_untyped_descendant_values,
+    clear_offline_cache,
+    offline_cache_info,
+)
 
 __all__ = [
     "KDag",
@@ -51,4 +61,12 @@ __all__ = [
     "x_utilization",
     "balance_key",
     "compare_balance",
+    "cached_descendant_values",
+    "cached_one_step_descendant_values",
+    "cached_untyped_descendant_values",
+    "cached_remaining_span",
+    "cached_different_child_distance",
+    "cached_due_dates",
+    "clear_offline_cache",
+    "offline_cache_info",
 ]

@@ -25,7 +25,7 @@ import numpy as np
 
 from repro.errors import CycleError, GraphError
 
-__all__ = ["KDag"]
+__all__ = ["KDag", "csr_gather"]
 
 
 def _as_edge_array(edges: Iterable[tuple[int, int]]) -> np.ndarray:
@@ -51,6 +51,28 @@ def _build_csr(n: int, src: np.ndarray, dst: np.ndarray) -> tuple[np.ndarray, np
     order = np.lexsort((dst, src))
     idx = dst[order].astype(np.int64, copy=False)
     return ptr, idx
+
+
+def csr_gather(
+    ptr: np.ndarray, idx: np.ndarray, nodes: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Gather the CSR neighbours of ``nodes`` into one flat array.
+
+    Returns ``(flat, seg_starts)``: ``flat`` concatenates the
+    neighbours of each node in order, and ``seg_starts[i]`` is the
+    offset of node ``i``'s segment — the index layout expected by
+    ``np.{add,maximum,minimum}.reduceat``.  Every node in ``nodes``
+    must have at least one neighbour (reduceat cannot represent empty
+    segments).
+    """
+    counts = ptr[nodes + 1] - ptr[nodes]
+    seg_starts = np.zeros(len(nodes), dtype=np.int64)
+    np.cumsum(counts[:-1], out=seg_starts[1:])
+    # Positions into idx: per segment, ptr[node] + offset-within-segment.
+    total = int(seg_starts[-1] + counts[-1]) if len(nodes) else 0
+    pos = np.arange(total, dtype=np.int64)
+    pos += np.repeat(ptr[nodes] - seg_starts, counts)
+    return idx[pos], seg_starts
 
 
 class KDag:
@@ -89,6 +111,8 @@ class KDag:
         "_parent_idx",
         "_topo",
         "_depth",
+        "_levels",
+        "_hash",
     )
 
     def __init__(
@@ -145,6 +169,8 @@ class KDag:
             n, edge_arr[:, 1], edge_arr[:, 0]
         )
         self._topo, self._depth = self._topological_order()
+        self._levels: tuple[np.ndarray, np.ndarray] | None = None
+        self._hash: int | None = None
 
         for arr in (
             self._types,
@@ -233,9 +259,56 @@ class KDag:
         """Layer index of each node: longest edge-count path from a source."""
         return self._depth
 
+    def levels(self) -> tuple[np.ndarray, np.ndarray]:
+        """Level grouping of the nodes: ``(order, level_ptr)``.
+
+        ``order`` lists all node ids sorted by :attr:`depth` (ties by
+        id); level ``i`` is ``order[level_ptr[i]:level_ptr[i + 1]]``.
+        Because depth is the *longest* path from a source, every edge
+        crosses from a strictly lower level to a strictly higher one,
+        so all nodes of a level can be processed simultaneously in the
+        level-batched offline sweeps (:mod:`repro.core.descendants`).
+        Computed lazily and cached on the instance.
+        """
+        if self._levels is None:
+            order = np.argsort(self._depth, kind="stable")
+            counts = np.bincount(self._depth)
+            level_ptr = np.zeros(len(counts) + 1, dtype=np.int64)
+            np.cumsum(counts, out=level_ptr[1:])
+            order.setflags(write=False)
+            level_ptr.setflags(write=False)
+            self._levels = (order, level_ptr)
+        return self._levels
+
     # ------------------------------------------------------------------
     # adjacency
     # ------------------------------------------------------------------
+    @property
+    def child_ptr(self) -> np.ndarray:
+        """CSR row pointers of the child adjacency, shape ``(n_tasks + 1,)``.
+
+        The children of ``v`` are ``child_idx[child_ptr[v]:child_ptr[v+1]]``.
+        Exposed (read-only) so hot loops — the simulation engines, the
+        level-batched offline sweeps — can bind the flat arrays once
+        instead of calling :meth:`children` per node.
+        """
+        return self._child_ptr
+
+    @property
+    def child_idx(self) -> np.ndarray:
+        """Flat CSR child ids matching :attr:`child_ptr` (read-only)."""
+        return self._child_idx
+
+    @property
+    def parent_ptr(self) -> np.ndarray:
+        """CSR row pointers of the parent adjacency (read-only)."""
+        return self._parent_ptr
+
+    @property
+    def parent_idx(self) -> np.ndarray:
+        """Flat CSR parent ids matching :attr:`parent_ptr` (read-only)."""
+        return self._parent_idx
+
     def children(self, v: int) -> np.ndarray:
         """Direct successors of task ``v`` (ascending ids)."""
         return self._child_idx[self._child_ptr[v] : self._child_ptr[v + 1]]
@@ -342,12 +415,17 @@ class KDag:
         )
 
     def __hash__(self) -> int:
-        return hash(
-            (
-                self._n,
-                self._k,
-                self._types.tobytes(),
-                self._work.tobytes(),
-                self._edges.tobytes(),
+        # Content hash, computed once and cached: KDags are immutable
+        # and the offline-info cache (repro.core.cache) hashes the same
+        # job on every scheduler prepare().
+        if self._hash is None:
+            self._hash = hash(
+                (
+                    self._n,
+                    self._k,
+                    self._types.tobytes(),
+                    self._work.tobytes(),
+                    self._edges.tobytes(),
+                )
             )
-        )
+        return self._hash

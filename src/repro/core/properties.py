@@ -16,7 +16,7 @@ from typing import Sequence
 
 import numpy as np
 
-from repro.core.kdag import KDag
+from repro.core.kdag import KDag, csr_gather
 from repro.errors import ResourceError
 
 __all__ = [
@@ -43,16 +43,21 @@ def _bottom_levels(job: KDag) -> np.ndarray:
     """Work-weighted longest path from each node to any sink, inclusive.
 
     ``bottom[v] = work[v] + max(bottom[c] for c in children(v))`` (0 max
-    for sinks).  Computed in one reverse-topological sweep.
+    for sinks).  Computed as a level-batched reverse sweep: within one
+    depth level no edges exist, so a whole level's maxima reduce in one
+    ``np.maximum.reduceat`` over the gathered child values.
     """
     bottom = job.work.copy()
-    topo = job.topological_order
-    for v in topo[::-1]:
-        best = 0.0
-        for c in job.children(int(v)):
-            if bottom[c] > best:
-                best = float(bottom[c])
-        bottom[v] += best
+    cptr, cidx = job.child_ptr, job.child_idx
+    out_deg = np.diff(cptr)
+    order, level_ptr = job.levels()
+    for li in range(len(level_ptr) - 2, -1, -1):
+        vs = order[level_ptr[li] : level_ptr[li + 1]]
+        vs = vs[out_deg[vs] > 0]
+        if vs.size == 0:
+            continue
+        kids, seg = csr_gather(cptr, cidx, vs)
+        bottom[vs] += np.maximum.reduceat(bottom[kids], seg)
     return bottom
 
 

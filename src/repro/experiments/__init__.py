@@ -18,6 +18,7 @@ from repro.experiments.figures import (
     run_experiment,
 )
 from repro.experiments.runner import run_comparison
+from repro.experiments.parallel import resolve_workers, run_comparison_parallel
 from repro.experiments.report import render_result
 from repro.experiments.store import load_result, save_result
 
@@ -25,6 +26,8 @@ __all__ = [
     "EXPERIMENTS",
     "run_experiment",
     "run_comparison",
+    "run_comparison_parallel",
+    "resolve_workers",
     "render_result",
     "save_result",
     "load_result",

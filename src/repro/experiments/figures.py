@@ -66,12 +66,16 @@ _LAYERED_PANELS = [
 ]
 
 
-def run_fig4(n_instances: int | None = None, seed: int = 2011) -> dict:
+def run_fig4(
+    n_instances: int | None = None, seed: int = 2011, n_workers: int | None = None
+) -> dict:
     """Fig. 4: the six algorithms on the six workload cells."""
     n = n_instances or DEFAULT_INSTANCES["fig4"]
     panels = []
     for cell, label in _FIG4_PANELS:
-        stats = run_comparison(WORKLOAD_CELLS[cell], PAPER_ALGORITHMS, n, seed)
+        stats = run_comparison(
+            WORKLOAD_CELLS[cell], PAPER_ALGORITHMS, n, seed, n_workers=n_workers
+        )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
         )
@@ -85,7 +89,9 @@ def run_fig4(n_instances: int | None = None, seed: int = 2011) -> dict:
     }
 
 
-def run_fig5(n_instances: int | None = None, seed: int = 2012) -> dict:
+def run_fig5(
+    n_instances: int | None = None, seed: int = 2012, n_workers: int | None = None
+) -> dict:
     """Fig. 5: varying the number of resource types K from 1 to 6."""
     n = n_instances or DEFAULT_INSTANCES["fig5"]
     ks = list(range(1, 7))
@@ -94,7 +100,9 @@ def run_fig5(n_instances: int | None = None, seed: int = 2012) -> dict:
         series: dict[str, list[float]] = {a: [] for a in PAPER_ALGORITHMS}
         for k in ks:
             spec = WORKLOAD_CELLS[cell].with_num_types(k)
-            for s in run_comparison(spec, PAPER_ALGORITHMS, n, seed + k):
+            for s in run_comparison(
+                spec, PAPER_ALGORITHMS, n, seed + k, n_workers=n_workers
+            ):
                 series[s.key].append(s.mean)
         panels.append(
             {
@@ -115,7 +123,9 @@ def run_fig5(n_instances: int | None = None, seed: int = 2012) -> dict:
     }
 
 
-def run_fig6(n_instances: int | None = None, seed: int = 2013) -> dict:
+def run_fig6(
+    n_instances: int | None = None, seed: int = 2013, n_workers: int | None = None
+) -> dict:
     """Fig. 6: skewed load — type 0's processors cut to one fifth."""
     n = n_instances or DEFAULT_INSTANCES["fig6"]
     panels = []
@@ -124,7 +134,7 @@ def run_fig6(n_instances: int | None = None, seed: int = 2013) -> dict:
         ("medium-layered-ir", "(b) Medium Layered IR"),
     ]:
         spec = WORKLOAD_CELLS[cell].with_skew(5)
-        stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed)
+        stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers)
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
         )
@@ -138,14 +148,18 @@ def run_fig6(n_instances: int | None = None, seed: int = 2013) -> dict:
     }
 
 
-def run_fig7(n_instances: int | None = None, seed: int = 2014) -> dict:
+def run_fig7(
+    n_instances: int | None = None, seed: int = 2014, n_workers: int | None = None
+) -> dict:
     """Fig. 7: non-preemptive vs preemptive scheduling."""
     n = n_instances or DEFAULT_INSTANCES["fig7"]
     panels = []
     for cell, label in _LAYERED_PANELS:
         spec = WORKLOAD_CELLS[cell]
-        np_stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed)
-        p_stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed, preemptive=True)
+        np_stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers)
+        p_stats = run_comparison(
+            spec, PAPER_ALGORITHMS, n, seed, preemptive=True, n_workers=n_workers
+        )
         series = [s.to_dict() for s in np_stats] + [s.to_dict() for s in p_stats]
         panels.append({"name": cell, "label": label, "series": series})
     return {
@@ -158,13 +172,15 @@ def run_fig7(n_instances: int | None = None, seed: int = 2014) -> dict:
     }
 
 
-def run_fig8(n_instances: int | None = None, seed: int = 2015) -> dict:
+def run_fig8(
+    n_instances: int | None = None, seed: int = 2015, n_workers: int | None = None
+) -> dict:
     """Fig. 8: MQB with partial / imprecise descendant information."""
     n = n_instances or DEFAULT_INSTANCES["fig8"]
     panels = []
     for cell, label in _LAYERED_PANELS:
         stats = run_comparison(
-            WORKLOAD_CELLS[cell], APPROX_INFO_ALGORITHMS, n, seed
+            WORKLOAD_CELLS[cell], APPROX_INFO_ALGORITHMS, n, seed, n_workers=n_workers
         )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
@@ -179,8 +195,15 @@ def run_fig8(n_instances: int | None = None, seed: int = 2015) -> dict:
     }
 
 
-def run_lemma1(n_instances: int | None = None, seed: int = 2016) -> dict:
-    """Lemma 1: closed form vs exact distribution vs Monte Carlo."""
+def run_lemma1(
+    n_instances: int | None = None, seed: int = 2016, n_workers: int | None = None
+) -> dict:
+    """Lemma 1: closed form vs exact distribution vs Monte Carlo.
+
+    ``n_workers`` is accepted for interface uniformity and ignored —
+    the Monte Carlo draw is one vectorized numpy call, not an
+    instance-sharded comparison.
+    """
     trials = n_instances or 20000
     rng = np.random.default_rng(seed)
     rows = []
@@ -199,7 +222,9 @@ def run_lemma1(n_instances: int | None = None, seed: int = 2016) -> dict:
     }
 
 
-def run_thm2(n_instances: int | None = None, seed: int = 2017) -> dict:
+def run_thm2(
+    n_instances: int | None = None, seed: int = 2017, n_workers: int | None = None
+) -> dict:
     """Theorem 2: KGreedy on the adversarial family vs the lower bound.
 
     The empirical ratio uses the *known* offline optimum of the
@@ -265,7 +290,10 @@ EXPERIMENTS: dict[str, Callable[..., dict]] = {
 
 
 def run_experiment(
-    name: str, n_instances: int | None = None, seed: int | None = None
+    name: str,
+    n_instances: int | None = None,
+    seed: int | None = None,
+    n_workers: int | None = None,
 ) -> dict:
     """Run one experiment by id (``fig4`` ... ``thm2``)."""
     try:
@@ -279,4 +307,6 @@ def run_experiment(
         kwargs["n_instances"] = n_instances
     if seed is not None:
         kwargs["seed"] = seed
+    if n_workers is not None:
+        kwargs["n_workers"] = n_workers
     return fn(**kwargs)

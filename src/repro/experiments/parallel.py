@@ -1,0 +1,158 @@
+"""Process-parallel paired-comparison sweeps.
+
+:func:`run_comparison_parallel` shards the instance loop of
+:func:`repro.experiments.runner.run_comparison` across a
+:class:`~concurrent.futures.ProcessPoolExecutor`.  Determinism is
+structural, not incidental:
+
+* instance ``i`` derives **all** of its randomness from
+  ``SeedSequence([seed, i])`` — nothing depends on which worker runs
+  it, what ran before it in that worker, or how instances are chunked;
+* every chunk's ratio block is written back at its instance indices,
+  so completion order cannot reorder anything;
+* the summary statistics are computed once, on the fully assembled
+  ``(n_algorithms, n_instances)`` matrix, by the exact code the serial
+  path uses.
+
+Hence the results are **bit-for-bit identical** to the serial path for
+every worker count and chunk size (asserted by
+``tests/experiments/test_parallel.py``).
+
+Worker selection: an explicit ``n_workers`` argument wins; otherwise
+the ``REPRO_WORKERS`` environment variable (an integer, or ``auto``
+for the CPU count); otherwise serial.  The offline-info cache
+(:mod:`repro.core.cache`) is per process — each worker warms its own,
+which costs one pass per (job, quantity) per worker and nothing more.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.runner import (
+    SeriesStats,
+    _instance_ratios,
+    _stats_from_ratios,
+)
+from repro.schedulers.registry import make_scheduler
+from repro.workloads.params import WorkloadSpec
+
+__all__ = ["resolve_workers", "run_comparison_parallel"]
+
+#: Chunks per worker the instance range is split into (smaller chunks
+#: balance load across heterogeneous instance costs; larger chunks
+#: amortize per-task dispatch overhead).
+_CHUNKS_PER_WORKER = 4
+
+
+def resolve_workers(n_workers: int | None = None) -> int:
+    """Effective worker count: explicit argument, else ``REPRO_WORKERS``.
+
+    ``REPRO_WORKERS`` accepts a positive integer or ``auto`` (the CPU
+    count); unset or empty means serial (1).
+    """
+    if n_workers is not None:
+        if n_workers < 1:
+            raise ConfigurationError(f"n_workers must be >= 1, got {n_workers}")
+        return int(n_workers)
+    raw = os.environ.get("REPRO_WORKERS", "").strip().lower()
+    if not raw:
+        return 1
+    if raw == "auto":
+        return os.cpu_count() or 1
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigurationError(
+            f"REPRO_WORKERS must be an integer or 'auto', got {raw!r}"
+        ) from None
+    if value < 1:
+        raise ConfigurationError(f"REPRO_WORKERS must be >= 1, got {value}")
+    return value
+
+
+def _run_chunk(
+    spec: WorkloadSpec,
+    algorithms: tuple[str, ...],
+    start: int,
+    stop: int,
+    seed: int,
+    preemptive: bool,
+    quantum: float,
+) -> tuple[int, np.ndarray]:
+    """Worker entry point: ratios for instances ``start..stop-1``.
+
+    Constructs its own schedulers (scheduler instances are reusable
+    across instances but not picklable in general) and returns the
+    ``(n_algorithms, stop - start)`` ratio block tagged with ``start``.
+    """
+    schedulers = [make_scheduler(name) for name in algorithms]
+    block = np.empty((len(algorithms), stop - start), dtype=np.float64)
+    for j, i in enumerate(range(start, stop)):
+        _instance_ratios(spec, schedulers, i, seed, preemptive, quantum, block[:, j])
+    return start, block
+
+
+def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
+    return [
+        (s, min(s + chunk_size, n_instances))
+        for s in range(0, n_instances, chunk_size)
+    ]
+
+
+def run_comparison_parallel(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    n_instances: int,
+    seed: int,
+    preemptive: bool = False,
+    quantum: float = 1.0,
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> list[SeriesStats]:
+    """Parallel :func:`~repro.experiments.runner.run_comparison`.
+
+    Bit-for-bit identical to the serial path for any ``n_workers`` and
+    ``chunk_size``; see the module docstring for why.  Falls back to
+    the serial loop when one worker (or one instance) makes a pool
+    pointless.
+    """
+    if n_instances < 1:
+        raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
+    workers = resolve_workers(n_workers)
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+
+    if workers == 1 or n_instances == 1:
+        from repro.experiments.runner import run_comparison
+
+        return run_comparison(
+            spec, algorithms, n_instances, seed,
+            preemptive=preemptive, quantum=quantum, n_workers=1,
+        )
+
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_instances // (workers * _CHUNKS_PER_WORKER)))
+    bounds = _chunk_bounds(n_instances, chunk_size)
+    workers = min(workers, len(bounds))
+
+    algorithms = tuple(algorithms)
+    ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(
+                _run_chunk, spec, algorithms, start, stop, seed, preemptive, quantum
+            )
+            for start, stop in bounds
+        }
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                start, block = future.result()
+                ratios[:, start : start + block.shape[1]] = block
+    return _stats_from_ratios(algorithms, ratios, preemptive)

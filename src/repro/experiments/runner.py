@@ -14,6 +14,17 @@ generator from the same sequence, so
   which shrinks the variance of between-algorithm differences far
   below the paper's 5000-instance unpaired design at a fraction of
   the compute.
+
+Because each instance's randomness is derived solely from ``(seed,
+i)``, the instance loop shards freely: ``n_workers > 1`` (or the
+``REPRO_WORKERS`` environment variable) routes it through the
+process-pool runner in :mod:`repro.experiments.parallel`, whose
+results are bit-for-bit identical to the serial path.
+
+Scheduler instances are constructed once per comparison and reused
+across instances — :meth:`~repro.schedulers.base.Scheduler.prepare`
+fully resets per-run state (guaranteed by
+``tests/experiments/test_runner.py``).
 """
 
 from __future__ import annotations
@@ -24,6 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import make_scheduler
 from repro.sim.engine import simulate
 from repro.sim.preemptive import simulate_preemptive
@@ -56,38 +68,41 @@ class SeriesStats:
         }
 
 
-def run_comparison(
+def _instance_ratios(
     spec: WorkloadSpec,
-    algorithms: Sequence[str],
-    n_instances: int,
+    schedulers: Sequence[Scheduler],
+    i: int,
     seed: int,
-    preemptive: bool = False,
-    quantum: float = 1.0,
-) -> list[SeriesStats]:
-    """Run ``algorithms`` over ``n_instances`` shared instances of ``spec``.
+    preemptive: bool,
+    quantum: float,
+    out: np.ndarray,
+) -> None:
+    """Run all algorithms on instance ``i``; write ratios into ``out``.
 
-    Returns one :class:`SeriesStats` per algorithm, in input order.
-    ``preemptive`` selects the engine; keys are suffixed with ``" (P)"``
-    in that case so mixed comparisons stay unambiguous.
+    All randomness derives from ``SeedSequence([seed, i])``, making
+    this the shardable unit of a comparison: any partition of the
+    instance range over any number of processes reproduces the exact
+    serial results.
     """
-    if n_instances < 1:
-        raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
-    ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
-    for i in range(n_instances):
-        ss = np.random.SeedSequence([seed, i])
-        inst_rng, *alg_seeds = ss.spawn(1 + len(algorithms))
-        job, system = sample_instance(spec, np.random.default_rng(inst_rng))
-        for a, name in enumerate(algorithms):
-            scheduler = make_scheduler(name)
-            alg_rng = np.random.default_rng(alg_seeds[a])
-            if preemptive:
-                result = simulate_preemptive(
-                    job, system, scheduler, rng=alg_rng, quantum=quantum
-                )
-            else:
-                result = simulate(job, system, scheduler, rng=alg_rng)
-            ratios[a, i] = result.completion_time_ratio()
+    ss = np.random.SeedSequence([seed, i])
+    inst_rng, *alg_seeds = ss.spawn(1 + len(schedulers))
+    job, system = sample_instance(spec, np.random.default_rng(inst_rng))
+    for a, scheduler in enumerate(schedulers):
+        alg_rng = np.random.default_rng(alg_seeds[a])
+        if preemptive:
+            result = simulate_preemptive(
+                job, system, scheduler, rng=alg_rng, quantum=quantum
+            )
+        else:
+            result = simulate(job, system, scheduler, rng=alg_rng)
+        out[a] = result.completion_time_ratio()
 
+
+def _stats_from_ratios(
+    algorithms: Sequence[str], ratios: np.ndarray, preemptive: bool
+) -> list[SeriesStats]:
+    """Collapse the ``(n_algorithms, n_instances)`` ratio matrix."""
+    n_instances = ratios.shape[1]
     out: list[SeriesStats] = []
     suffix = " (P)" if preemptive else ""
     for a, name in enumerate(algorithms):
@@ -104,3 +119,45 @@ def run_comparison(
             )
         )
     return out
+
+
+def run_comparison(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    n_instances: int,
+    seed: int,
+    preemptive: bool = False,
+    quantum: float = 1.0,
+    n_workers: int | None = None,
+) -> list[SeriesStats]:
+    """Run ``algorithms`` over ``n_instances`` shared instances of ``spec``.
+
+    Returns one :class:`SeriesStats` per algorithm, in input order.
+    ``preemptive`` selects the engine; keys are suffixed with ``" (P)"``
+    in that case so mixed comparisons stay unambiguous.
+
+    ``n_workers`` selects how many worker processes shard the instance
+    loop (``None`` defers to ``REPRO_WORKERS``, defaulting to serial).
+    Results are identical for every worker count.
+    """
+    if n_instances < 1:
+        raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
+
+    from repro.experiments.parallel import resolve_workers, run_comparison_parallel
+
+    if resolve_workers(n_workers) > 1 and n_instances > 1:
+        return run_comparison_parallel(
+            spec,
+            algorithms,
+            n_instances,
+            seed,
+            preemptive=preemptive,
+            quantum=quantum,
+            n_workers=n_workers,
+        )
+
+    schedulers = [make_scheduler(name) for name in algorithms]
+    ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
+    for i in range(n_instances):
+        _instance_ratios(spec, schedulers, i, seed, preemptive, quantum, ratios[:, i])
+    return _stats_from_ratios(algorithms, ratios, preemptive)

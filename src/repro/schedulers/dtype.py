@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.descendants import different_child_distance
+from repro.core.cache import cached_different_child_distance
 from repro.core.kdag import KDag
 from repro.schedulers.base import QueueScheduler
 
@@ -30,5 +30,5 @@ class DType(QueueScheduler):
     name = "dtype"
 
     def priorities(self, job: KDag) -> np.ndarray:
-        dist = different_child_distance(job)
+        dist = cached_different_child_distance(job)
         return np.where(np.isfinite(dist), dist, _NO_OTHER_TYPE)

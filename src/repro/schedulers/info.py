@@ -13,7 +13,8 @@ crossing two axes:
 An :class:`InformationModel` turns a job into the ``(n_tasks, K)``
 descendant matrix MQB consumes; stochastic models draw fresh noise per
 ``prepare`` from the run's generator, so repeated runs with the same
-seed reproduce exactly.
+seed reproduce exactly.  The deterministic base values are memoized
+per job via :mod:`repro.core.cache`; only the noise is redrawn.
 """
 
 from __future__ import annotations
@@ -22,7 +23,10 @@ from abc import ABC, abstractmethod
 
 import numpy as np
 
-from repro.core.descendants import descendant_values, one_step_descendant_values
+from repro.core.cache import (
+    cached_descendant_values,
+    cached_one_step_descendant_values,
+)
 from repro.core.kdag import KDag
 from repro.errors import ConfigurationError
 
@@ -44,9 +48,14 @@ class InformationModel(ABC):
         self.one_step = bool(one_step)
 
     def _true_values(self, job: KDag) -> np.ndarray:
+        # Memoized per job (repro.core.cache): the true values are pure
+        # functions of the DAG, so the seven Fig.-8 variants and
+        # repeated prepares on one job share a single offline pass.
+        # The returned array is read-only and shared — stochastic
+        # subclasses layer fresh noise on top, never mutate it.
         if self.one_step:
-            return one_step_descendant_values(job)
-        return descendant_values(job)
+            return cached_one_step_descendant_values(job)
+        return cached_descendant_values(job)
 
     @abstractmethod
     def descendant_matrix(

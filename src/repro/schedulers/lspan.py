@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.descendants import remaining_span
+from repro.core.cache import cached_remaining_span
 from repro.core.kdag import KDag
 from repro.schedulers.base import QueueScheduler
 
@@ -27,4 +27,4 @@ class LSpan(QueueScheduler):
     name = "lspan"
 
     def priorities(self, job: KDag) -> np.ndarray:
-        return -remaining_span(job)
+        return -cached_remaining_span(job)

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.descendants import untyped_descendant_values
+from repro.core.cache import cached_untyped_descendant_values
 from repro.core.kdag import KDag
 from repro.schedulers.base import QueueScheduler
 
@@ -27,4 +27,4 @@ class MaxDP(QueueScheduler):
     name = "maxdp"
 
     def priorities(self, job: KDag) -> np.ndarray:
-        return -untyped_descendant_values(job)
+        return -cached_untyped_descendant_values(job)

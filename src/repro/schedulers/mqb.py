@@ -90,7 +90,18 @@ class MQB(Scheduler):
         self._wcur: np.ndarray | None = None
         self._l: np.ndarray | None = None
         self._parr: np.ndarray | None = None
-        self._pools: list[dict[int, int]] = []
+        # Per-type ready pools, array backed so each pick scores a
+        # contiguous slice instead of re-gathering rows of ``_d``:
+        # ``_pos[alpha]`` maps task -> row in the per-type buffers
+        # (insertion ordered, which batch starts rely on), and
+        # ``_dpool``/``_wpool`` hold the matching descendant rows and
+        # current works for rows ``0..len(_pos[alpha])``.  Rows are
+        # swap-removed on pop; the buffers grow by doubling.
+        self._pos: list[dict[int, int]] = []
+        self._ptasks: list[list[int]] = []
+        self._dpool: list[np.ndarray] = []
+        self._wpool: list[np.ndarray] = []
+        self._spool: list[np.ndarray] = []
         self._seq = 0
 
     @property
@@ -118,12 +129,18 @@ class MQB(Scheduler):
         self._wcur = job.work.astype(np.float64).copy()
         self._l = np.zeros(job.num_types, dtype=np.float64)
         self._parr = resources.as_array().astype(np.float64)
-        self._pools = [dict() for _ in range(job.num_types)]
+        k = job.num_types
+        self._pos = [dict() for _ in range(k)]
+        self._ptasks = [[] for _ in range(k)]
+        self._dpool = [np.empty((8, k), dtype=np.float64) for _ in range(k)]
+        self._wpool = [np.empty(8, dtype=np.float64) for _ in range(k)]
+        self._spool = [np.empty(8, dtype=np.int64) for _ in range(k)]
         self._seq = 0
         self._first_seq: dict[int, int] = {}
 
     def task_ready(self, task: int, time: float, work: float) -> None:
         assert self._l is not None and self._wcur is not None
+        assert self._d is not None
         alpha = int(self.job.types[task])
         self._wcur[task] = work
         # Sticky FIFO rank: preemptive re-announcements keep the task's
@@ -131,11 +148,28 @@ class MQB(Scheduler):
         seq = self._first_seq.setdefault(task, self._seq)
         if seq == self._seq:
             self._seq += 1
-        self._pools[alpha][task] = seq
+        tasks = self._ptasks[alpha]
+        row = len(tasks)
+        dpool = self._dpool[alpha]
+        if row == dpool.shape[0]:
+            self._dpool[alpha] = dpool = np.concatenate(
+                [dpool, np.empty_like(dpool)]
+            )
+            self._wpool[alpha] = np.concatenate(
+                [self._wpool[alpha], np.empty_like(self._wpool[alpha])]
+            )
+            self._spool[alpha] = np.concatenate(
+                [self._spool[alpha], np.empty_like(self._spool[alpha])]
+            )
+        self._pos[alpha][task] = row
+        tasks.append(task)
+        dpool[row] = self._d[task]
+        self._wpool[alpha][row] = work
+        self._spool[alpha][row] = seq
         self._l[alpha] += work
 
     def pending(self, alpha: int) -> int:
-        return len(self._pools[alpha])
+        return len(self._ptasks[alpha])
 
     def task_finished(self, task: int, time: float) -> None:
         pass
@@ -145,52 +179,59 @@ class MQB(Scheduler):
     # ------------------------------------------------------------------
     def _pop(self, alpha: int, task: int) -> None:
         assert self._l is not None and self._wcur is not None
-        del self._pools[alpha][task]
+        pos = self._pos[alpha]
+        tasks = self._ptasks[alpha]
+        row = pos.pop(task)
+        last = len(tasks) - 1
+        if row != last:
+            moved = tasks[last]
+            tasks[row] = moved
+            pos[moved] = row  # in-place dict update keeps insertion order
+            self._dpool[alpha][row] = self._dpool[alpha][last]
+            self._wpool[alpha][row] = self._wpool[alpha][last]
+            self._spool[alpha][row] = self._spool[alpha][last]
+        tasks.pop()
         self._l[alpha] -= self._wcur[task]
 
     def _pick_best(self, alpha: int, extra: np.ndarray) -> int:
         """Score every ready alpha-task and return the best one.
 
         ``extra`` is the projected inflow from picks already committed
-        this round (zeros when ``carry_projection`` is off).
+        this round (zeros when ``carry_projection`` is off).  The
+        candidates' descendant rows and works are maintained
+        incrementally in the per-type pool buffers across picks, so
+        scoring is a slice-plus-broadcast instead of a fresh gather of
+        ``_d`` rows; the arithmetic per candidate is unchanged, keeping
+        picks bit-identical to the rescan formulation.
         """
         assert self._d is not None and self._l is not None
         assert self._wcur is not None and self._parr is not None
-        pool = self._pools[alpha]
-        cand = np.fromiter(pool.keys(), dtype=np.int64, count=len(pool))
-        base = self._l + extra
-        hypo = base[None, :] + self._d[cand]
-        hypo[:, alpha] -= self._wcur[cand]
-        r = hypo / self._parr[None, :]
+        tasks = self._ptasks[alpha]
+        m = len(tasks)
+        r = self._dpool[alpha][:m] + (self._l + extra)
+        r[:, alpha] -= self._wpool[alpha][:m]
+        r /= self._parr
 
+        # One comparison-only lexsort picks the winner: most-significant
+        # key last, FIFO ready sequence (negated: earliest wins the tie)
+        # least significant.  Comparisons are exact, so the winner is
+        # identical to the narrow-by-column formulation.
+        neg_seq = -self._spool[alpha][:m]
         if self._balance_mode == "lex":
-            keys = np.sort(r, axis=1)
-            live = np.arange(cand.size)
-            for j in range(r.shape[1]):
-                col = keys[live, j]
-                live = live[col == col.max()]
-                if live.size == 1:
-                    break
+            r.sort(axis=1)
+            sort_keys = (neg_seq, *(r[:, j] for j in range(r.shape[1] - 1, 0, -1)), r[:, 0])
         elif self._balance_mode == "min":
-            col = r.min(axis=1)
-            live = np.flatnonzero(col == col.max())
+            sort_keys = (neg_seq, r.min(axis=1))
         else:  # sum
-            col = r.sum(axis=1)
-            live = np.flatnonzero(col == col.max())
-
-        if live.size == 1:
-            return int(cand[live[0]])
-        # FIFO tie-break on ready sequence for determinism.
-        ties = cand[live]
-        best = min(ties, key=lambda t: pool[int(t)])
-        return int(best)
+            sort_keys = (neg_seq, r.sum(axis=1))
+        return tasks[int(np.lexsort(sort_keys)[-1])]
 
     def select(self, alpha: int, n_slots: int, time: float) -> list[int]:
         """Per-type selection (used when MQB is driven queue-by-queue)."""
         assert self._d is not None
         out: list[int] = []
         extra = np.zeros(self.job.num_types, dtype=np.float64)
-        pool = self._pools[alpha]
+        pool = self._pos[alpha]  # insertion ordered, like the old dict pool
         while pool and len(out) < n_slots:
             if len(pool) <= n_slots - len(out):
                 remaining = list(pool.keys())
@@ -226,7 +267,7 @@ class MQB(Scheduler):
             for alpha in range(k):
                 if free[alpha] <= 0:
                     continue
-                pool = self._pools[alpha]
+                pool = self._pos[alpha]
                 if not pool:
                     continue
                 if len(pool) <= free[alpha]:

@@ -28,7 +28,7 @@ import heapq
 
 import numpy as np
 
-from repro.core.descendants import due_dates
+from repro.core.cache import cached_due_dates
 from repro.core.kdag import KDag
 from repro.schedulers.base import QueueScheduler
 
@@ -114,7 +114,7 @@ class ShiftBT(QueueScheduler):
         self.bottleneck_order: list[int] = []
 
     def priorities(self, job: KDag) -> np.ndarray:
-        due = due_dates(job)
+        due = cached_due_dates(job)
         release = top_levels(job)
         counts = self.resources.as_array()
         position = np.zeros(job.n_tasks, dtype=np.float64)

@@ -66,11 +66,17 @@ def simulate(
     scheduler.prepare(job, resources, rng)
     k = job.num_types
     n = job.n_tasks
-    types = job.types
-    work = job.work
+    # The decision/completion loop is pure Python; bind the per-task
+    # attributes as flat lists (and the child adjacency as flat CSR
+    # lists) once, so the inner loops do list indexing instead of numpy
+    # scalar extraction and per-node slice objects.
+    types = job.types.tolist()
+    work = job.work.tolist()
+    child_ptr = job.child_ptr.tolist()
+    child_idx = job.child_idx.tolist()
 
-    indeg = job.in_degrees()
-    state = np.zeros(n, dtype=np.int8)  # 0 pending, 1 ready, 2 running, 3 done
+    indeg = job.in_degrees().tolist()
+    state = [0] * n  # 0 pending, 1 ready, 2 running, 3 done
     free = list(resources.counts)
     free_procs: list[list[int]] = [list(range(c - 1, -1, -1)) for c in resources.counts]
     trace = ScheduleTrace() if record_trace else None
@@ -89,8 +95,9 @@ def simulate(
         vi = int(v)
         state[vi] = 1
         n_ready += 1
-        scheduler.task_ready(vi, now, float(work[vi]))
+        scheduler.task_ready(vi, now, work[vi])
 
+    heappush, heappop = heapq.heappush, heapq.heappop
     while completed < n:
         # ---- decision round at time `now` ----
         if n_ready and any(
@@ -103,9 +110,9 @@ def simulate(
                 if state[task] != 1:
                     raise SchedulingError(
                         f"{scheduler.name} started task {task} in state "
-                        f"{int(state[task])} (not ready)"
+                        f"{state[task]} (not ready)"
                     )
-                alpha = int(types[task])
+                alpha = types[task]
                 counts_this_round[alpha] += 1
                 if counts_this_round[alpha] > free[alpha]:
                     raise SchedulingError(
@@ -115,16 +122,16 @@ def simulate(
                 state[task] = 2
                 n_ready -= 1
                 proc = free_procs[alpha].pop()
-                finish = now + float(work[task])
-                heapq.heappush(events, (finish, seq, task, proc))
+                finish = now + work[task]
+                heappush(events, (finish, seq, task, proc))
                 seq += 1
                 if trace is not None:
                     trace.add(task, alpha, proc, now, finish)
             for alpha, c in enumerate(counts_this_round):
                 free[alpha] -= c
 
-        if completed + _running_count(events) == n and not events:
-            break
+        # `completed < n` guarantees unfinished work, so an empty event
+        # heap here means the scheduler left ready tasks unassigned.
         if not events:
             raise SchedulingError(
                 f"{scheduler.name} stalled at t={now}: {n_ready} ready, "
@@ -134,21 +141,22 @@ def simulate(
         # ---- advance to the next completion instant ----
         now = events[0][0]
         while events and events[0][0] == now:
-            _, _, task, proc = heapq.heappop(events)
-            alpha = int(types[task])
+            _, _, task, proc = heappop(events)
             state[task] = 3
             completed += 1
+            alpha = types[task]
             free[alpha] += 1
             free_procs[alpha].append(proc)
             makespan = now
             scheduler.task_finished(task, now)
-            for c in job.children(task):
-                ci = int(c)
-                indeg[ci] -= 1
-                if indeg[ci] == 0:
+            for ei in range(child_ptr[task], child_ptr[task + 1]):
+                ci = child_idx[ei]
+                left = indeg[ci] - 1
+                indeg[ci] = left
+                if left == 0:
                     state[ci] = 1
                     n_ready += 1
-                    scheduler.task_ready(ci, now, float(work[ci]))
+                    scheduler.task_ready(ci, now, work[ci])
 
     return ScheduleResult(
         makespan=makespan,
@@ -159,7 +167,3 @@ def simulate(
         trace=trace,
         decisions=decisions,
     )
-
-
-def _running_count(events: list) -> int:
-    return len(events)

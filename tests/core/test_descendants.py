@@ -147,3 +147,103 @@ class TestDueDates:
         dd = due_dates(diamond_job)
         # span 5; remaining spans: 0->5, 1->3, 2->4, 3->1.
         assert list(dd) == [0.0, 2.0, 1.0, 4.0]
+
+
+# ----------------------------------------------------------------------
+# Level-batched sweeps vs naive per-node recursions
+# ----------------------------------------------------------------------
+def _naive_descendant_values(job):
+    n, k = job.n_tasks, job.num_types
+    d = np.zeros((n, k))
+    in_deg = job.in_degrees()
+    for v in reversed(job.topological_order):
+        for u in job.children(v):
+            share = (d[u] + np.bincount(
+                [job.types[u]], weights=[job.work[u]], minlength=k
+            )) / in_deg[u]
+            d[v] += share
+    return d
+
+
+def _naive_remaining_span(job):
+    n = job.n_tasks
+    rs = np.zeros(n)
+    for v in reversed(job.topological_order):
+        kids = job.children(v)
+        rs[v] = job.work[v] + (max(rs[u] for u in kids) if len(kids) else 0.0)
+    return rs
+
+
+def _naive_different_child_distance(job):
+    n = job.n_tasks
+    dist = np.full(n, np.inf)
+    for v in reversed(job.topological_order):
+        for u in job.children(v):
+            cand = 1.0 if job.types[u] != job.types[v] else 1.0 + dist[u]
+            dist[v] = min(dist[v], cand)
+    return dist
+
+
+class TestVectorizedMatchesNaive:
+    """The reduceat-based sweeps must reproduce the textbook recursions.
+
+    Exact equality is not required (summation order differs between the
+    naive accumulation and the segment reductions) but agreement to
+    tight float tolerance over many random jobs is.
+    """
+
+    def test_descendant_values_random_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=60, k=3)
+            np.testing.assert_allclose(
+                descendant_values(job), _naive_descendant_values(job),
+                rtol=1e-12, atol=1e-12,
+            )
+
+    def test_untyped_is_type_sum_random_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=60, k=4)
+            np.testing.assert_allclose(
+                untyped_descendant_values(job),
+                _naive_descendant_values(job).sum(axis=1),
+                rtol=1e-12, atol=1e-12,
+            )
+
+    def test_remaining_span_random_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=60, k=2)
+            # max-reductions reorder nothing: exact equality expected.
+            np.testing.assert_array_equal(
+                remaining_span(job), _naive_remaining_span(job)
+            )
+
+    def test_different_child_distance_random_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(10):
+            job = make_random_job(rng, n=60, k=3)
+            np.testing.assert_array_equal(
+                different_child_distance(job),
+                _naive_different_child_distance(job),
+            )
+
+    def test_one_step_random_jobs(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(5):
+            job = make_random_job(rng, n=50, k=3)
+            n, k = job.n_tasks, job.num_types
+            ref = np.zeros((n, k))
+            in_deg = job.in_degrees()
+            for v in range(n):
+                for u in job.children(v):
+                    ref[v, job.types[u]] += job.work[u] / in_deg[u]
+            np.testing.assert_allclose(
+                one_step_descendant_values(job), ref, rtol=1e-12, atol=1e-12
+            )

@@ -166,3 +166,63 @@ class TestValueSemantics:
     def test_edges_deduplicated_and_sorted_adjacency(self):
         job = KDag(types=[0, 0, 0], work=[1, 1, 1], edges=[(0, 2), (0, 1)])
         assert list(job.children(0)) == [1, 2]
+
+
+class TestLevelsAndCsrGather:
+    def test_levels_partition_all_nodes_by_depth(self, rng):
+        from tests.conftest import make_random_job
+
+        for _ in range(5):
+            job = make_random_job(rng, n=40, k=3)
+            order, level_ptr = job.levels()
+            assert sorted(order.tolist()) == list(range(job.n_tasks))
+            assert level_ptr[0] == 0 and level_ptr[-1] == job.n_tasks
+            depth = job.depth
+            for li in range(len(level_ptr) - 1):
+                nodes = order[level_ptr[li] : level_ptr[li + 1]]
+                assert (depth[nodes] == li).all()
+
+    def test_levels_cached_and_read_only(self, diamond_job):
+        order, ptr = diamond_job.levels()
+        order2, ptr2 = diamond_job.levels()
+        assert order is order2 and ptr is ptr2
+        assert not order.flags.writeable and not ptr.flags.writeable
+
+    def test_every_edge_crosses_levels(self, rng):
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=40, k=2)
+        depth = job.depth
+        for u, v in job.edges:
+            assert depth[v] > depth[u]
+
+    def test_csr_gather_matches_per_node_slices(self, rng):
+        from repro.core.kdag import csr_gather
+        from tests.conftest import make_random_job
+
+        job = make_random_job(rng, n=30, k=2)
+        nodes = np.array([5, 0, 17, 3, 17], dtype=np.int64)  # dups allowed
+        kids, seg = csr_gather(job.child_ptr, job.child_idx, nodes)
+        expected = [job.children(int(v)).tolist() for v in nodes]
+        assert kids.tolist() == [c for kid in expected for c in kid]
+        counts = np.diff(np.append(seg, len(kids)))
+        assert counts.tolist() == [len(e) for e in expected]
+
+    def test_csr_gather_empty_nodes(self, diamond_job):
+        from repro.core.kdag import csr_gather
+
+        kids, seg = csr_gather(
+            diamond_job.child_ptr,
+            diamond_job.child_idx,
+            np.empty(0, dtype=np.int64),
+        )
+        assert len(kids) == 0 and len(seg) == 0
+
+    def test_adjacency_properties_read_only(self, diamond_job):
+        for arr in (
+            diamond_job.child_ptr,
+            diamond_job.child_idx,
+            diamond_job.parent_ptr,
+            diamond_job.parent_idx,
+        ):
+            assert not arr.flags.writeable

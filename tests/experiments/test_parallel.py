@@ -1,0 +1,152 @@
+"""Determinism and plumbing tests for the process-parallel sweep runner.
+
+The load-bearing property is exact: for any worker count and any chunk
+partition, :func:`run_comparison_parallel` must return *bit-for-bit*
+the same :class:`SeriesStats` as the serial loop — equality below is
+``==`` on floats, never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import (
+    _chunk_bounds,
+    _run_chunk,
+    resolve_workers,
+    run_comparison_parallel,
+)
+from repro.experiments.runner import _stats_from_ratios, run_comparison
+from repro.workloads.params import EPParams, IRParams, WorkloadSpec
+
+TINY_EP = WorkloadSpec(
+    "ep", "layered", "small",
+    params=EPParams(branches_range=(3, 5), chain_length_range=(8, 12)),
+)
+TINY_IR = WorkloadSpec(
+    "ir", "random", "small",
+    params=IRParams(
+        iterations_range=(2, 3), maps_range=(4, 8),
+        reduces_range=(2, 3), fanin_range=(1, 2),
+    ),
+)
+
+ALGS = ["kgreedy", "mqb", "lspan"]
+
+
+class TestBitIdentical:
+    @pytest.mark.parametrize("spec", [TINY_EP, TINY_IR], ids=["ep", "ir"])
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_matches_serial_exactly(self, spec, workers):
+        serial = run_comparison(spec, ALGS, 10, seed=11, n_workers=1)
+        par = run_comparison(spec, ALGS, 10, seed=11, n_workers=workers)
+        # SeriesStats is a frozen dataclass of floats: == is bitwise.
+        assert par == serial
+
+    def test_chunk_size_one_matches_serial(self):
+        serial = run_comparison(TINY_EP, ALGS, 7, seed=12, n_workers=1)
+        par = run_comparison_parallel(
+            TINY_EP, ALGS, 7, seed=12, n_workers=2, chunk_size=1
+        )
+        assert par == serial
+
+    def test_preemptive_matches_serial(self):
+        serial = run_comparison(
+            TINY_EP, ALGS, 6, seed=13, preemptive=True, n_workers=1
+        )
+        par = run_comparison(
+            TINY_EP, ALGS, 6, seed=13, preemptive=True, n_workers=2
+        )
+        assert par == serial
+
+    def test_run_comparison_delegates_on_n_workers(self):
+        """run_comparison(n_workers=N>1) routes through the pool path."""
+        a = run_comparison(TINY_IR, ["kgreedy"], 8, seed=14)
+        b = run_comparison(TINY_IR, ["kgreedy"], 8, seed=14, n_workers=3)
+        assert a == b
+
+
+class TestChunkAssembly:
+    """Chunks computed out of order must assemble identically."""
+
+    def _ratios_via_chunks(self, bounds):
+        blocks = [
+            _run_chunk(TINY_EP, tuple(ALGS), s, e, 21, False, 1.0)
+            for s, e in bounds
+        ]
+        ratios = np.empty((len(ALGS), 9), dtype=np.float64)
+        for start, block in blocks:
+            ratios[:, start : start + block.shape[1]] = block
+        return _stats_from_ratios(ALGS, ratios, False)
+
+    def test_interleaved_and_reversed_chunk_order(self):
+        forward = _chunk_bounds(9, 2)
+        reference = self._ratios_via_chunks(forward)
+        assert self._ratios_via_chunks(list(reversed(forward))) == reference
+        interleaved = forward[::2] + forward[1::2]
+        assert self._ratios_via_chunks(interleaved) == reference
+        # And it all equals the serial runner.
+        assert reference == run_comparison(TINY_EP, ALGS, 9, 21, n_workers=1)
+
+    def test_chunk_bounds_cover_range_exactly(self):
+        bounds = _chunk_bounds(10, 3)
+        assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
+        assert _chunk_bounds(4, 100) == [(0, 4)]
+
+
+class TestResolveWorkers:
+    def test_explicit_argument_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(2) == 2
+
+    def test_unset_env_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_empty_env_is_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "  ")
+        assert resolve_workers() == 1
+
+    def test_env_integer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        assert resolve_workers() == 4
+
+    def test_env_auto(self, monkeypatch):
+        import os
+
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers() == (os.cpu_count() or 1)
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "1.5"])
+    def test_env_rejects_garbage(self, monkeypatch, bad):
+        monkeypatch.setenv("REPRO_WORKERS", bad)
+        with pytest.raises(ConfigurationError):
+            resolve_workers()
+
+    def test_explicit_zero_rejected(self):
+        with pytest.raises(ConfigurationError):
+            resolve_workers(0)
+
+    def test_env_routes_run_comparison(self, monkeypatch):
+        """REPRO_WORKERS alone (no argument) engages the parallel path."""
+        serial = run_comparison(TINY_EP, ["kgreedy"], 6, seed=31, n_workers=1)
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert run_comparison(TINY_EP, ["kgreedy"], 6, seed=31) == serial
+
+
+class TestValidation:
+    def test_bad_chunk_size(self):
+        with pytest.raises(ConfigurationError):
+            run_comparison_parallel(
+                TINY_EP, ALGS, 4, seed=1, n_workers=2, chunk_size=0
+            )
+
+    def test_bad_instances(self):
+        with pytest.raises(ConfigurationError):
+            run_comparison_parallel(TINY_EP, ALGS, 0, seed=1, n_workers=2)
+
+    def test_single_instance_falls_back_to_serial(self):
+        stats = run_comparison_parallel(TINY_EP, ALGS, 1, seed=2, n_workers=4)
+        assert stats == run_comparison(TINY_EP, ALGS, 1, seed=2, n_workers=1)

@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import numpy as np
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.experiments.runner import run_comparison
+from repro.experiments.runner import _instance_ratios, run_comparison
+from repro.schedulers.registry import make_scheduler
 from repro.workloads.params import EPParams, WorkloadSpec
 
 
@@ -54,3 +56,41 @@ class TestRunComparison:
         s = run_comparison(TINY_EP, ["kgreedy"], 2, seed=9)[0]
         d = s.to_dict()
         assert set(d) == {"key", "mean", "max", "std", "stderr", "n"}
+
+
+class TestSchedulerReuse:
+    """run_comparison constructs schedulers once and reuses them.
+
+    prepare() must fully reset per-run state, so a scheduler instance
+    that just finished one instance produces the same ratios as a
+    freshly constructed one — bit for bit, including the stochastic
+    information models (their noise comes from the per-instance rng,
+    not construction-time state).
+    """
+
+    ALGS = ["kgreedy", "mqb", "lspan", "mqb+all+exp", "mqb+1step+noise"]
+
+    def _fresh_reference(self, n):
+        """Ratios with a brand-new scheduler per (instance, algorithm)."""
+        ratios = np.empty((len(self.ALGS), n), dtype=np.float64)
+        for i in range(n):
+            schedulers = [make_scheduler(a) for a in self.ALGS]
+            _instance_ratios(TINY_EP, schedulers, i, 77, False, 1.0, ratios[:, i])
+        return ratios
+
+    def test_reused_equals_fresh_construction(self):
+        n = 6
+        reference = self._fresh_reference(n)
+        schedulers = [make_scheduler(a) for a in self.ALGS]  # reused across i
+        reused = np.empty_like(reference)
+        for i in range(n):
+            _instance_ratios(TINY_EP, schedulers, i, 77, False, 1.0, reused[:, i])
+        np.testing.assert_array_equal(reused, reference)
+
+    def test_run_comparison_matches_fresh_reference(self):
+        n = 6
+        reference = self._fresh_reference(n)
+        stats = run_comparison(TINY_EP, self.ALGS, n, seed=77)
+        for a, s in enumerate(stats):
+            assert s.mean == float(reference[a].mean())
+            assert s.maximum == float(reference[a].max())

@@ -134,6 +134,59 @@ class TestSchedulerMisbehaviorDetection:
         with pytest.raises(SchedulingError):
             simulate(job, ResourceConfig((2,)), Overs())
 
+    def test_non_work_conserving_stall_detected(self):
+        """A scheduler that withholds ready work must raise, not hang.
+
+        Regression test for the stall check: with no running tasks and
+        pending work, an empty assignment round must surface as a
+        SchedulingError immediately (the engine has no other event to
+        advance to).
+        """
+        job = KDag(types=[0, 0], work=[1.0, 1.0])
+
+        class Lazy(Scheduler):
+            name = "lazy"
+
+            def task_ready(self, task, time, work):
+                pass
+
+            def pending(self, alpha):
+                return 0  # hides its ready tasks
+
+            def select(self, alpha, n_slots, time):
+                return []
+
+        with pytest.raises(SchedulingError, match="stalled"):
+            simulate(job, ResourceConfig((2,)), Lazy())
+
+    def test_stall_after_partial_progress_detected(self):
+        """Stalling mid-run (after some completions) is also caught."""
+        job = KDag(types=[0, 0], work=[1.0, 2.0], edges=[(0, 1)])
+
+        class QuitsAfterOne(Scheduler):
+            name = "quits"
+
+            def __init__(self):
+                super().__init__()
+                self._started = 0
+                self._q = []
+
+            def task_ready(self, task, time, work):
+                self._q.append(task)
+
+            def pending(self, alpha):
+                return len(self._q) if self._started == 0 else 0
+
+            def select(self, alpha, n_slots, time):
+                if self._started:
+                    return []
+                self._started += 1
+                out, self._q = self._q[:n_slots], self._q[n_slots:]
+                return out
+
+        with pytest.raises(SchedulingError, match="stalled"):
+            simulate(job, ResourceConfig((1,)), QuitsAfterOne())
+
 
 class TestAllSchedulersProduceValidSchedules:
     @pytest.mark.parametrize(

@@ -1,0 +1,49 @@
+"""Tier-1 smoke run of the engine microbenchmarks.
+
+Runs ``benchmarks/test_engine_perf.py`` as a subprocess in single-round
+mode (``--benchmark-min-rounds=1`` with a tight max-time) so the tier-1
+suite catches import errors, fixture breakage or crashes in the perf
+harness without paying for statistically meaningful timings — those are
+collected separately by ``scripts/bench_baseline.py``.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+@pytest.mark.slow
+def test_engine_benchmarks_smoke():
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    proc = subprocess.run(
+        [
+            sys.executable,
+            "-m",
+            "pytest",
+            "benchmarks/test_engine_perf.py",
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-disable-gc",
+            "--benchmark-min-rounds=1",
+            "--benchmark-max-time=0.1",
+        ],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"benchmark smoke run failed\n--- stdout ---\n{proc.stdout}"
+        f"\n--- stderr ---\n{proc.stderr}"
+    )
