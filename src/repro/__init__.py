@@ -6,8 +6,10 @@ model, the online KGreedy algorithm and its competitive bounds, the
 Multi-Queue Balancing (MQB) offline algorithm with approximate-
 information variants, four comparison heuristics, the discrete-time
 simulator (non-preemptive and preemptive), the paper's three workload
-families, and an experiment harness regenerating every figure of the
-paper's evaluation.
+families, an experiment harness regenerating every figure of the
+paper's evaluation, and a fault-tolerance subsystem (failure
+injection, a fault-aware engine, robustness experiments) probing the
+schedulers beyond the paper's fixed-capacity assumption.
 
 Quickstart::
 
@@ -66,6 +68,15 @@ from repro.schedulers import (
     available_schedulers,
     make_scheduler,
 )
+from repro.faults import (
+    ExponentialFaults,
+    FaultScheduleResult,
+    FaultTimeline,
+    Outage,
+    make_fault_model,
+    simulate_with_faults,
+    validate_fault_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -107,4 +118,12 @@ __all__ = [
     "make_scheduler",
     "available_schedulers",
     "PAPER_ALGORITHMS",
+    # faults
+    "Outage",
+    "FaultTimeline",
+    "ExponentialFaults",
+    "make_fault_model",
+    "simulate_with_faults",
+    "FaultScheduleResult",
+    "validate_fault_schedule",
 ]

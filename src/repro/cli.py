@@ -5,6 +5,7 @@ Usage::
     repro list
     repro cells
     repro run fig4 [--instances 300] [--seed 2011] [--out results/]
+    repro run robustness [--mtbf 2.0] [--mttr 0.25] [--fault-seed 7]
     repro run all --out results/
     repro report results/fig4.json
     repro demo medium-layered-ir --scheduler mqb
@@ -63,6 +64,34 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress rendered tables"
     )
+    run_p.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help=(
+            "robustness only: mean time between failures per processor, in "
+            "units of the instance lower bound L(J); replaces the default "
+            "failure-rate sweep with the single point 1/MTBF"
+        ),
+    )
+    run_p.add_argument(
+        "--mttr",
+        type=float,
+        default=None,
+        help=(
+            "robustness only: mean time to repair, in units of L(J) "
+            "(default 0.25)"
+        ),
+    )
+    run_p.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help=(
+            "robustness only: seed for the failure timelines, decoupled "
+            "from the workload seed (default: the workload seed)"
+        ),
+    )
 
     rep_p = sub.add_parser("report", help="render a saved result JSON")
     rep_p.add_argument("path", help="path to a result .json file")
@@ -93,7 +122,7 @@ def build_parser() -> argparse.ArgumentParser:
 def _cmd_list() -> int:
     for name, fn in sorted(EXPERIMENTS.items()):
         doc = (fn.__doc__ or "").strip().splitlines()[0]
-        print(f"{name:8s} {doc}")
+        print(f"{name:11s} {doc}")
     return 0
 
 
@@ -101,8 +130,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
+        fault_kwargs = {}
+        if name == "robustness" or args.experiment != "all":
+            fault_kwargs = {
+                "mtbf": args.mtbf,
+                "mttr": args.mttr,
+                "fault_seed": args.fault_seed,
+            }
         result = run_experiment(
-            name, n_instances=args.instances, seed=args.seed, n_workers=args.workers
+            name,
+            n_instances=args.instances,
+            seed=args.seed,
+            n_workers=args.workers,
+            **fault_kwargs,
         )
         elapsed = time.time() - t0
         if not args.quiet:
@@ -130,10 +170,13 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 
 def _cmd_cells() -> int:
+    from repro.experiments.robustness import ROBUSTNESS_CELLS
     from repro.workloads.generator import EXTRA_CELLS, WORKLOAD_CELLS
 
+    robustness = {name for name, _ in ROBUSTNESS_CELLS}
     for name, spec in {**WORKLOAD_CELLS, **EXTRA_CELLS}.items():
-        print(f"{name:24s} {spec.label}")
+        mark = "  [robustness sweep]" if name in robustness else ""
+        print(f"{name:24s} {spec.label}{mark}")
     return 0
 
 

@@ -35,6 +35,7 @@ from repro.theory.lemma1 import (
 )
 from repro.workloads.adversarial import adversarial_job, adversarial_optimal_makespan
 from repro.workloads.generator import WORKLOAD_CELLS
+from repro.experiments.robustness import run_robustness
 from repro.experiments.runner import run_comparison
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
@@ -48,6 +49,7 @@ DEFAULT_INSTANCES = {
     "fig7": 80,
     "fig8": 200,
     "thm2": 60,
+    "robustness": 40,
 }
 
 _FIG4_PANELS = [
@@ -286,6 +288,7 @@ EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "fig8": run_fig8,
     "lemma1": run_lemma1,
     "thm2": run_thm2,
+    "robustness": run_robustness,
 }
 
 
@@ -294,8 +297,16 @@ def run_experiment(
     n_instances: int | None = None,
     seed: int | None = None,
     n_workers: int | None = None,
+    mtbf: float | None = None,
+    mttr: float | None = None,
+    fault_seed: int | None = None,
 ) -> dict:
-    """Run one experiment by id (``fig4`` ... ``thm2``)."""
+    """Run one experiment by id (``fig4`` ... ``robustness``).
+
+    The fault parameters (``mtbf``, ``mttr``, ``fault_seed``) only make
+    sense for experiments that inject failures; passing one to any
+    other experiment is a configuration error.
+    """
     try:
         fn = EXPERIMENTS[name]
     except KeyError:
@@ -309,4 +320,18 @@ def run_experiment(
         kwargs["seed"] = seed
     if n_workers is not None:
         kwargs["n_workers"] = n_workers
-    return fn(**kwargs)
+    if mtbf is not None:
+        kwargs["mtbf"] = mtbf
+    if mttr is not None:
+        kwargs["mttr"] = mttr
+    if fault_seed is not None:
+        kwargs["fault_seed"] = fault_seed
+    try:
+        return fn(**kwargs)
+    except TypeError as exc:
+        if "unexpected keyword argument" not in str(exc):
+            raise
+        raise ConfigurationError(
+            f"experiment {name!r} does not accept fault parameters "
+            f"(--mtbf/--mttr/--fault-seed): {exc}"
+        ) from None

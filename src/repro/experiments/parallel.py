@@ -29,7 +29,8 @@ from __future__ import annotations
 
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Sequence
+from functools import partial
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -42,7 +43,7 @@ from repro.experiments.runner import (
 from repro.schedulers.registry import make_scheduler
 from repro.workloads.params import WorkloadSpec
 
-__all__ = ["resolve_workers", "run_comparison_parallel"]
+__all__ = ["resolve_workers", "run_comparison_parallel", "run_sharded_instances"]
 
 #: Chunks per worker the instance range is split into (smaller chunks
 #: balance load across heterogeneous instance costs; larger chunks
@@ -76,6 +77,28 @@ def resolve_workers(n_workers: int | None = None) -> int:
     return value
 
 
+def _ratio_chunk(
+    spec: WorkloadSpec,
+    algorithms: tuple[str, ...],
+    seed: int,
+    preemptive: bool,
+    quantum: float,
+    start: int,
+    stop: int,
+) -> np.ndarray:
+    """Sweep worker: completion-time ratios for instances ``start..stop-1``.
+
+    Constructs its own schedulers (scheduler instances are reusable
+    across instances but not picklable in general) and returns the
+    ``(n_algorithms, stop - start)`` ratio block.
+    """
+    schedulers = [make_scheduler(name) for name in algorithms]
+    block = np.empty((len(algorithms), stop - start), dtype=np.float64)
+    for j, i in enumerate(range(start, stop)):
+        _instance_ratios(spec, schedulers, i, seed, preemptive, quantum, block[:, j])
+    return block
+
+
 def _run_chunk(
     spec: WorkloadSpec,
     algorithms: tuple[str, ...],
@@ -85,17 +108,8 @@ def _run_chunk(
     preemptive: bool,
     quantum: float,
 ) -> tuple[int, np.ndarray]:
-    """Worker entry point: ratios for instances ``start..stop-1``.
-
-    Constructs its own schedulers (scheduler instances are reusable
-    across instances but not picklable in general) and returns the
-    ``(n_algorithms, stop - start)`` ratio block tagged with ``start``.
-    """
-    schedulers = [make_scheduler(name) for name in algorithms]
-    block = np.empty((len(algorithms), stop - start), dtype=np.float64)
-    for j, i in enumerate(range(start, stop)):
-        _instance_ratios(spec, schedulers, i, seed, preemptive, quantum, block[:, j])
-    return start, block
+    """Ratio chunk tagged with its start index (kept for direct callers)."""
+    return start, _ratio_chunk(spec, algorithms, seed, preemptive, quantum, start, stop)
 
 
 def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
@@ -103,6 +117,53 @@ def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
         (s, min(s + chunk_size, n_instances))
         for s in range(0, n_instances, chunk_size)
     ]
+
+
+def run_sharded_instances(
+    worker: Callable[[int, int], np.ndarray],
+    n_rows: int,
+    n_instances: int,
+    n_workers: int | None = None,
+    chunk_size: int | None = None,
+) -> np.ndarray:
+    """Shard ``worker`` over the instance range; assemble the result matrix.
+
+    ``worker(start, stop)`` must return a float64 block of shape
+    ``(n_rows, stop - start)`` for instances ``start..stop-1``, derive
+    all randomness from the instance index alone, and be picklable (a
+    module-level function, possibly wrapped in ``functools.partial``).
+    Blocks are written back at their instance indices, so for any
+    worker count and chunking the assembled ``(n_rows, n_instances)``
+    matrix is bit-for-bit the serial one.  Both the paired-comparison
+    sweep and the robustness sweep are built on this primitive.
+    """
+    if n_instances < 1:
+        raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    workers = resolve_workers(n_workers)
+
+    out = np.empty((n_rows, n_instances), dtype=np.float64)
+    if workers == 1 or n_instances == 1:
+        out[:, :] = worker(0, n_instances)
+        return out
+
+    if chunk_size is None:
+        chunk_size = max(1, -(-n_instances // (workers * _CHUNKS_PER_WORKER)))
+    bounds = _chunk_bounds(n_instances, chunk_size)
+    workers = min(workers, len(bounds))
+
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        pending = {
+            pool.submit(worker, start, stop): start for start, stop in bounds
+        }
+        while pending:
+            done, _ = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                start = pending.pop(future)
+                block = future.result()
+                out[:, start : start + block.shape[1]] = block
+    return out
 
 
 def run_comparison_parallel(
@@ -136,23 +197,12 @@ def run_comparison_parallel(
             preemptive=preemptive, quantum=quantum, n_workers=1,
         )
 
-    if chunk_size is None:
-        chunk_size = max(1, -(-n_instances // (workers * _CHUNKS_PER_WORKER)))
-    bounds = _chunk_bounds(n_instances, chunk_size)
-    workers = min(workers, len(bounds))
-
     algorithms = tuple(algorithms)
-    ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        pending = {
-            pool.submit(
-                _run_chunk, spec, algorithms, start, stop, seed, preemptive, quantum
-            )
-            for start, stop in bounds
-        }
-        while pending:
-            done, pending = wait(pending, return_when=FIRST_COMPLETED)
-            for future in done:
-                start, block = future.result()
-                ratios[:, start : start + block.shape[1]] = block
+    ratios = run_sharded_instances(
+        partial(_ratio_chunk, spec, algorithms, seed, preemptive, quantum),
+        len(algorithms),
+        n_instances,
+        n_workers=workers,
+        chunk_size=chunk_size,
+    )
     return _stats_from_ratios(algorithms, ratios, preemptive)

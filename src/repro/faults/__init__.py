@@ -1,0 +1,61 @@
+"""Fault tolerance: failure injection, fault-aware simulation, metrics.
+
+The paper (and the fault-free engines in :mod:`repro.sim`) assume a
+fixed processor pool; this package makes per-type capacity ``P_alpha``
+a function of time.  :mod:`~repro.faults.models` generates seeded
+failure/repair timelines, :mod:`~repro.faults.engine` executes a
+scheduler against one (killing in-flight segments and re-enqueueing
+victims), :mod:`~repro.faults.metrics` quantifies the damage, and
+:mod:`~repro.faults.validate` checks fault-run traces for legality.
+The robustness experiment sweeping failure rate × workload cell over
+all six paper schedulers lives in
+:mod:`repro.experiments.robustness`.
+"""
+
+from repro.faults.engine import (
+    POLICIES,
+    FaultScheduleResult,
+    simulate_with_faults,
+)
+from repro.faults.metrics import (
+    goodput,
+    makespan_inflation,
+    waste_fraction,
+    wasted_work,
+)
+from repro.faults.models import (
+    FAULT_MODELS,
+    CorrelatedRackFaults,
+    ExponentialFaults,
+    FaultModel,
+    FaultTimeline,
+    MaintenanceWindows,
+    NoFaults,
+    Outage,
+    make_fault_model,
+)
+from repro.faults.validate import (
+    check_no_downtime_overlap,
+    validate_fault_schedule,
+)
+
+__all__ = [
+    "Outage",
+    "FaultTimeline",
+    "FaultModel",
+    "NoFaults",
+    "ExponentialFaults",
+    "MaintenanceWindows",
+    "CorrelatedRackFaults",
+    "FAULT_MODELS",
+    "make_fault_model",
+    "FaultScheduleResult",
+    "simulate_with_faults",
+    "POLICIES",
+    "wasted_work",
+    "goodput",
+    "waste_fraction",
+    "makespan_inflation",
+    "validate_fault_schedule",
+    "check_no_downtime_overlap",
+]

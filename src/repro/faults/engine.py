@@ -1,0 +1,309 @@
+"""Fault-aware non-preemptive simulation: FAIL/REPAIR events.
+
+This engine extends the event-heap structure of
+:mod:`repro.sim.engine` with two new event kinds driven by a
+:class:`~repro.faults.models.FaultTimeline`:
+
+* **FAIL(alpha, proc)** — the processor goes down.  If it was running
+  a segment, the segment is *killed*: it is recorded in the trace with
+  ``killed=True`` and the victim task re-enters the ready pool at the
+  failure instant.  Under the default fail-stop ``"restart"`` policy
+  the victim restarts from scratch (the killed interval is wasted
+  work); under ``"checkpoint"`` it resumes with only its remaining
+  work (lost-in-flight state is assumed checkpointed).
+* **REPAIR(alpha, proc)** — the processor comes back and immediately
+  rejoins the free pool.
+
+Schedulers observe failures two ways: the free counts passed to
+:meth:`~repro.schedulers.base.Scheduler.assign` only ever include *up*
+processors, and every FAIL/REPAIR triggers the
+:meth:`~repro.schedulers.base.Scheduler.capacity_changed` hook with
+the type's new up-count.  Event ordering at one instant is completions
+first, then repairs, then failures — a task finishing exactly when its
+processor dies has completed, and back-to-back outages net out before
+the next decision round.
+
+**λ=0 guarantee**: with an empty (or ``None``) timeline this engine
+performs exactly the same sequence of scheduler calls, float
+operations and heap pops as :func:`repro.sim.engine.simulate`, so
+makespans and decision counts are bit-for-bit identical (asserted by
+``tests/faults/test_engine_equivalence.py``).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ConfigurationError, SchedulingError
+from repro.faults.models import FaultTimeline
+from repro.schedulers.base import Scheduler
+from repro.sim.result import ScheduleResult
+from repro.sim.trace import ScheduleTrace
+from repro.system.resources import ResourceConfig
+
+__all__ = ["FaultScheduleResult", "simulate_with_faults", "POLICIES"]
+
+#: Recovery policies for killed tasks.
+POLICIES = ("restart", "checkpoint")
+
+# Event kinds, ordered within one instant: completions resolve before
+# repairs so a task finishing as its processor is repaired elsewhere
+# frees capacity first, and failures come last so a completion at the
+# failure instant counts as finished, not killed.
+_COMPLETE, _REPAIR, _FAIL = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class FaultScheduleResult(ScheduleResult):
+    """A :class:`~repro.sim.result.ScheduleResult` plus fault accounting.
+
+    Attributes
+    ----------
+    timeline:
+        The injected failure timeline the run executed against.
+    policy:
+        ``"restart"`` or ``"checkpoint"``.
+    kills:
+        Number of segments killed by failures.
+    wasted_work:
+        Total work destroyed by kills (0 under ``"checkpoint"``).
+    """
+
+    timeline: FaultTimeline | None = None
+    policy: str = "restart"
+    kills: int = 0
+    wasted_work: float = 0.0
+
+
+def simulate_with_faults(
+    job: KDag,
+    resources: ResourceConfig,
+    scheduler: Scheduler,
+    timeline: FaultTimeline | None = None,
+    policy: str = "restart",
+    rng: np.random.Generator | None = None,
+    record_trace: bool = False,
+    max_kills: int | None = None,
+) -> FaultScheduleResult:
+    """Run ``scheduler`` on ``job`` under injected processor failures.
+
+    Parameters
+    ----------
+    timeline:
+        Down intervals per processor (``None`` or empty: fault-free,
+        bit-identical to :func:`repro.sim.engine.simulate`).
+    policy:
+        ``"restart"`` (fail-stop re-execution, the default) or
+        ``"checkpoint"`` (resume with remaining work).
+    max_kills:
+        Livelock guard: abort with :class:`SchedulingError` after this
+        many kills (default ``10 * n_tasks + 1000``) — deterministic
+        maintenance windows shorter than a task's work would otherwise
+        restart it forever.
+
+    Raises
+    ------
+    SchedulingError
+        On scheduler protocol violations (as the fault-free engine),
+        on permanent starvation (tasks pending, every capable
+        processor down forever), or when ``max_kills`` is exceeded.
+    """
+    if policy not in POLICIES:
+        raise ConfigurationError(
+            f"unknown fault policy {policy!r}; known: {list(POLICIES)}"
+        )
+    if timeline is not None:
+        timeline.check_procs(resources)
+    kill_budget = max_kills if max_kills is not None else 10 * job.n_tasks + 1000
+
+    scheduler.prepare(job, resources, rng)
+    k = job.num_types
+    n = job.n_tasks
+    types = job.types.tolist()
+    work = job.work.tolist()
+    child_ptr = job.child_ptr.tolist()
+    child_idx = job.child_idx.tolist()
+
+    indeg = job.in_degrees().tolist()
+    state = [0] * n  # 0 pending, 1 ready, 2 running, 3 done
+    remaining = list(work)  # work left per task (changes only on checkpoint)
+    free = list(resources.counts)
+    free_procs: list[list[int]] = [list(range(c - 1, -1, -1)) for c in resources.counts]
+    up = list(resources.counts)
+    # Per-processor run state; token pairs a completion event with the
+    # dispatch that scheduled it, so completions of killed segments are
+    # recognized as stale and skipped.
+    run_task: list[list[int]] = [[-1] * c for c in resources.counts]
+    run_start: list[list[float]] = [[0.0] * c for c in resources.counts]
+    run_token: list[list[int]] = [[-1] * c for c in resources.counts]
+    trace = ScheduleTrace() if record_trace else None
+
+    # Events: (time, kind, seq, a, b) — completions carry (task, proc),
+    # FAIL/REPAIR carry (alpha, proc).  kind orders same-instant events;
+    # seq keeps comparisons away from payload ties and pop order stable.
+    events: list[tuple[float, int, int, int, int]] = []
+    seq = 0
+    if timeline is not None:
+        for time, kind, alpha, proc in timeline.events():
+            code = _FAIL if kind == "fail" else _REPAIR
+            events.append((time, code, seq, alpha, proc))
+            seq += 1
+    heapq.heapify(events)
+
+    n_ready = 0
+    completed = 0
+    decisions = 0
+    kills = 0
+    wasted = 0.0
+    now = 0.0
+    makespan = 0.0
+
+    for v in job.sources():
+        vi = int(v)
+        state[vi] = 1
+        n_ready += 1
+        scheduler.task_ready(vi, now, remaining[vi])
+
+    # Outages starting exactly at t=0 take their processors down before
+    # the first decision round (nothing is running yet, so these can
+    # only be FAIL events on idle processors).
+    while events and events[0][0] == 0.0:
+        _, kind, _, alpha, proc = heapq.heappop(events)
+        assert kind == _FAIL
+        up[alpha] -= 1
+        free_procs[alpha].remove(proc)
+        free[alpha] -= 1
+        scheduler.capacity_changed(alpha, up[alpha], now)
+
+    heappush, heappop = heapq.heappush, heapq.heappop
+    while completed < n:
+        # ---- decision round at time `now` ----
+        if n_ready and any(
+            free[a] and scheduler.pending(a) for a in range(k)
+        ):
+            decisions += 1
+            chosen = scheduler.assign(free, now)
+            counts_this_round = [0] * k
+            for task in chosen:
+                if state[task] != 1:
+                    raise SchedulingError(
+                        f"{scheduler.name} started task {task} in state "
+                        f"{state[task]} (not ready)"
+                    )
+                alpha = types[task]
+                counts_this_round[alpha] += 1
+                if counts_this_round[alpha] > free[alpha]:
+                    raise SchedulingError(
+                        f"{scheduler.name} oversubscribed type {alpha} "
+                        f"({counts_this_round[alpha]} > {free[alpha]} free)"
+                    )
+                state[task] = 2
+                n_ready -= 1
+                proc = free_procs[alpha].pop()
+                finish = now + remaining[task]
+                heappush(events, (finish, _COMPLETE, seq, task, proc))
+                run_task[alpha][proc] = task
+                run_start[alpha][proc] = now
+                run_token[alpha][proc] = seq
+                seq += 1
+            for alpha, c in enumerate(counts_this_round):
+                free[alpha] -= c
+
+        # `completed < n` guarantees unfinished work; with no events at
+        # all there is neither running work nor any future repair, so
+        # the run can never finish.
+        if not events:
+            down = [resources.counts[a] - up[a] for a in range(k)]
+            raise SchedulingError(
+                f"{scheduler.name} stalled at t={now}: {n_ready} ready, "
+                f"{n - completed} unfinished, nothing running "
+                f"(down processors per type: {down})"
+            )
+
+        # ---- advance to the next event instant ----
+        now = events[0][0]
+        while events and events[0][0] == now:
+            _, kind, token, a, b = heappop(events)
+
+            if kind == _COMPLETE:
+                task, proc = a, b
+                alpha = types[task]
+                if run_token[alpha][proc] != token:
+                    continue  # stale completion of a killed segment
+                run_task[alpha][proc] = -1
+                run_token[alpha][proc] = -1
+                state[task] = 3
+                completed += 1
+                free[alpha] += 1
+                free_procs[alpha].append(proc)
+                makespan = now
+                if trace is not None:
+                    trace.add(task, alpha, proc, run_start[alpha][proc], now)
+                scheduler.task_finished(task, now)
+                for ei in range(child_ptr[task], child_ptr[task + 1]):
+                    ci = child_idx[ei]
+                    left = indeg[ci] - 1
+                    indeg[ci] = left
+                    if left == 0:
+                        state[ci] = 1
+                        n_ready += 1
+                        scheduler.task_ready(ci, now, remaining[ci])
+
+            elif kind == _REPAIR:
+                alpha, proc = a, b
+                up[alpha] += 1
+                free[alpha] += 1
+                free_procs[alpha].append(proc)
+                scheduler.capacity_changed(alpha, up[alpha], now)
+
+            else:  # _FAIL
+                alpha, proc = a, b
+                up[alpha] -= 1
+                victim = run_task[alpha][proc]
+                if victim >= 0:
+                    start = run_start[alpha][proc]
+                    run_task[alpha][proc] = -1
+                    run_token[alpha][proc] = -1
+                    kills += 1
+                    if kills > kill_budget:
+                        raise SchedulingError(
+                            f"{scheduler.name}: {kills} kills exceed the "
+                            f"livelock guard ({kill_budget}); the fault "
+                            f"timeline likely never leaves task {victim} "
+                            f"a window long enough to finish"
+                        )
+                    if now > start:
+                        if trace is not None:
+                            trace.add(
+                                victim, alpha, proc, start, now, killed=True
+                            )
+                        if policy == "checkpoint":
+                            # finish - now of the killed dispatch:
+                            remaining[victim] = (start + remaining[victim]) - now
+                        else:
+                            wasted += now - start
+                    state[victim] = 1
+                    n_ready += 1
+                    scheduler.task_ready(victim, now, remaining[victim])
+                else:
+                    free_procs[alpha].remove(proc)
+                    free[alpha] -= 1
+                scheduler.capacity_changed(alpha, up[alpha], now)
+
+    return FaultScheduleResult(
+        makespan=makespan,
+        scheduler=scheduler.name,
+        job=job,
+        resources=resources,
+        preemptive=False,
+        trace=trace,
+        decisions=decisions,
+        timeline=timeline if timeline is not None else FaultTimeline(),
+        policy=policy,
+        kills=kills,
+        wasted_work=wasted,
+    )

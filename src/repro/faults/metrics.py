@@ -1,0 +1,69 @@
+"""Robustness metrics for fault-run schedules.
+
+Layered on the extended :class:`~repro.sim.trace.ScheduleTrace` (killed
+segments) and :class:`~repro.faults.engine.FaultScheduleResult`:
+
+* :func:`wasted_work` — total duration of killed segments, the work a
+  fail-stop policy throws away.
+* :func:`goodput` — surviving (useful) work per unit of schedule time;
+  the fault analogue of average utilization.
+* :func:`waste_fraction` — killed / (killed + surviving) executed
+  time, in ``[0, 1]``.
+* :func:`makespan_inflation` — ``T_faulty / T_fault_free`` for the
+  same (job, system, scheduler); 1.0 means failures cost nothing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ValidationError
+from repro.sim.trace import ScheduleTrace
+
+__all__ = [
+    "wasted_work",
+    "goodput",
+    "waste_fraction",
+    "makespan_inflation",
+]
+
+
+def wasted_work(trace: ScheduleTrace) -> float:
+    """Total executed duration of killed segments."""
+    cols = trace.as_columns()
+    killed = cols["killed"]
+    return float(np.sum((cols["end"] - cols["start"])[killed]))
+
+
+def goodput(trace: ScheduleTrace, makespan: float | None = None) -> float:
+    """Surviving work per unit time over the schedule.
+
+    With ``makespan`` omitted the trace's own makespan is used.  For a
+    fault-free single-job run this equals ``total_work / makespan``.
+    """
+    t_end = trace.makespan() if makespan is None else float(makespan)
+    if t_end <= 0:
+        raise ValidationError("schedule has zero length")
+    cols = trace.as_columns()
+    alive = ~cols["killed"]
+    surviving = float(np.sum((cols["end"] - cols["start"])[alive]))
+    return surviving / t_end
+
+
+def waste_fraction(trace: ScheduleTrace) -> float:
+    """Killed fraction of all executed processor time, in ``[0, 1]``."""
+    cols = trace.as_columns()
+    durations = cols["end"] - cols["start"]
+    total = float(durations.sum())
+    if total <= 0:
+        return 0.0
+    return float(durations[cols["killed"]].sum()) / total
+
+
+def makespan_inflation(faulty_makespan: float, fault_free_makespan: float) -> float:
+    """``T_faulty / T_fault_free`` — how much failures stretched the run."""
+    if fault_free_makespan <= 0:
+        raise ValidationError(
+            f"fault-free makespan must be > 0, got {fault_free_makespan}"
+        )
+    return faulty_makespan / fault_free_makespan

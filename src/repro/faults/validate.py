@@ -1,0 +1,132 @@
+"""Legality checking of fault-run schedules.
+
+:func:`validate_fault_schedule` extends
+:func:`repro.sim.validate.validate_schedule` (whose ``check_*``
+helpers it reuses) to traces produced by
+:func:`repro.faults.engine.simulate_with_faults`:
+
+1. Type matching and processor-index membership (as fault-free).
+2. Processor exclusivity and no intra-task parallelism over **all**
+   segments — a killed segment occupied its processor too.
+3. **No execution during downtime** — no segment may overlap a down
+   interval of its processor.  A killed segment ending exactly at the
+   failure instant, or a segment starting exactly at a repair, is
+   legal (half-open intervals).
+4. **Completion structure** — every task has exactly one surviving
+   (non-killed) segment: the run that completed it (the engine is
+   non-preemptive).
+5. **Work conservation, policy-aware** — under ``"restart"`` the
+   surviving segments alone carry each task's work (killed work is
+   wasted); under ``"checkpoint"`` killed progress counts, so *all*
+   segments together must sum to the work vector.
+6. Precedence against the parent's *completion* (surviving end) and
+   makespan consistency, as fault-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.kdag import KDag
+from repro.errors import ValidationError
+from repro.faults.models import FaultTimeline
+from repro.sim.trace import ScheduleTrace
+from repro.sim.validate import (
+    check_exclusivity,
+    check_intra_task,
+    check_makespan,
+    check_precedence,
+    group_segments,
+)
+from repro.system.resources import ResourceConfig
+
+__all__ = ["validate_fault_schedule", "check_no_downtime_overlap"]
+
+_EPS = 1e-9
+
+
+def check_no_downtime_overlap(
+    trace: ScheduleTrace, timeline: FaultTimeline
+) -> None:
+    """Check 3: no segment overlaps a down interval of its processor."""
+    down_cache: dict[tuple[int, int], list[tuple[float, float]]] = {}
+    for seg in trace:
+        key = (seg.alpha, seg.proc)
+        intervals = down_cache.get(key)
+        if intervals is None:
+            intervals = down_cache[key] = timeline.down_intervals(*key)
+        for s, e in intervals:
+            if seg.start < e - _EPS and s < seg.end - _EPS:
+                raise ValidationError(
+                    f"task {seg.task} executed on ({seg.alpha}, {seg.proc}) "
+                    f"during its down interval: segment "
+                    f"[{seg.start}, {seg.end}) vs outage [{s}, {e})"
+                )
+
+
+def validate_fault_schedule(
+    job: KDag,
+    resources: ResourceConfig,
+    trace: ScheduleTrace,
+    timeline: FaultTimeline,
+    makespan: float | None = None,
+    policy: str = "restart",
+    tol: float = 1e-6,
+) -> None:
+    """Raise :class:`ValidationError` unless ``trace`` is a legal fault run.
+
+    Parameters
+    ----------
+    timeline:
+        The injected failure timeline the run executed against.
+    policy:
+        The recovery policy the engine ran with — decides whether
+        killed segments count toward work conservation.
+    """
+    if job.num_types != resources.num_types:
+        raise ValidationError("job and resources disagree on K")
+    if policy not in ("restart", "checkpoint"):
+        raise ValidationError(f"unknown fault policy {policy!r}")
+    timeline.check_procs(resources)
+
+    n = job.n_tasks
+    per_task, per_proc = group_segments(job, resources, trace)
+
+    # Completion structure: exactly one surviving segment per task.
+    for task, segs in per_task.items():
+        survivors = [s for s in segs if not s.killed]
+        if len(survivors) != 1:
+            raise ValidationError(
+                f"task {task} has {len(survivors)} surviving segments "
+                f"(fault runs are non-preemptive: expected exactly 1)"
+            )
+
+    # Work conservation, policy-aware.
+    credited = (
+        trace.executed_work(n)
+        if policy == "checkpoint"
+        else trace.surviving_work(n)
+    )
+    bad = np.flatnonzero(np.abs(credited - job.work) > tol)
+    if bad.size:
+        v = int(bad[0])
+        raise ValidationError(
+            f"task {v} was credited {credited[v]:g} units of its "
+            f"{job.work[v]:g} work under the {policy!r} policy"
+        )
+
+    check_exclusivity(per_proc)
+    check_intra_task(per_task)
+    check_no_downtime_overlap(trace, timeline)
+
+    # Precedence: a child may start only after the parent *completed* —
+    # the end of its unique surviving segment.
+    first_start = np.full(n, np.inf)
+    completion = np.full(n, -np.inf)
+    for task, segs in per_task.items():
+        first_start[task] = min(s.start for s in segs)
+        completion[task] = next(s.end for s in segs if not s.killed)
+    check_precedence(job, first_start, completion, tol)
+
+    if makespan is not None:
+        check_makespan(trace, makespan, tol)

@@ -140,6 +140,18 @@ class Scheduler(ABC):
     def task_finished(self, task: int, time: float) -> None:
         """A task completed (hook; default no-op)."""
 
+    def capacity_changed(self, alpha: int, up: int, time: float) -> None:
+        """The number of usable ``alpha``-processors changed (hook).
+
+        The fault-aware engine (:mod:`repro.faults.engine`) calls this
+        on every FAIL/REPAIR event with the new count of *up*
+        processors of the type (free or busy).  The fault-free engines
+        never call it.  Schedulers that reason about per-type capacity
+        (e.g. balance heuristics) may override; the free counts passed
+        to :meth:`assign` already reflect failures, so the default
+        no-op is always safe.
+        """
+
 
 class QueueScheduler(Scheduler):
     """Base for static-priority schedulers: K min-heaps keyed offline.

@@ -2,9 +2,10 @@
 
 Terminal-friendly visualization: one row per processor, time flowing
 right, each task drawn with a rotating glyph (task id mod 62 over
-``[0-9a-zA-Z]``), idle time as ``.``.  Good enough to *see* KGreedy's
-phase serialization next to MQB's interleaving without any plotting
-dependency.
+``[0-9a-zA-Z]``), idle time as ``.``, and segments killed by a
+processor failure (fault-aware engine) as ``x``.  Good enough to *see*
+KGreedy's phase serialization next to MQB's interleaving — or a fault
+run's wasted work — without any plotting dependency.
 """
 
 from __future__ import annotations
@@ -52,6 +53,12 @@ def render_gantt(
     lines: list[str] = []
     label_w = max(len(f"{n}[{p}]") for n, p in zip(names, resources.counts))
 
+    # One pass over the trace groups segments by processor, instead of
+    # re-scanning the whole trace for every processor row.
+    by_proc: dict[tuple[int, int], list] = {}
+    for seg in trace:
+        by_proc.setdefault((seg.alpha, seg.proc), []).append(seg)
+
     for alpha in range(resources.num_types):
         for proc in range(resources.counts[alpha]):
             # Per column: total busy time decides busy-vs-idle; the
@@ -59,9 +66,8 @@ def render_gantt(
             busy = np.zeros(width)
             dominant = np.zeros(width)
             owner = np.full(width, -1, dtype=np.int64)
-            for seg in trace:
-                if seg.alpha != alpha or seg.proc != proc:
-                    continue
+            killed = np.zeros(width, dtype=bool)
+            for seg in by_proc.get((alpha, proc), ()):
                 lo = int(seg.start // col_w)
                 hi = min(width - 1, int((seg.end - 1e-12) // col_w))
                 for c in range(lo, hi + 1):
@@ -72,8 +78,9 @@ def render_gantt(
                     if overlap > dominant[c]:
                         dominant[c] = overlap
                         owner[c] = seg.task
+                        killed[c] = seg.killed
             row = "".join(
-                _GLYPHS[owner[c] % len(_GLYPHS)]
+                ("x" if killed[c] else _GLYPHS[owner[c] % len(_GLYPHS)])
                 if busy[c] > 0.5 * col_w
                 else "."
                 for c in range(width)

@@ -56,8 +56,13 @@ def job_from_dict(data: dict[str, Any]) -> KDag:
 
 
 def trace_to_dict(trace: ScheduleTrace) -> dict[str, Any]:
-    """A JSON-ready description of a trace (columnar for compactness)."""
-    return {
+    """A JSON-ready description of a trace (columnar for compactness).
+
+    The ``killed`` column (fault-aware runs) is emitted only when some
+    segment was actually killed, so fault-free archives are unchanged;
+    :func:`trace_from_dict` treats a missing column as all-surviving.
+    """
+    out = {
         "schema": _SCHEMA,
         "task": [s.task for s in trace],
         "alpha": [s.alpha for s in trace],
@@ -65,16 +70,21 @@ def trace_to_dict(trace: ScheduleTrace) -> dict[str, Any]:
         "start": [s.start for s in trace],
         "end": [s.end for s in trace],
     }
+    if any(s.killed for s in trace):
+        out["killed"] = [bool(s.killed) for s in trace]
+    return out
 
 
 def trace_from_dict(data: dict[str, Any]) -> ScheduleTrace:
     """Inverse of :func:`trace_to_dict`."""
     _check_schema(data)
     trace = ScheduleTrace()
-    for task, alpha, proc, start, end in zip(
-        data["task"], data["alpha"], data["proc"], data["start"], data["end"]
+    killed = data.get("killed") or [False] * len(data["task"])
+    for task, alpha, proc, start, end, dead in zip(
+        data["task"], data["alpha"], data["proc"], data["start"], data["end"],
+        killed,
     ):
-        trace.add(task, alpha, proc, start, end)
+        trace.add(task, alpha, proc, start, end, killed=bool(dead))
     return trace
 
 

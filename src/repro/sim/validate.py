@@ -17,7 +17,11 @@ schedule must satisfy:
    segment end.
 
 The property-based test suite runs this on every engine × scheduler ×
-workload combination it generates.
+workload combination it generates.  The fault-aware validator
+(:func:`repro.faults.validate.validate_fault_schedule`) reuses the
+``check_*`` helpers below and adds failure-specific checks (no
+execution inside a processor's down interval, policy-aware work
+conservation over killed segments).
 """
 
 from __future__ import annotations
@@ -28,12 +32,105 @@ import numpy as np
 
 from repro.core.kdag import KDag
 from repro.errors import ValidationError
-from repro.sim.trace import ScheduleTrace
+from repro.sim.trace import ScheduleTrace, Segment
 from repro.system.resources import ResourceConfig
 
-__all__ = ["validate_schedule"]
+__all__ = [
+    "validate_schedule",
+    "group_segments",
+    "check_membership",
+    "check_exclusivity",
+    "check_intra_task",
+    "check_precedence",
+    "check_makespan",
+]
 
 _EPS = 1e-9
+
+
+def group_segments(
+    job: KDag, resources: ResourceConfig, trace: ScheduleTrace
+) -> tuple[dict[int, list[Segment]], dict[tuple[int, int], list[Segment]]]:
+    """Bucket a trace by task and by processor, checking membership.
+
+    Returns ``(per_task, per_proc)`` after running
+    :func:`check_membership` on every segment.
+    """
+    n = job.n_tasks
+    per_task: dict[int, list[Segment]] = defaultdict(list)
+    per_proc: dict[tuple[int, int], list[Segment]] = defaultdict(list)
+    for seg in trace:
+        check_membership(job, resources, seg, n)
+        per_task[seg.task].append(seg)
+        per_proc[(seg.alpha, seg.proc)].append(seg)
+    return per_task, per_proc
+
+
+def check_membership(
+    job: KDag, resources: ResourceConfig, seg: Segment, n: int
+) -> None:
+    """Check 2: segment references a known task, right type, valid proc."""
+    if not 0 <= seg.task < n:
+        raise ValidationError(f"segment references unknown task {seg.task}")
+    alpha = int(job.types[seg.task])
+    if seg.alpha != alpha:
+        raise ValidationError(
+            f"task {seg.task} of type {alpha} ran on type {seg.alpha}"
+        )
+    if not 0 <= seg.proc < resources.counts[alpha]:
+        raise ValidationError(
+            f"task {seg.task} ran on processor {seg.proc} but type "
+            f"{alpha} has only {resources.counts[alpha]} processors"
+        )
+
+
+def check_exclusivity(per_proc: dict[tuple[int, int], list[Segment]]) -> None:
+    """Check 3: no processor runs two segments at once (sorts in place)."""
+    for (alpha, proc), segs in per_proc.items():
+        segs.sort(key=lambda s: (s.start, s.end))
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - _EPS:
+                raise ValidationError(
+                    f"processor ({alpha}, {proc}) overlaps tasks "
+                    f"{a.task} [{a.start}, {a.end}) and "
+                    f"{b.task} [{b.start}, {b.end})"
+                )
+
+
+def check_intra_task(per_task: dict[int, list[Segment]]) -> None:
+    """Check 4: a task's own segments never overlap (sorts in place)."""
+    for task, segs in per_task.items():
+        segs.sort(key=lambda s: (s.start, s.end))
+        for a, b in zip(segs, segs[1:]):
+            if b.start < a.end - _EPS:
+                raise ValidationError(
+                    f"task {task} executes in parallel with itself: "
+                    f"[{a.start}, {a.end}) and [{b.start}, {b.end})"
+                )
+
+
+def check_precedence(
+    job: KDag,
+    first_start: np.ndarray,
+    last_end: np.ndarray,
+    tol: float,
+) -> None:
+    """Check 5: no task starts before any parent's completion."""
+    for u, v in job.edges:
+        if first_start[v] < last_end[u] - tol:
+            raise ValidationError(
+                f"task {int(v)} started at {first_start[v]:g} before its "
+                f"parent {int(u)} finished at {last_end[u]:g}"
+            )
+
+
+def check_makespan(trace: ScheduleTrace, makespan: float, tol: float) -> None:
+    """Check 6: the reported makespan equals the trace's latest end."""
+    observed = trace.makespan()
+    if abs(observed - makespan) > tol:
+        raise ValidationError(
+            f"reported makespan {makespan:g} != trace makespan {observed:g}"
+        )
 
 
 def validate_schedule(
@@ -59,24 +156,7 @@ def validate_schedule(
         raise ValidationError("job and resources disagree on K")
 
     n = job.n_tasks
-    per_task: dict[int, list] = defaultdict(list)
-    per_proc: dict[tuple[int, int], list] = defaultdict(list)
-
-    for seg in trace:
-        if not 0 <= seg.task < n:
-            raise ValidationError(f"segment references unknown task {seg.task}")
-        alpha = int(job.types[seg.task])
-        if seg.alpha != alpha:
-            raise ValidationError(
-                f"task {seg.task} of type {alpha} ran on type {seg.alpha}"
-            )
-        if not 0 <= seg.proc < resources.counts[alpha]:
-            raise ValidationError(
-                f"task {seg.task} ran on processor {seg.proc} but type "
-                f"{alpha} has only {resources.counts[alpha]} processors"
-            )
-        per_task[seg.task].append(seg)
-        per_proc[(seg.alpha, seg.proc)].append(seg)
+    per_task, per_proc = group_segments(job, resources, trace)
 
     # 1. coverage / work conservation
     executed = trace.executed_work(n)
@@ -95,26 +175,8 @@ def validate_schedule(
                     f"{len(segs)} segments"
                 )
 
-    # 3. processor exclusivity
-    for (alpha, proc), segs in per_proc.items():
-        segs.sort(key=lambda s: (s.start, s.end))
-        for a, b in zip(segs, segs[1:]):
-            if b.start < a.end - _EPS:
-                raise ValidationError(
-                    f"processor ({alpha}, {proc}) overlaps tasks "
-                    f"{a.task} [{a.start}, {a.end}) and "
-                    f"{b.task} [{b.start}, {b.end})"
-                )
-
-    # 4. no intra-task parallelism
-    for task, segs in per_task.items():
-        segs.sort(key=lambda s: (s.start, s.end))
-        for a, b in zip(segs, segs[1:]):
-            if b.start < a.end - _EPS:
-                raise ValidationError(
-                    f"task {task} executes in parallel with itself: "
-                    f"[{a.start}, {a.end}) and [{b.start}, {b.end})"
-                )
+    check_exclusivity(per_proc)
+    check_intra_task(per_task)
 
     # 5. precedence
     first_start = np.full(n, np.inf)
@@ -122,17 +184,8 @@ def validate_schedule(
     for task, segs in per_task.items():
         first_start[task] = min(s.start for s in segs)
         last_end[task] = max(s.end for s in segs)
-    for u, v in job.edges:
-        if first_start[v] < last_end[u] - tol:
-            raise ValidationError(
-                f"task {int(v)} started at {first_start[v]:g} before its "
-                f"parent {int(u)} finished at {last_end[u]:g}"
-            )
+    check_precedence(job, first_start, last_end, tol)
 
     # 6. makespan consistency
     if makespan is not None:
-        observed = trace.makespan()
-        if abs(observed - makespan) > tol:
-            raise ValidationError(
-                f"reported makespan {makespan:g} != trace makespan {observed:g}"
-            )
+        check_makespan(trace, makespan, tol)

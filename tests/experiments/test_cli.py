@@ -32,6 +32,22 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_run_fault_flags(self):
+        args = build_parser().parse_args(
+            [
+                "run", "robustness",
+                "--mtbf", "2.0", "--mttr", "0.5", "--fault-seed", "7",
+            ]
+        )
+        assert args.mtbf == 2.0
+        assert args.mttr == 0.5
+        assert args.fault_seed == 7
+
+    def test_fault_flags_default_none(self):
+        args = build_parser().parse_args(["run", "fig4"])
+        assert args.mtbf is None and args.mttr is None
+        assert args.fault_seed is None
+
 
 class TestMain:
     def test_list(self, capsys):
@@ -70,6 +86,28 @@ class TestMain:
         with pytest.raises(ConfigurationError):
             main(["run", "fig99"])
 
+    def test_run_robustness_saves_json(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "run", "robustness", "--instances", "1",
+                    "--mtbf", "4.0", "--fault-seed", "3",
+                    "--out", str(tmp_path), "--quiet",
+                ]
+            )
+            == 0
+        )
+        data = json.loads((tmp_path / "robustness.json").read_text())
+        assert data["figure"] == "robustness"
+        assert data["config"]["fault_seed"] == 3
+        assert data["config"]["rates"] == [0.0, 0.25]
+
+    def test_fault_flags_rejected_for_other_experiments(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="fault parameters"):
+            main(["run", "lemma1", "--instances", "10", "--mtbf", "2.0"])
+
 
 class TestCells:
     def test_lists_paper_and_extra_cells(self, capsys):
@@ -77,6 +115,16 @@ class TestCells:
         out = capsys.readouterr().out
         assert "small-layered-ep" in out
         assert "medium-layered-cosmos" in out
+
+    def test_marks_robustness_sweep_cells(self, capsys):
+        assert main(["cells"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        marked = {
+            line.split()[0] for line in lines if "[robustness sweep]" in line
+        }
+        assert marked == {
+            "small-layered-ep", "medium-layered-tree", "medium-layered-ir"
+        }
 
 
 class TestDemo:

@@ -1,0 +1,67 @@
+"""Unit tests for robustness metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.faults.metrics import (
+    goodput,
+    makespan_inflation,
+    waste_fraction,
+    wasted_work,
+)
+from repro.sim.trace import ScheduleTrace
+
+
+def mixed_trace():
+    t = ScheduleTrace()
+    t.add(0, 0, 0, 0.0, 2.0, killed=True)  # 2 wasted
+    t.add(0, 0, 0, 3.0, 7.0)               # 4 surviving
+    t.add(1, 0, 1, 0.0, 1.0)               # 1 surviving
+    return t
+
+
+class TestWastedWork:
+    def test_sums_killed_durations(self):
+        assert wasted_work(mixed_trace()) == 2.0
+
+    def test_zero_without_kills(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        assert wasted_work(t) == 0.0
+
+    def test_empty_trace(self):
+        assert wasted_work(ScheduleTrace()) == 0.0
+
+
+class TestGoodput:
+    def test_surviving_work_per_unit_time(self):
+        assert goodput(mixed_trace()) == pytest.approx(5.0 / 7.0)
+
+    def test_explicit_makespan(self):
+        assert goodput(mixed_trace(), makespan=10.0) == pytest.approx(0.5)
+
+    def test_zero_length_schedule_rejected(self):
+        with pytest.raises(ValidationError, match="zero length"):
+            goodput(ScheduleTrace())
+
+
+class TestWasteFraction:
+    def test_ratio(self):
+        assert waste_fraction(mixed_trace()) == pytest.approx(2.0 / 7.0)
+
+    def test_empty_trace_is_zero(self):
+        assert waste_fraction(ScheduleTrace()) == 0.0
+
+
+class TestInflation:
+    def test_ratio(self):
+        assert makespan_inflation(7.0, 5.0) == pytest.approx(1.4)
+
+    def test_fault_free_run_is_one(self):
+        assert makespan_inflation(5.0, 5.0) == 1.0
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(ValidationError, match="must be > 0"):
+            makespan_inflation(7.0, 0.0)

@@ -1,0 +1,175 @@
+"""Unit tests for fault models and timelines."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ValidationError
+from repro.faults.models import (
+    FAULT_MODELS,
+    CorrelatedRackFaults,
+    ExponentialFaults,
+    FaultTimeline,
+    MaintenanceWindows,
+    NoFaults,
+    Outage,
+    make_fault_model,
+)
+from repro.system.resources import ResourceConfig
+
+
+class TestOutage:
+    def test_duration(self):
+        assert Outage(0, 1, 2.0, 5.0).duration == 3.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValidationError, match="negative"):
+            Outage(0, 0, -1.0, 2.0)
+
+    @pytest.mark.parametrize("start,end", [(1.0, 1.0), (2.0, 1.0)])
+    def test_nonpositive_duration_rejected(self, start, end):
+        with pytest.raises(ValidationError, match="non-positive"):
+            Outage(0, 0, start, end)
+
+
+class TestFaultTimeline:
+    def test_empty(self):
+        t = FaultTimeline()
+        assert t.is_empty
+        assert t.n_outages == 0
+        assert t.total_downtime() == 0.0
+        assert t.down_intervals(0, 0) == []
+
+    def test_merges_overlapping_and_touching(self):
+        t = FaultTimeline(
+            [
+                Outage(0, 0, 1.0, 3.0),
+                Outage(0, 0, 2.0, 4.0),  # overlaps
+                Outage(0, 0, 4.0, 5.0),  # touches
+                Outage(0, 0, 7.0, 8.0),  # separate
+            ]
+        )
+        assert t.down_intervals(0, 0) == [(1.0, 5.0), (7.0, 8.0)]
+        assert t.n_outages == 2
+
+    def test_per_processor_isolation(self):
+        t = FaultTimeline([Outage(0, 0, 1.0, 2.0), Outage(1, 0, 1.0, 2.0)])
+        assert t.down_intervals(0, 0) == [(1.0, 2.0)]
+        assert t.down_intervals(0, 1) == []
+        assert t.total_downtime() == 2.0
+        assert t.total_downtime(alpha=1) == 1.0
+
+    def test_is_down_half_open(self):
+        t = FaultTimeline([Outage(0, 0, 1.0, 2.0)])
+        assert not t.is_down(0, 0, 0.5)
+        assert t.is_down(0, 0, 1.0)  # closed at the failure instant
+        assert t.is_down(0, 0, 1.5)
+        assert not t.is_down(0, 0, 2.0)  # open at the repair instant
+
+    def test_events_sorted_repair_before_fail(self):
+        # One processor repairs exactly when another fails: the repair
+        # must come first so capacity nets out within the instant.
+        t = FaultTimeline([Outage(0, 0, 0.5, 2.0), Outage(0, 1, 2.0, 3.0)])
+        ev = t.events()
+        assert ev[0] == (0.5, "fail", 0, 0)
+        assert ev[1] == (2.0, "repair", 0, 0)
+        assert ev[2] == (2.0, "fail", 0, 1)
+
+    def test_iter_yields_outages(self):
+        t = FaultTimeline([Outage(1, 0, 1.0, 2.0), Outage(0, 0, 0.0, 1.0)])
+        got = [(o.alpha, o.proc, o.start, o.end) for o in t]
+        assert got == [(0, 0, 0.0, 1.0), (1, 0, 1.0, 2.0)]
+
+    def test_check_procs(self):
+        res = ResourceConfig((2, 1))
+        FaultTimeline([Outage(1, 0, 0.0, 1.0)]).check_procs(res)
+        with pytest.raises(ValidationError, match="references type"):
+            FaultTimeline([Outage(5, 0, 0.0, 1.0)]).check_procs(res)
+        with pytest.raises(ValidationError, match="only 1 processors"):
+            FaultTimeline([Outage(1, 1, 0.0, 1.0)]).check_procs(res)
+
+
+class TestExponentialFaults:
+    def test_reproducible(self):
+        res = ResourceConfig((2, 2))
+        model = ExponentialFaults(mtbf=5.0, mttr=1.0)
+        a = model.sample(res, 100.0, np.random.default_rng(3))
+        b = model.sample(res, 100.0, np.random.default_rng(3))
+        assert list(a) == list(b)
+        assert a.n_outages > 0
+
+    def test_infinite_mtbf_disables_failures(self):
+        model = ExponentialFaults(mtbf=math.inf, mttr=1.0)
+        t = model.sample(ResourceConfig((2,)), 100.0, np.random.default_rng(0))
+        assert t.is_empty
+
+    def test_no_failure_starts_at_or_after_horizon(self):
+        model = ExponentialFaults(mtbf=0.5, mttr=0.1)
+        t = model.sample(ResourceConfig((3,)), 10.0, np.random.default_rng(1))
+        assert all(o.start < 10.0 for o in t)
+
+    @pytest.mark.parametrize("mtbf,mttr", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_bad_params(self, mtbf, mttr):
+        with pytest.raises(ConfigurationError):
+            ExponentialFaults(mtbf=mtbf, mttr=mttr)
+
+    def test_bad_horizon(self):
+        model = ExponentialFaults(mtbf=1.0, mttr=1.0)
+        with pytest.raises(ConfigurationError, match="horizon"):
+            model.sample(ResourceConfig((1,)), 0.0, np.random.default_rng(0))
+
+
+class TestMaintenanceWindows:
+    def test_deterministic_periodic(self):
+        model = MaintenanceWindows(period=10.0, duration=2.0, offset=1.0)
+        t = model.sample(ResourceConfig((1,)), 25.0, np.random.default_rng(0))
+        assert t.down_intervals(0, 0) == [(1.0, 3.0), (11.0, 13.0), (21.0, 23.0)]
+
+    def test_stagger_shifts_by_global_index(self):
+        model = MaintenanceWindows(period=10.0, duration=1.0, stagger=2.0)
+        t = model.sample(ResourceConfig((1, 1)), 5.0, np.random.default_rng(0))
+        # Global type-major indices 0 and 1 -> first windows at 0 and 2.
+        assert t.down_intervals(0, 0)[0] == (0.0, 1.0)
+        assert t.down_intervals(1, 0)[0] == (2.0, 3.0)
+
+    def test_duration_must_be_below_period(self):
+        with pytest.raises(ConfigurationError, match="period"):
+            MaintenanceWindows(period=2.0, duration=2.0)
+
+
+class TestCorrelatedRackFaults:
+    def test_rack_members_share_outages(self):
+        model = CorrelatedRackFaults(rack_size=2, mtbf=2.0, mttr=1.0)
+        t = model.sample(ResourceConfig((2, 2)), 50.0, np.random.default_rng(5))
+        # Rack 0 = global procs 0,1 = (0,0),(0,1); rack 1 = (1,0),(1,1).
+        assert t.down_intervals(0, 0) == t.down_intervals(0, 1)
+        assert t.down_intervals(1, 0) == t.down_intervals(1, 1)
+        assert t.n_outages > 0
+
+    def test_rack_can_span_type_boundary(self):
+        model = CorrelatedRackFaults(rack_size=2, mtbf=2.0, mttr=1.0)
+        t = model.sample(ResourceConfig((1, 1)), 50.0, np.random.default_rng(5))
+        assert t.down_intervals(0, 0) == t.down_intervals(1, 0)
+
+
+class TestRegistry:
+    def test_all_names_construct(self):
+        kwargs = {
+            "none": {},
+            "exponential": {"mtbf": 1.0, "mttr": 1.0},
+            "maintenance": {"period": 2.0, "duration": 1.0},
+            "rack": {"rack_size": 2, "mtbf": 1.0, "mttr": 1.0},
+        }
+        for name in FAULT_MODELS:
+            assert make_fault_model(name, **kwargs[name]) is not None
+
+    def test_none_samples_empty(self):
+        t = NoFaults().sample(ResourceConfig((2,)), 10.0, np.random.default_rng(0))
+        assert t.is_empty
+
+    def test_unknown_name(self):
+        with pytest.raises(ConfigurationError, match="unknown fault model"):
+            make_fault_model("cosmic-rays")

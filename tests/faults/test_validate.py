@@ -1,0 +1,132 @@
+"""Unit tests for the fault-run legality checker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KDag, ResourceConfig
+from repro.errors import ValidationError
+from repro.faults.models import FaultTimeline, Outage
+from repro.faults.validate import (
+    check_no_downtime_overlap,
+    validate_fault_schedule,
+)
+from repro.sim.trace import ScheduleTrace
+
+
+@pytest.fixture
+def job():
+    return KDag(types=[0], work=[4.0], num_types=1)
+
+
+@pytest.fixture
+def system():
+    return ResourceConfig((1,))
+
+
+TIMELINE = FaultTimeline([Outage(0, 0, 2.0, 3.0)])
+
+
+def restart_trace():
+    # Killed [0,2), full rerun [3,7): a legal "restart" run.
+    t = ScheduleTrace()
+    t.add(0, 0, 0, 0.0, 2.0, killed=True)
+    t.add(0, 0, 0, 3.0, 7.0)
+    return t
+
+
+def checkpoint_trace():
+    # Killed [0,2) counts: 2 remaining units run in [3,5).
+    t = ScheduleTrace()
+    t.add(0, 0, 0, 0.0, 2.0, killed=True)
+    t.add(0, 0, 0, 3.0, 5.0)
+    return t
+
+
+class TestAccepts:
+    def test_restart_run(self, job, system):
+        validate_fault_schedule(
+            job, system, restart_trace(), TIMELINE,
+            makespan=7.0, policy="restart",
+        )
+
+    def test_checkpoint_run(self, job, system):
+        validate_fault_schedule(
+            job, system, checkpoint_trace(), TIMELINE,
+            makespan=5.0, policy="checkpoint",
+        )
+
+    def test_kill_boundary_is_legal(self):
+        # Segment ending exactly at the failure instant and one starting
+        # exactly at the repair instant do not overlap the outage.
+        trace = ScheduleTrace()
+        trace.add(0, 0, 0, 1.0, 2.0)
+        trace.add(1, 0, 0, 3.0, 4.0)
+        check_no_downtime_overlap(trace, TIMELINE)
+
+
+class TestRejects:
+    def test_execution_during_downtime(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 4.0)  # straddles the [2, 3) outage
+        with pytest.raises(ValidationError, match="during its down interval"):
+            validate_fault_schedule(job, system, t, TIMELINE, policy="checkpoint")
+
+    def test_two_surviving_segments(self, job, system):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0)
+        t.add(0, 0, 0, 3.0, 5.0)
+        with pytest.raises(ValidationError, match="surviving segments"):
+            validate_fault_schedule(job, system, t, TIMELINE)
+
+    def test_restart_does_not_credit_killed_work(self, job, system):
+        # Legal under checkpoint, under-executed under restart.
+        t = checkpoint_trace()
+        validate_fault_schedule(job, system, t, TIMELINE, policy="checkpoint")
+        with pytest.raises(ValidationError, match="credited 2 units"):
+            validate_fault_schedule(job, system, t, TIMELINE, policy="restart")
+
+    def test_checkpoint_counts_killed_work(self, job, system):
+        # The restart trace over-executes under checkpoint (2+4 > 4).
+        with pytest.raises(ValidationError, match="credited 6 units"):
+            validate_fault_schedule(
+                job, system, restart_trace(), TIMELINE, policy="checkpoint"
+            )
+
+    def test_precedence_against_surviving_completion(self, system):
+        job = KDag(types=[0, 0], work=[2.0, 1.0], edges=[(0, 1)], num_types=1)
+        sys2 = ResourceConfig((2,))
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0, killed=True)
+        t.add(0, 0, 0, 1.0, 3.0)
+        t.add(1, 0, 1, 2.0, 3.0)  # starts before parent's completion at 3
+        with pytest.raises(ValidationError, match="before its"):
+            validate_fault_schedule(job, sys2, t, FaultTimeline())
+
+    def test_killed_segment_still_occupies_processor(self, system):
+        job = KDag(types=[0, 0], work=[4.0, 1.0], num_types=1)
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0, killed=True)
+        t.add(0, 0, 0, 3.0, 7.0)
+        t.add(1, 0, 0, 1.0, 2.0)  # overlaps the killed segment
+        with pytest.raises(ValidationError, match="overlaps"):
+            validate_fault_schedule(job, ResourceConfig((1,)), t, TIMELINE)
+
+    def test_unknown_policy(self, job, system):
+        with pytest.raises(ValidationError, match="unknown fault policy"):
+            validate_fault_schedule(
+                job, system, restart_trace(), TIMELINE, policy="hope"
+            )
+
+    def test_makespan_mismatch(self, job, system):
+        with pytest.raises(ValidationError, match="makespan"):
+            validate_fault_schedule(
+                job, system, restart_trace(), TIMELINE, makespan=9.0
+            )
+
+    def test_timeline_outside_resources(self, job):
+        with pytest.raises(ValidationError, match="only 1 processors"):
+            validate_fault_schedule(
+                job, ResourceConfig((1,)), restart_trace(),
+                FaultTimeline([Outage(0, 3, 0.0, 1.0)]),
+            )

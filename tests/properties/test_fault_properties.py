@@ -1,0 +1,75 @@
+"""Property-based tests: fault runs stay legal under random failures.
+
+For random jobs, systems and exponential failure timelines, every
+scheduler must produce a trace that passes the fault-run legality
+checker under both recovery policies, and the fault accounting must be
+internally consistent (wasted work equals the killed durations, the
+makespan never beats the fault-free lower bound).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import make_scheduler
+from repro.faults.engine import simulate_with_faults
+from repro.faults.metrics import wasted_work
+from repro.faults.models import ExponentialFaults
+from repro.sim.engine import simulate
+
+from tests.properties.test_schedule_invariants import jobs_and_systems
+
+SCHEDULERS = ["kgreedy", "lspan", "dtype", "maxdp", "shiftbt", "mqb"]
+
+
+@pytest.mark.parametrize("policy", ["restart", "checkpoint"])
+@pytest.mark.parametrize("name", SCHEDULERS)
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_fault_runs_validate(name, policy, data):
+    from repro.faults.validate import validate_fault_schedule
+
+    job, system = data.draw(jobs_and_systems(max_tasks=16))
+    fault_seed = data.draw(st.integers(0, 2**16))
+    horizon = 4.0 * float(job.work.sum()) + 10.0
+    timeline = ExponentialFaults(mtbf=6.0, mttr=1.5).sample(
+        system, horizon, np.random.default_rng(fault_seed)
+    )
+    res = simulate_with_faults(
+        job, system, make_scheduler(name), timeline,
+        policy=policy, rng=np.random.default_rng(0), record_trace=True,
+    )
+    validate_fault_schedule(
+        job, system, res.trace, timeline,
+        makespan=res.makespan, policy=policy,
+    )
+    if policy == "restart":
+        assert res.wasted_work == pytest.approx(wasted_work(res.trace))
+    else:
+        assert res.wasted_work == 0.0
+    assert res.kills >= len(res.trace.killed_segments())
+
+
+@given(data=st.data())
+@settings(max_examples=10, deadline=None)
+def test_faults_never_speed_up_the_run(data):
+    job, system = data.draw(jobs_and_systems(max_tasks=16))
+    fault_seed = data.draw(st.integers(0, 2**16))
+    horizon = 4.0 * float(job.work.sum()) + 10.0
+    timeline = ExponentialFaults(mtbf=8.0, mttr=1.0).sample(
+        system, horizon, np.random.default_rng(fault_seed)
+    )
+    base = simulate(
+        job, system, make_scheduler("kgreedy"), rng=np.random.default_rng(0)
+    )
+    faulty = simulate_with_faults(
+        job, system, make_scheduler("kgreedy"), timeline,
+        rng=np.random.default_rng(0),
+    )
+    # Failures can only delay a non-preemptive greedy run's *bound*:
+    # the makespan still respects the fault-free lower bound.
+    assert faulty.makespan >= base.lower_bound() - 1e-9
+    if timeline.is_empty:
+        assert faulty.makespan == base.makespan

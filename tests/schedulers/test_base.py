@@ -74,6 +74,17 @@ class TestSchedulerBase:
         with pytest.raises(SchedulingError, match="returned 3 tasks"):
             s.assign([1], 0.0)
 
+    def test_capacity_changed_default_is_noop(self):
+        # The fault engine calls this hook on every FAIL/REPAIR; the
+        # base implementation must accept it silently so schedulers
+        # that ignore capacity changes keep working.
+        job = KDag(types=[0], work=[1.0], num_types=1)
+        s = Fifo()
+        s.prepare(job, ResourceConfig((2,)))
+        s.task_ready(0, 0.0, 1.0)
+        assert s.capacity_changed(0, 1, 0.5) is None
+        assert s.assign([1], 1.0) == [0]
+
     def test_assign_guards_against_empty_select(self):
         class Lazy(Fifo):
             def select(self, alpha, n_slots, time):

@@ -82,3 +82,64 @@ class TestUtilizationProfile:
     def test_bad_bins(self, trace):
         with pytest.raises(ValidationError):
             utilization_profile(trace, ResourceConfig((1, 1)), n_bins=0)
+
+
+def reference_type_busy_time(trace, num_types):
+    """The pre-vectorization per-segment loop, kept as ground truth."""
+    out = np.zeros(num_types, dtype=np.float64)
+    for seg in trace:
+        if not 0 <= seg.alpha < num_types:
+            raise ValidationError(
+                f"segment type {seg.alpha} out of range for K={num_types}"
+            )
+        out[seg.alpha] += seg.duration
+    return out
+
+
+def reference_utilization_profile(trace, resources, n_bins):
+    """The pre-vectorization per-segment/per-bin loop."""
+    t_end = trace.makespan()
+    edges = np.linspace(0.0, t_end, n_bins + 1)
+    width = edges[1] - edges[0]
+    profile = np.zeros((resources.num_types, n_bins), dtype=np.float64)
+    for seg in trace:
+        for b in range(n_bins):
+            lo = max(seg.start, edges[b])
+            hi = min(seg.end, edges[b + 1])
+            if hi > lo:
+                profile[seg.alpha, b] += hi - lo
+    return edges, profile / (resources.as_array()[:, None] * width)
+
+
+class TestVectorizedMatchesReference:
+    """The np.add.at implementations must equal the original loops."""
+
+    @pytest.fixture
+    def random_trace(self):
+        rng = np.random.default_rng(42)
+        t = ScheduleTrace()
+        for task in range(60):
+            start = float(rng.uniform(0.0, 50.0))
+            t.add(
+                task,
+                int(rng.integers(0, 3)),
+                int(rng.integers(0, 4)),
+                start,
+                start + float(rng.uniform(0.1, 9.0)),
+            )
+        return t
+
+    def test_type_busy_time_equal(self, random_trace):
+        got = type_busy_time(random_trace, 3)
+        want = reference_type_busy_time(random_trace, 3)
+        assert got.tolist() == want.tolist()  # bit-exact: same add order
+
+    @pytest.mark.parametrize("n_bins", [1, 7, 40])
+    def test_utilization_profile_equal(self, random_trace, n_bins):
+        system = ResourceConfig((4, 4, 4))
+        edges, got = utilization_profile(random_trace, system, n_bins=n_bins)
+        ref_edges, want = reference_utilization_profile(
+            random_trace, system, n_bins
+        )
+        assert edges.tolist() == ref_edges.tolist()
+        np.testing.assert_allclose(got, want, rtol=0, atol=1e-12)

@@ -73,3 +73,63 @@ class TestScheduleTrace:
         t = ScheduleTrace()
         t.add(0, 0, 0, 0.0, 1.0)
         assert [s.task for s in t] == [0]
+
+
+class TestKilledSegments:
+    def test_killed_flag_defaults_false(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        assert not t.segments[0].killed
+        assert t.killed_segments() == []
+
+    def test_killed_segments_filter(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0, killed=True)
+        t.add(0, 0, 0, 2.0, 3.0)
+        assert [s.start for s in t.killed_segments()] == [0.0]
+
+    def test_surviving_work_excludes_killed(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0, killed=True)
+        t.add(0, 0, 0, 3.0, 7.0)
+        t.add(1, 0, 1, 0.0, 1.0)
+        assert list(t.surviving_work(2)) == [4.0, 1.0]
+        assert list(t.executed_work(2)) == [6.0, 1.0]
+
+    def test_surviving_work_unknown_task(self):
+        t = ScheduleTrace()
+        t.add(5, 0, 0, 0.0, 1.0, killed=True)
+        with pytest.raises(ValidationError, match="unknown task"):
+            t.surviving_work(2)
+
+
+class TestColumnarView:
+    def test_columns_match_segments(self):
+        t = ScheduleTrace()
+        t.add(3, 1, 2, 0.5, 1.5, killed=True)
+        t.add(4, 0, 0, 1.0, 2.0)
+        cols = t.as_columns()
+        assert cols["task"].tolist() == [3, 4]
+        assert cols["alpha"].tolist() == [1, 0]
+        assert cols["proc"].tolist() == [2, 0]
+        assert cols["start"].tolist() == [0.5, 1.0]
+        assert cols["end"].tolist() == [1.5, 2.0]
+        assert cols["killed"].tolist() == [True, False]
+
+    def test_empty_trace_columns(self):
+        cols = ScheduleTrace().as_columns()
+        assert all(len(v) == 0 for v in cols.values())
+
+    def test_caches_invalidated_by_add(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        assert t.as_columns()["task"].tolist() == [0]
+        assert t.first_start(0) == 0.0
+        t.add(1, 0, 0, 1.0, 2.0)  # must invalidate both caches
+        assert t.as_columns()["task"].tolist() == [0, 1]
+        assert t.segments_of(1)[0].end == 2.0
+
+    def test_columns_cached_between_adds(self):
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 1.0)
+        assert t.as_columns() is t.as_columns()

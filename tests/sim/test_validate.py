@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import re
+
 import pytest
 
 from repro import KDag, ResourceConfig, validate_schedule
@@ -116,4 +118,43 @@ class TestRejects:
 
     def test_makespan_mismatch(self, job, system):
         with pytest.raises(ValidationError, match="makespan"):
+            validate_schedule(job, system, good_trace(), makespan=7.0)
+
+
+class TestErrorMessages:
+    """The error branches name the offenders precisely — pinned here so
+    refactors of the checker keep its diagnostics intact."""
+
+    def test_processor_overlap_message(self, system):
+        job = KDag(types=[0, 0], work=[2.0, 2.0], num_types=2)
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0)
+        t.add(1, 0, 0, 1.0, 3.0)
+        with pytest.raises(
+            ValidationError,
+            match=re.escape(
+                "processor (0, 0) overlaps tasks 0 [0.0, 2.0) and 1 [1.0, 3.0)"
+            ),
+        ):
+            validate_schedule(job, system, t)
+
+    def test_intra_task_parallelism_message(self):
+        job = KDag(types=[0], work=[4.0], num_types=1)
+        t = ScheduleTrace()
+        t.add(0, 0, 0, 0.0, 2.0)
+        t.add(0, 0, 1, 1.0, 3.0)
+        with pytest.raises(
+            ValidationError,
+            match=re.escape(
+                "task 0 executes in parallel with itself: "
+                "[0.0, 2.0) and [1.0, 3.0)"
+            ),
+        ):
+            validate_schedule(job, ResourceConfig((2,)), t, preemptive=True)
+
+    def test_makespan_mismatch_message(self, job, system):
+        with pytest.raises(
+            ValidationError,
+            match=re.escape("reported makespan 7 != trace makespan 4"),
+        ):
             validate_schedule(job, system, good_trace(), makespan=7.0)
