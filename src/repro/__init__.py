@@ -77,6 +77,15 @@ from repro.faults import (
     simulate_with_faults,
     validate_fault_schedule,
 )
+from repro.obs import (
+    EventStream,
+    NULL_TELEMETRY,
+    PhaseProfiler,
+    Telemetry,
+    TelemetrySnapshot,
+    render_summary,
+    write_chrome_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -126,4 +135,12 @@ __all__ = [
     "simulate_with_faults",
     "FaultScheduleResult",
     "validate_fault_schedule",
+    # obs
+    "Telemetry",
+    "TelemetrySnapshot",
+    "NULL_TELEMETRY",
+    "EventStream",
+    "PhaseProfiler",
+    "render_summary",
+    "write_chrome_trace",
 ]

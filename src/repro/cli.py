@@ -9,11 +9,20 @@ Usage::
     repro run all --out results/
     repro report results/fig4.json
     repro demo medium-layered-ir --scheduler mqb
+    repro trace medium-layered-ir --scheduler mqb --out trace.json
+    repro profile fig4 --instances 50
 
 ``repro run`` prints the rendered tables and (with ``--out``) saves the
 raw JSON; ``repro report`` re-renders a saved result; ``repro demo``
 simulates one sampled instance and draws the schedule as an ASCII
 Gantt chart with per-type utilizations.
+
+``repro trace`` runs one sampled instance with full event tracing
+(:mod:`repro.obs`) and exports a Chrome trace-event file — open it in
+Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` for a
+per-processor timeline — plus a text utilization summary.
+``repro profile`` runs a whole experiment under the phase profiler and
+prints where the wall-clock time went.
 """
 
 from __future__ import annotations
@@ -116,6 +125,60 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p.add_argument(
         "--preemptive", action="store_true", help="use the preemptive engine"
     )
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="simulate one instance with event tracing; export a Chrome trace",
+    )
+    trace_p.add_argument("cell", help="workload cell name (see `repro cells`)")
+    trace_p.add_argument("--scheduler", default="mqb", help="algorithm name")
+    trace_p.add_argument("--seed", type=int, default=0, help="instance seed")
+    trace_p.add_argument(
+        "--out",
+        default="trace.json",
+        help=(
+            "Chrome trace-event output path (open in Perfetto or "
+            "chrome://tracing; default trace.json)"
+        ),
+    )
+    trace_p.add_argument(
+        "--jsonl",
+        default=None,
+        help="also write the raw event stream as JSON lines to this path",
+    )
+    trace_p.add_argument(
+        "--preemptive", action="store_true", help="use the preemptive engine"
+    )
+    trace_p.add_argument(
+        "--capacity",
+        type=int,
+        default=1 << 20,
+        help="event ring-buffer capacity (oldest events drop beyond it)",
+    )
+
+    prof_p = sub.add_parser(
+        "profile", help="run one experiment under the phase profiler"
+    )
+    prof_p.add_argument("experiment", help=f"one of {sorted(EXPERIMENTS)}")
+    prof_p.add_argument(
+        "--instances", type=int, default=None, help="instances per plotted point"
+    )
+    prof_p.add_argument("--seed", type=int, default=None, help="base seed")
+    prof_p.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=(
+            "worker processes; per-chunk profiles are merged, so counter "
+            "totals are identical for any count"
+        ),
+    )
+    prof_p.add_argument(
+        "--full",
+        action="store_true",
+        help="full observability report (decision costs, counters), "
+        "not just the timer table",
+    )
     return parser
 
 
@@ -214,6 +277,74 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.obs.events import EventStream
+    from repro.obs.export import (
+        render_summary,
+        write_chrome_trace,
+        write_events_jsonl,
+    )
+    from repro.obs.telemetry import Telemetry
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.engine import simulate
+    from repro.sim.preemptive import simulate_preemptive
+    from repro.workloads.generator import sample_instance, workload_cell
+
+    spec = workload_cell(args.cell)
+    job, system = sample_instance(spec, np.random.default_rng(args.seed))
+    telemetry = Telemetry(events=EventStream(capacity=args.capacity))
+    engine = simulate_preemptive if args.preemptive else simulate
+    result = engine(
+        job, system, make_scheduler(args.scheduler),
+        rng=np.random.default_rng(args.seed), telemetry=telemetry,
+    )
+    print(
+        f"{spec.label}: {job.n_tasks} tasks on {system.counts} — "
+        f"{result.scheduler} makespan {result.makespan:g}, "
+        f"ratio {result.completion_time_ratio():.3f}\n"
+    )
+    print(
+        render_summary(
+            telemetry.snapshot(),
+            events=telemetry.events,
+            resources=system,
+            makespan=result.makespan,
+        )
+    )
+    path = write_chrome_trace(telemetry.events, args.out, resources=system)
+    print(
+        f"[chrome trace: {path} — open in Perfetto or chrome://tracing]",
+        file=sys.stderr,
+    )
+    if args.jsonl:
+        n = write_events_jsonl(telemetry.events, args.jsonl)
+        print(f"[{n} events: {args.jsonl}]", file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.obs.export import render_summary
+    from repro.obs.profile import render_profile
+    from repro.obs.telemetry import Telemetry
+
+    telemetry = Telemetry()
+    t0 = time.time()
+    run_experiment(
+        args.experiment,
+        n_instances=args.instances,
+        seed=args.seed,
+        n_workers=args.workers,
+        telemetry=telemetry,
+    )
+    elapsed = time.time() - t0
+    snap = telemetry.snapshot()
+    print(render_summary(snap) if args.full else render_profile(snap))
+    print(f"[{args.experiment} profiled in {elapsed:.1f}s]", file=sys.stderr)
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -225,6 +356,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_cells()
     if args.command == "demo":
         return _cmd_demo(args)
+    if args.command == "trace":
+        return _cmd_trace(args)
+    if args.command == "profile":
+        return _cmd_profile(args)
     return _cmd_report(args)
 
 

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.registry import APPROX_INFO_ALGORITHMS, PAPER_ALGORITHMS
 from repro.sim.engine import simulate
 from repro.schedulers.registry import make_scheduler
@@ -69,14 +70,18 @@ _LAYERED_PANELS = [
 
 
 def run_fig4(
-    n_instances: int | None = None, seed: int = 2011, n_workers: int | None = None
+    n_instances: int | None = None,
+    seed: int = 2011,
+    n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Fig. 4: the six algorithms on the six workload cells."""
     n = n_instances or DEFAULT_INSTANCES["fig4"]
     panels = []
     for cell, label in _FIG4_PANELS:
         stats = run_comparison(
-            WORKLOAD_CELLS[cell], PAPER_ALGORITHMS, n, seed, n_workers=n_workers
+            WORKLOAD_CELLS[cell], PAPER_ALGORITHMS, n, seed, n_workers=n_workers,
+            telemetry=telemetry,
         )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
@@ -92,7 +97,10 @@ def run_fig4(
 
 
 def run_fig5(
-    n_instances: int | None = None, seed: int = 2012, n_workers: int | None = None
+    n_instances: int | None = None,
+    seed: int = 2012,
+    n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Fig. 5: varying the number of resource types K from 1 to 6."""
     n = n_instances or DEFAULT_INSTANCES["fig5"]
@@ -103,7 +111,8 @@ def run_fig5(
         for k in ks:
             spec = WORKLOAD_CELLS[cell].with_num_types(k)
             for s in run_comparison(
-                spec, PAPER_ALGORITHMS, n, seed + k, n_workers=n_workers
+                spec, PAPER_ALGORITHMS, n, seed + k, n_workers=n_workers,
+                telemetry=telemetry,
             ):
                 series[s.key].append(s.mean)
         panels.append(
@@ -126,7 +135,10 @@ def run_fig5(
 
 
 def run_fig6(
-    n_instances: int | None = None, seed: int = 2013, n_workers: int | None = None
+    n_instances: int | None = None,
+    seed: int = 2013,
+    n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Fig. 6: skewed load — type 0's processors cut to one fifth."""
     n = n_instances or DEFAULT_INSTANCES["fig6"]
@@ -136,7 +148,10 @@ def run_fig6(
         ("medium-layered-ir", "(b) Medium Layered IR"),
     ]:
         spec = WORKLOAD_CELLS[cell].with_skew(5)
-        stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers)
+        stats = run_comparison(
+            spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers,
+            telemetry=telemetry,
+        )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
         )
@@ -151,16 +166,23 @@ def run_fig6(
 
 
 def run_fig7(
-    n_instances: int | None = None, seed: int = 2014, n_workers: int | None = None
+    n_instances: int | None = None,
+    seed: int = 2014,
+    n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Fig. 7: non-preemptive vs preemptive scheduling."""
     n = n_instances or DEFAULT_INSTANCES["fig7"]
     panels = []
     for cell, label in _LAYERED_PANELS:
         spec = WORKLOAD_CELLS[cell]
-        np_stats = run_comparison(spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers)
+        np_stats = run_comparison(
+            spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers,
+            telemetry=telemetry,
+        )
         p_stats = run_comparison(
-            spec, PAPER_ALGORITHMS, n, seed, preemptive=True, n_workers=n_workers
+            spec, PAPER_ALGORITHMS, n, seed, preemptive=True, n_workers=n_workers,
+            telemetry=telemetry,
         )
         series = [s.to_dict() for s in np_stats] + [s.to_dict() for s in p_stats]
         panels.append({"name": cell, "label": label, "series": series})
@@ -175,14 +197,18 @@ def run_fig7(
 
 
 def run_fig8(
-    n_instances: int | None = None, seed: int = 2015, n_workers: int | None = None
+    n_instances: int | None = None,
+    seed: int = 2015,
+    n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Fig. 8: MQB with partial / imprecise descendant information."""
     n = n_instances or DEFAULT_INSTANCES["fig8"]
     panels = []
     for cell, label in _LAYERED_PANELS:
         stats = run_comparison(
-            WORKLOAD_CELLS[cell], APPROX_INFO_ALGORITHMS, n, seed, n_workers=n_workers
+            WORKLOAD_CELLS[cell], APPROX_INFO_ALGORITHMS, n, seed,
+            n_workers=n_workers, telemetry=telemetry,
         )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
@@ -300,12 +326,15 @@ def run_experiment(
     mtbf: float | None = None,
     mttr: float | None = None,
     fault_seed: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Run one experiment by id (``fig4`` ... ``robustness``).
 
     The fault parameters (``mtbf``, ``mttr``, ``fault_seed``) only make
     sense for experiments that inject failures; passing one to any
-    other experiment is a configuration error.
+    other experiment is a configuration error.  Likewise ``telemetry``
+    (profiling) only applies to simulation sweeps — the theory
+    experiments (``lemma1``, ``thm2``) reject it.
     """
     try:
         fn = EXPERIMENTS[name]
@@ -326,11 +355,17 @@ def run_experiment(
         kwargs["mttr"] = mttr
     if fault_seed is not None:
         kwargs["fault_seed"] = fault_seed
+    if telemetry is not None:
+        kwargs["telemetry"] = telemetry
     try:
         return fn(**kwargs)
     except TypeError as exc:
         if "unexpected keyword argument" not in str(exc):
             raise
+        if "telemetry" in str(exc):
+            raise ConfigurationError(
+                f"experiment {name!r} does not support profiling"
+            ) from None
         raise ConfigurationError(
             f"experiment {name!r} does not accept fault parameters "
             f"(--mtbf/--mttr/--fault-seed): {exc}"

@@ -40,6 +40,7 @@ from repro.experiments.runner import (
     _instance_ratios,
     _stats_from_ratios,
 )
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.registry import make_scheduler
 from repro.workloads.params import WorkloadSpec
 
@@ -83,19 +84,29 @@ def _ratio_chunk(
     seed: int,
     preemptive: bool,
     quantum: float,
+    profile: bool,
     start: int,
     stop: int,
-) -> np.ndarray:
+):
     """Sweep worker: completion-time ratios for instances ``start..stop-1``.
 
     Constructs its own schedulers (scheduler instances are reusable
     across instances but not picklable in general) and returns the
-    ``(n_algorithms, stop - start)`` ratio block.
+    ``(n_algorithms, stop - start)`` ratio block.  With ``profile``
+    the chunk runs under a fresh local
+    :class:`~repro.obs.telemetry.Telemetry` and returns
+    ``(block, snapshot_dict)`` for the parent to merge.
     """
     schedulers = [make_scheduler(name) for name in algorithms]
+    telemetry = Telemetry() if profile else None
     block = np.empty((len(algorithms), stop - start), dtype=np.float64)
     for j, i in enumerate(range(start, stop)):
-        _instance_ratios(spec, schedulers, i, seed, preemptive, quantum, block[:, j])
+        _instance_ratios(
+            spec, schedulers, i, seed, preemptive, quantum, block[:, j],
+            telemetry=telemetry,
+        )
+    if telemetry is not None:
+        return block, telemetry.snapshot().to_dict()
     return block
 
 
@@ -109,7 +120,9 @@ def _run_chunk(
     quantum: float,
 ) -> tuple[int, np.ndarray]:
     """Ratio chunk tagged with its start index (kept for direct callers)."""
-    return start, _ratio_chunk(spec, algorithms, seed, preemptive, quantum, start, stop)
+    return start, _ratio_chunk(
+        spec, algorithms, seed, preemptive, quantum, False, start, stop
+    )
 
 
 def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
@@ -125,7 +138,8 @@ def run_sharded_instances(
     n_instances: int,
     n_workers: int | None = None,
     chunk_size: int | None = None,
-) -> np.ndarray:
+    collect_extras: bool = False,
+):
     """Shard ``worker`` over the instance range; assemble the result matrix.
 
     ``worker(start, stop)`` must return a float64 block of shape
@@ -136,6 +150,12 @@ def run_sharded_instances(
     worker count and chunking the assembled ``(n_rows, n_instances)``
     matrix is bit-for-bit the serial one.  Both the paired-comparison
     sweep and the robustness sweep are built on this primitive.
+
+    With ``collect_extras`` the worker must return ``(block, extra)``
+    and the call returns ``(matrix, extras)`` where ``extras`` holds
+    each chunk's ``extra`` ordered by chunk start index — a
+    deterministic order regardless of completion order, so merging
+    order-sensitive aggregates (telemetry snapshots) stays stable.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -145,7 +165,12 @@ def run_sharded_instances(
 
     out = np.empty((n_rows, n_instances), dtype=np.float64)
     if workers == 1 or n_instances == 1:
-        out[:, :] = worker(0, n_instances)
+        result = worker(0, n_instances)
+        if collect_extras:
+            block, extra = result
+            out[:, :] = block
+            return out, [extra]
+        out[:, :] = result
         return out
 
     if chunk_size is None:
@@ -153,6 +178,7 @@ def run_sharded_instances(
     bounds = _chunk_bounds(n_instances, chunk_size)
     workers = min(workers, len(bounds))
 
+    extras_by_start: dict[int, object] = {}
     with ProcessPoolExecutor(max_workers=workers) as pool:
         pending = {
             pool.submit(worker, start, stop): start for start, stop in bounds
@@ -161,8 +187,15 @@ def run_sharded_instances(
             done, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
                 start = pending.pop(future)
-                block = future.result()
+                result = future.result()
+                if collect_extras:
+                    block, extra = result
+                    extras_by_start[start] = extra
+                else:
+                    block = result
                 out[:, start : start + block.shape[1]] = block
+    if collect_extras:
+        return out, [extras_by_start[s] for s in sorted(extras_by_start)]
     return out
 
 
@@ -175,6 +208,7 @@ def run_comparison_parallel(
     quantum: float = 1.0,
     n_workers: int | None = None,
     chunk_size: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[SeriesStats]:
     """Parallel :func:`~repro.experiments.runner.run_comparison`.
 
@@ -182,6 +216,12 @@ def run_comparison_parallel(
     ``chunk_size``; see the module docstring for why.  Falls back to
     the serial loop when one worker (or one instance) makes a pool
     pointless.
+
+    With ``telemetry`` enabled each chunk profiles under its own
+    :class:`~repro.obs.telemetry.Telemetry` and the snapshots are
+    merged into the caller's, in chunk order.  Counter totals are
+    therefore identical for every worker count; timer totals reflect
+    the actual wall clock spent, which naturally varies with chunking.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -195,14 +235,23 @@ def run_comparison_parallel(
         return run_comparison(
             spec, algorithms, n_instances, seed,
             preemptive=preemptive, quantum=quantum, n_workers=1,
+            telemetry=telemetry,
         )
 
     algorithms = tuple(algorithms)
-    ratios = run_sharded_instances(
-        partial(_ratio_chunk, spec, algorithms, seed, preemptive, quantum),
+    profile = telemetry is not None and telemetry.enabled
+    result = run_sharded_instances(
+        partial(_ratio_chunk, spec, algorithms, seed, preemptive, quantum, profile),
         len(algorithms),
         n_instances,
         n_workers=workers,
         chunk_size=chunk_size,
+        collect_extras=profile,
     )
+    if profile:
+        ratios, snapshots = result
+        for snap in snapshots:
+            telemetry.merge_snapshot(snap)
+    else:
+        ratios = result
     return _stats_from_ratios(algorithms, ratios, preemptive)

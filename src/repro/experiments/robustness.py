@@ -47,6 +47,7 @@ from repro.core.properties import total_work
 from repro.errors import ConfigurationError
 from repro.faults.engine import simulate_with_faults
 from repro.faults.models import ExponentialFaults
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.registry import PAPER_ALGORITHMS, make_scheduler
 from repro.sim.engine import simulate
 from repro.workloads.generator import WORKLOAD_CELLS, sample_instance
@@ -83,16 +84,19 @@ def _robustness_chunk(
     mttr_factor: float,
     horizon_factor: float,
     policy: str,
+    profile: bool,
     start: int,
     stop: int,
-) -> np.ndarray:
+):
     """Sweep worker: robustness metrics for instances ``start..stop-1``.
 
     Returns a ``(n_algorithms * n_rates * 3, stop - start)`` block;
     row layout is ``(a * n_rates + r) * 3 + m`` over the
-    ``(inflation, wasted, kills)`` metrics.
+    ``(inflation, wasted, kills)`` metrics.  With ``profile`` the block
+    is paired with a telemetry snapshot dict for the parent to merge.
     """
     schedulers = [make_scheduler(name) for name in algorithms]
+    telemetry = Telemetry() if profile else None
     n_rows = len(algorithms) * len(rates) * len(_METRICS)
     block = np.empty((n_rows, stop - start), dtype=np.float64)
     for j, i in enumerate(range(start, stop)):
@@ -103,7 +107,10 @@ def _robustness_chunk(
         work = total_work(job)
 
         fault_free = [
-            simulate(job, system, sched, rng=np.random.default_rng(alg_seeds[a]))
+            simulate(
+                job, system, sched, rng=np.random.default_rng(alg_seeds[a]),
+                telemetry=telemetry,
+            )
             for a, sched in enumerate(schedulers)
         ]
         for ri, rate in enumerate(rates):
@@ -130,11 +137,14 @@ def _robustness_chunk(
                     timeline,
                     policy=policy,
                     rng=np.random.default_rng(alg_seeds[a]),
+                    telemetry=telemetry,
                 )
                 base = (a * len(rates) + ri) * 3
                 block[base, j] = res.makespan / fault_free[a].makespan
                 block[base + 1, j] = res.wasted_work / work
                 block[base + 2, j] = float(res.kills)
+    if telemetry is not None:
+        return block, telemetry.snapshot().to_dict()
     return block
 
 
@@ -149,12 +159,15 @@ def run_robustness_comparison(
     horizon_factor: float = DEFAULT_HORIZON_FACTOR,
     policy: str = "restart",
     n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> dict[str, dict[str, list[float]]]:
     """Mean robustness metrics for one cell over shared instances.
 
     Returns ``{metric: {algorithm: [mean per rate]}}`` for the metrics
     ``inflation``, ``wasted`` and ``kills``.  Results are identical for
-    every ``n_workers``.
+    every ``n_workers`` — with or without ``telemetry``, which profiles
+    per chunk and merges snapshots as in
+    :func:`repro.experiments.parallel.run_comparison_parallel`.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -170,7 +183,8 @@ def run_robustness_comparison(
 
     algorithms = tuple(algorithms)
     rates = tuple(float(r) for r in rates)
-    matrix = run_sharded_instances(
+    profile = telemetry is not None and telemetry.enabled
+    result = run_sharded_instances(
         partial(
             _robustness_chunk,
             spec,
@@ -181,11 +195,19 @@ def run_robustness_comparison(
             mttr_factor,
             horizon_factor,
             policy,
+            profile,
         ),
         len(algorithms) * len(rates) * len(_METRICS),
         n_instances,
         n_workers=n_workers,
+        collect_extras=profile,
     )
+    if profile:
+        matrix, snapshots = result
+        for snap in snapshots:
+            telemetry.merge_snapshot(snap)
+    else:
+        matrix = result
     means = matrix.mean(axis=1)
     out: dict[str, dict[str, list[float]]] = {m: {} for m in _METRICS}
     for a, name in enumerate(algorithms):
@@ -205,6 +227,7 @@ def run_robustness(
     mttr: float | None = None,
     fault_seed: int | None = None,
     policy: str = "restart",
+    telemetry: Telemetry | None = None,
 ) -> dict:
     """Robustness: makespan inflation under failures, per failure rate.
 
@@ -235,6 +258,7 @@ def run_robustness(
             mttr_factor=mttr_factor,
             policy=policy,
             n_workers=n_workers,
+            telemetry=telemetry,
         )
         panels.append(
             {

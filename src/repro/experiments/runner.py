@@ -35,6 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.base import Scheduler
 from repro.schedulers.registry import make_scheduler
 from repro.sim.engine import simulate
@@ -76,25 +77,35 @@ def _instance_ratios(
     preemptive: bool,
     quantum: float,
     out: np.ndarray,
+    telemetry: Telemetry | None = None,
 ) -> None:
     """Run all algorithms on instance ``i``; write ratios into ``out``.
 
     All randomness derives from ``SeedSequence([seed, i])``, making
     this the shardable unit of a comparison: any partition of the
     instance range over any number of processes reproduces the exact
-    serial results.
+    serial results.  ``telemetry`` rides along into the engines and
+    never influences them; results are identical with or without it.
     """
     ss = np.random.SeedSequence([seed, i])
     inst_rng, *alg_seeds = ss.spawn(1 + len(schedulers))
-    job, system = sample_instance(spec, np.random.default_rng(inst_rng))
+    if telemetry is None or not telemetry.enabled:
+        job, system = sample_instance(spec, np.random.default_rng(inst_rng))
+    else:
+        with telemetry.timer("phase.sample_instance"):
+            job, system = sample_instance(spec, np.random.default_rng(inst_rng))
+        telemetry.inc("sweep.instances")
     for a, scheduler in enumerate(schedulers):
         alg_rng = np.random.default_rng(alg_seeds[a])
         if preemptive:
             result = simulate_preemptive(
-                job, system, scheduler, rng=alg_rng, quantum=quantum
+                job, system, scheduler, rng=alg_rng, quantum=quantum,
+                telemetry=telemetry,
             )
         else:
-            result = simulate(job, system, scheduler, rng=alg_rng)
+            result = simulate(
+                job, system, scheduler, rng=alg_rng, telemetry=telemetry
+            )
         out[a] = result.completion_time_ratio()
 
 
@@ -129,6 +140,7 @@ def run_comparison(
     preemptive: bool = False,
     quantum: float = 1.0,
     n_workers: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> list[SeriesStats]:
     """Run ``algorithms`` over ``n_instances`` shared instances of ``spec``.
 
@@ -139,6 +151,14 @@ def run_comparison(
     ``n_workers`` selects how many worker processes shard the instance
     loop (``None`` defers to ``REPRO_WORKERS``, defaulting to serial).
     Results are identical for every worker count.
+
+    ``telemetry`` enables profiling (:mod:`repro.obs`): engine phase
+    timers, per-scheduler decision costs and sweep counters accumulate
+    into it.  Sharded sweeps profile per worker chunk and merge the
+    snapshots, so counter totals are identical for every worker count
+    (timer totals are wall-clock facts of the actual run).  Events are
+    only collected in-process: a parallel sweep records aggregates,
+    not per-event streams.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -154,10 +174,14 @@ def run_comparison(
             preemptive=preemptive,
             quantum=quantum,
             n_workers=n_workers,
+            telemetry=telemetry,
         )
 
     schedulers = [make_scheduler(name) for name in algorithms]
     ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
     for i in range(n_instances):
-        _instance_ratios(spec, schedulers, i, seed, preemptive, quantum, ratios[:, i])
+        _instance_ratios(
+            spec, schedulers, i, seed, preemptive, quantum, ratios[:, i],
+            telemetry=telemetry,
+        )
     return _stats_from_ratios(algorithms, ratios, preemptive)

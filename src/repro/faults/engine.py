@@ -34,12 +34,23 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.kdag import KDag
 from repro.errors import ConfigurationError, SchedulingError
 from repro.faults.models import FaultTimeline
+from repro.obs.events import (
+    COMPLETE,
+    DECISION,
+    FAIL,
+    KILL,
+    REPAIR,
+    SAMPLE,
+    SLICE,
+)
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.base import Scheduler
 from repro.sim.result import ScheduleResult
 from repro.sim.trace import ScheduleTrace
@@ -88,6 +99,7 @@ def simulate_with_faults(
     rng: np.random.Generator | None = None,
     record_trace: bool = False,
     max_kills: int | None = None,
+    telemetry: Telemetry | None = None,
 ) -> FaultScheduleResult:
     """Run ``scheduler`` on ``job`` under injected processor failures.
 
@@ -104,6 +116,11 @@ def simulate_with_faults(
         many kills (default ``10 * n_tasks + 1000``) — deterministic
         maintenance windows shorter than a task's work would otherwise
         restart it forever.
+    telemetry:
+        Observability context (:mod:`repro.obs`); ``None`` or disabled
+        keeps the run bit-identical to an uninstrumented engine.
+        Enabled runs additionally record FAIL/REPAIR/KILL events and
+        kill/wasted-work counters.
 
     Raises
     ------
@@ -120,7 +137,14 @@ def simulate_with_faults(
         timeline.check_procs(resources)
     kill_budget = max_kills if max_kills is not None else 10 * job.n_tasks + 1000
 
-    scheduler.prepare(job, resources, rng)
+    obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+    scheduler.attach_telemetry(obs)
+    if obs is None:
+        scheduler.prepare(job, resources, rng)
+    else:
+        _t0 = perf_counter()
+        scheduler.prepare(job, resources, rng)
+        obs.add_time("phase.prepare", perf_counter() - _t0)
     k = job.num_types
     n = job.n_tasks
     types = job.types.tolist()
@@ -178,6 +202,12 @@ def simulate_with_faults(
         free_procs[alpha].remove(proc)
         free[alpha] -= 1
         scheduler.capacity_changed(alpha, up[alpha], now)
+        if obs is not None:
+            obs.emit(FAIL, now, alpha=alpha, proc=proc)
+
+    assign = scheduler.assign if obs is None else scheduler.on_decision
+    heap_peak = 0
+    _t_loop = perf_counter() if obs is not None else 0.0
 
     heappush, heappop = heapq.heappush, heapq.heappop
     while completed < n:
@@ -186,7 +216,7 @@ def simulate_with_faults(
             free[a] and scheduler.pending(a) for a in range(k)
         ):
             decisions += 1
-            chosen = scheduler.assign(free, now)
+            chosen = assign(free, now)
             counts_this_round = [0] * k
             for task in chosen:
                 if state[task] != 1:
@@ -212,6 +242,18 @@ def simulate_with_faults(
                 seq += 1
             for alpha, c in enumerate(counts_this_round):
                 free[alpha] -= c
+            if obs is not None:
+                obs.emit(DECISION, now, n=len(chosen))
+                if len(events) > heap_peak:
+                    heap_peak = len(events)
+
+        if obs is not None:
+            obs.emit(
+                SAMPLE, now,
+                ready=[scheduler.pending(a) for a in range(k)],
+                free=list(free),
+                up=list(up),
+            )
 
         # `completed < n` guarantees unfinished work; with no events at
         # all there is neither running work nor any future repair, so
@@ -243,6 +285,10 @@ def simulate_with_faults(
                 makespan = now
                 if trace is not None:
                     trace.add(task, alpha, proc, run_start[alpha][proc], now)
+                if obs is not None:
+                    obs.emit(SLICE, run_start[alpha][proc], task=task,
+                             alpha=alpha, proc=proc, end=now)
+                    obs.emit(COMPLETE, now, task=task, alpha=alpha, proc=proc)
                 scheduler.task_finished(task, now)
                 for ei in range(child_ptr[task], child_ptr[task + 1]):
                     ci = child_idx[ei]
@@ -259,10 +305,14 @@ def simulate_with_faults(
                 free[alpha] += 1
                 free_procs[alpha].append(proc)
                 scheduler.capacity_changed(alpha, up[alpha], now)
+                if obs is not None:
+                    obs.emit(REPAIR, now, alpha=alpha, proc=proc)
 
             else:  # _FAIL
                 alpha, proc = a, b
                 up[alpha] -= 1
+                if obs is not None:
+                    obs.emit(FAIL, now, alpha=alpha, proc=proc)
                 victim = run_task[alpha][proc]
                 if victim >= 0:
                     start = run_start[alpha][proc]
@@ -281,6 +331,13 @@ def simulate_with_faults(
                             trace.add(
                                 victim, alpha, proc, start, now, killed=True
                             )
+                        if obs is not None:
+                            obs.emit(SLICE, start, task=victim, alpha=alpha,
+                                     proc=proc, end=now, killed=True)
+                            obs.emit(KILL, now, task=victim, alpha=alpha,
+                                     proc=proc, start=start,
+                                     lost=(now - start if policy != "checkpoint"
+                                           else 0.0))
                         if policy == "checkpoint":
                             # finish - now of the killed dispatch:
                             remaining[victim] = (start + remaining[victim]) - now
@@ -293,6 +350,16 @@ def simulate_with_faults(
                     free_procs[alpha].remove(proc)
                     free[alpha] -= 1
                 scheduler.capacity_changed(alpha, up[alpha], now)
+
+    if obs is not None:
+        obs.add_time("phase.engine_loop", perf_counter() - _t_loop)
+        obs.inc("engine.runs")
+        obs.inc("engine.tasks", n)
+        obs.inc("engine.decisions", decisions)
+        obs.inc("engine.events_pushed", seq)
+        obs.inc("engine.kills", kills)
+        obs.observe("engine.heap_peak", heap_peak)
+        obs.observe("engine.wasted_work", wasted)
 
     return FaultScheduleResult(
         makespan=makespan,

@@ -10,12 +10,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
 from repro.errors import SchedulingError
 from repro.multijob.arrival import JobStream
 from repro.multijob.schedulers import StreamScheduler
+from repro.obs.events import ARRIVAL, COMPLETE, DECISION, JOB_DONE, SAMPLE, SLICE
+from repro.obs.telemetry import Telemetry
 from repro.system.resources import ResourceConfig
 
 __all__ = ["StreamResult", "simulate_stream"]
@@ -53,9 +56,24 @@ def simulate_stream(
     resources: ResourceConfig,
     scheduler: StreamScheduler,
     rng: np.random.Generator | None = None,
+    telemetry: Telemetry | None = None,
 ) -> StreamResult:
-    """Run ``scheduler`` over the whole stream; see module docstring."""
-    scheduler.prepare(stream, resources, rng)
+    """Run ``scheduler`` over the whole stream; see module docstring.
+
+    ``telemetry`` (:mod:`repro.obs`) is optional observability: when
+    enabled it records arrival/dispatch/completion events (slices use
+    ``proc=-1`` plus a ``jid`` field — this engine tracks per-type
+    counts, not processor identities), per-round decision costs and
+    queue samples.  ``None`` or disabled is bit-identical to the
+    uninstrumented engine.
+    """
+    obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+    if obs is None:
+        scheduler.prepare(stream, resources, rng)
+    else:
+        _t0 = perf_counter()
+        scheduler.prepare(stream, resources, rng)
+        obs.add_time("phase.prepare", perf_counter() - _t0)
     k = resources.num_types
     n_jobs = len(stream)
     indeg = [job.in_degrees() for job in stream.jobs]
@@ -76,6 +94,8 @@ def simulate_stream(
     pending_tasks = sum(unfinished)
     now = 0.0
     running = 0
+    decisions = 0
+    _t_loop = perf_counter() if obs is not None else 0.0
 
     while pending_tasks > 0 or running > 0:
         if not events:
@@ -90,6 +110,8 @@ def simulate_stream(
             if kind == 0:  # arrival
                 job = stream.jobs[jid]
                 scheduler.job_arrived(jid, job, now)
+                if obs is not None:
+                    obs.emit(ARRIVAL, now, jid=jid)
                 for v in job.sources():
                     scheduler.task_ready(jid, int(v), now)
             else:  # completion
@@ -98,9 +120,13 @@ def simulate_stream(
                 free[alpha] += 1
                 running -= 1
                 unfinished[jid] -= 1
+                if obs is not None:
+                    obs.emit(COMPLETE, now, jid=jid, task=task, alpha=alpha)
                 scheduler.task_finished(jid, task, now)
                 if unfinished[jid] == 0:
                     completion[jid] = now
+                    if obs is not None:
+                        obs.emit(JOB_DONE, now, jid=jid)
                     scheduler.job_finished(jid, now)
                 for c in job.children(task):
                     ci = int(c)
@@ -109,6 +135,8 @@ def simulate_stream(
                         scheduler.task_ready(jid, ci, now)
 
         # Decision round.
+        _t_round = perf_counter() if obs is not None else 0.0
+        started_this_round = 0
         for alpha in range(k):
             while free[alpha] > 0 and scheduler.pending(alpha) > 0:
                 picked = scheduler.select(alpha, free[alpha], now)
@@ -132,8 +160,32 @@ def simulate_stream(
                     running += 1
                     pending_tasks -= 1
                     finish = now + float(job.work[task])
+                    if obs is not None:
+                        obs.emit(SLICE, now, jid=jid, task=task, alpha=alpha,
+                                 proc=-1, end=finish)
+                        started_this_round += 1
                     heapq.heappush(events, (finish, 1, seq, jid, task))
                     seq += 1
+
+        if obs is not None:
+            decisions += 1
+            obs.add_time("decision." + scheduler.name, perf_counter() - _t_round)
+            obs.inc("decisions." + scheduler.name)
+            if started_this_round:
+                obs.emit(DECISION, now, n=started_this_round)
+                obs.inc("dispatched." + scheduler.name, started_this_round)
+            obs.emit(
+                SAMPLE, now,
+                ready=[scheduler.pending(a) for a in range(k)],
+                free=list(free),
+            )
+
+    if obs is not None:
+        obs.add_time("phase.engine_loop", perf_counter() - _t_loop)
+        obs.inc("engine.runs")
+        obs.inc("engine.jobs", n_jobs)
+        obs.inc("engine.decisions", decisions)
+        obs.inc("engine.events_pushed", seq)
 
     return StreamResult(
         scheduler=scheduler.name,

@@ -1,0 +1,72 @@
+"""Observability: telemetry, structured events, exporters, profiling.
+
+A zero-overhead-when-disabled layer wired into every engine
+(:mod:`repro.sim.engine`, :mod:`repro.sim.preemptive`,
+:mod:`repro.faults.engine`, :mod:`repro.multijob.engine`) and the
+experiment pipeline.  Pass a :class:`Telemetry` (optionally carrying an
+:class:`EventStream`) as the ``telemetry=`` argument; pass ``None`` (the
+default) or :data:`NULL_TELEMETRY` for bit-identical untraced runs.
+"""
+
+from repro.obs.events import (
+    ARRIVAL,
+    COMPLETE,
+    DECISION,
+    EVENT_KINDS,
+    Event,
+    EventStream,
+    FAIL,
+    JOB_DONE,
+    KILL,
+    READY,
+    REPAIR,
+    SAMPLE,
+    SLICE,
+)
+from repro.obs.export import (
+    chrome_trace,
+    read_events_jsonl,
+    render_summary,
+    write_chrome_trace,
+    write_events_jsonl,
+)
+from repro.obs.profile import PhaseProfiler, render_profile
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    merge_snapshots,
+)
+
+__all__ = [
+    # telemetry
+    "Telemetry",
+    "NullTelemetry",
+    "NULL_TELEMETRY",
+    "TelemetrySnapshot",
+    "merge_snapshots",
+    # events
+    "Event",
+    "EventStream",
+    "EVENT_KINDS",
+    "DECISION",
+    "SLICE",
+    "COMPLETE",
+    "READY",
+    "SAMPLE",
+    "FAIL",
+    "REPAIR",
+    "KILL",
+    "ARRIVAL",
+    "JOB_DONE",
+    # export
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_events_jsonl",
+    "read_events_jsonl",
+    "render_summary",
+    # profiling
+    "PhaseProfiler",
+    "render_profile",
+]

@@ -1,0 +1,152 @@
+"""Structured event stream with a bounded ring buffer.
+
+Engines emit one :class:`Event` per interesting instant; the stream
+keeps the most recent ``capacity`` of them in a ring buffer so tracing
+a long run has bounded memory (the totals that must stay exact —
+decision counts, dispatch counts, busy time — live in
+:class:`~repro.obs.telemetry.Telemetry` counters, not here).
+
+Event taxonomy (``kind`` / payload fields):
+
+=============  ==========================================================
+``slice``      one execution interval: ``task``, ``alpha``, ``proc``,
+               ``end`` (``ts`` is the start); fault-aware runs add
+               ``killed=True`` for intervals cut short by a failure,
+               stream runs add ``jid`` and use ``proc=-1`` (the stream
+               engine tracks counts, not processor identities)
+``decision``   one scheduler decision round: ``n`` tasks started
+``complete``   a task finished: ``task``, ``alpha``, ``proc`` (+ ``jid``)
+``ready``      a task entered the ready pool: ``task``, ``alpha``
+``sample``     per-type state at an event instant: ``ready`` and
+               ``free`` counts per type (+ ``up`` under faults) — the
+               live utilization-balancing view
+``fail``       processor failure: ``alpha``, ``proc``
+``repair``     processor repair: ``alpha``, ``proc``
+``kill``       a running segment destroyed by a failure: ``task``,
+               ``alpha``, ``proc``, ``start``, ``lost`` (wasted work)
+``arrival``    stream engine: job ``jid`` arrived
+``job_done``   stream engine: job ``jid`` fully completed
+=============  ==========================================================
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "Event",
+    "EventStream",
+    "DECISION",
+    "SLICE",
+    "COMPLETE",
+    "READY",
+    "SAMPLE",
+    "FAIL",
+    "REPAIR",
+    "KILL",
+    "ARRIVAL",
+    "JOB_DONE",
+    "EVENT_KINDS",
+]
+
+DECISION = "decision"
+SLICE = "slice"
+COMPLETE = "complete"
+READY = "ready"
+SAMPLE = "sample"
+FAIL = "fail"
+REPAIR = "repair"
+KILL = "kill"
+ARRIVAL = "arrival"
+JOB_DONE = "job_done"
+
+#: Every kind an engine may emit (exporters accept unknown kinds too).
+EVENT_KINDS = (
+    DECISION,
+    SLICE,
+    COMPLETE,
+    READY,
+    SAMPLE,
+    FAIL,
+    REPAIR,
+    KILL,
+    ARRIVAL,
+    JOB_DONE,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One structured simulation event.
+
+    Attributes
+    ----------
+    ts:
+        Simulation time of the event (seconds of schedule time, not
+        wall time).
+    kind:
+        One of :data:`EVENT_KINDS`.
+    data:
+        Kind-specific payload fields (see the module docstring).
+    """
+
+    ts: float
+    kind: str
+    data: Mapping
+
+    def to_dict(self) -> dict:
+        """Flat dict form (``ts``/``kind`` + payload), for JSON lines."""
+        return {"ts": self.ts, "kind": self.kind, **self.data}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Event":
+        """Inverse of :meth:`to_dict`."""
+        payload = {k: v for k, v in data.items() if k not in ("ts", "kind")}
+        return cls(ts=float(data["ts"]), kind=str(data["kind"]), data=payload)
+
+
+class EventStream:
+    """Bounded ring buffer of :class:`Event` records.
+
+    When more than ``capacity`` events are emitted the oldest are
+    dropped (FIFO); :attr:`dropped` says how many.  Emission order is
+    preserved.  Engines emit in *event-processing* order; a ``slice``
+    emitted when its interval closes (fault-aware engine) carries the
+    interval's start as ``ts``, so consumers that need a time-sorted
+    view must sort — :func:`repro.obs.export.chrome_trace` does.
+    """
+
+    def __init__(self, capacity: int = 65536) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._buffer: deque[Event] = deque(maxlen=capacity)
+        self.emitted = 0
+
+    def emit(self, kind: str, ts: float, **data) -> None:
+        """Append one event (drops the oldest when full)."""
+        self._buffer.append(Event(float(ts), kind, data))
+        self.emitted += 1
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by the ring-buffer bound."""
+        return self.emitted - len(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)
+
+    def __iter__(self) -> Iterator[Event]:
+        return iter(self._buffer)
+
+    def of_kind(self, kind: str) -> list[Event]:
+        """Retained events of one kind, in emission order."""
+        return [e for e in self._buffer if e.kind == kind]
+
+    def to_dicts(self) -> list[dict]:
+        """All retained events as flat dicts (see :meth:`Event.to_dict`)."""
+        return [e.to_dict() for e in self._buffer]

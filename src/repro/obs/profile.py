@@ -1,0 +1,71 @@
+"""Lightweight named-phase wall-clock profiler.
+
+:class:`PhaseProfiler` wraps a :class:`~repro.obs.telemetry.Telemetry`
+and records ``perf_counter`` intervals under ``phase.<name>`` timer
+keys — the same convention the engines use for ``prepare``, the
+decision loop and the event loop, so profiler output and engine
+telemetry aggregate into one table.  Snapshots are mergeable
+(:meth:`~repro.obs.telemetry.TelemetrySnapshot.merge`), which is how
+sharded sweeps in :mod:`repro.experiments.parallel` combine per-worker
+profiles into one report regardless of the worker count.
+
+:func:`render_profile` is the compact text table used by
+``repro profile``; for the full report (decision costs, counters,
+per-type breakdown) see :func:`repro.obs.export.render_summary`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.telemetry import Telemetry, TelemetrySnapshot
+
+__all__ = ["PhaseProfiler", "render_profile"]
+
+
+class PhaseProfiler:
+    """Accumulate wall time per named phase into a telemetry context."""
+
+    def __init__(self, telemetry: Telemetry | None = None) -> None:
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """``with profiler.phase("select"):`` — time the block."""
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.telemetry.add_time(f"phase.{name}", time.perf_counter() - t0)
+
+    def time(self, name: str, fn, *args, **kwargs):
+        """Call ``fn(*args, **kwargs)`` inside :meth:`phase`."""
+        with self.phase(name):
+            return fn(*args, **kwargs)
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Mergeable frozen view of everything recorded so far."""
+        return self.telemetry.snapshot()
+
+
+def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
+    """Text table of all timers in ``snapshot``, sorted by total time."""
+    rows = sorted(
+        ((name, total, calls) for name, (total, calls) in snapshot.timers.items()),
+        key=lambda row: -row[1],
+    )
+    if not rows:
+        return "(no timers recorded)"
+    lines = [f"{'timer':<32s} {'calls':>10s} {'total':>12s} {'mean':>12s}"]
+    for name, total, calls in rows[:top_n]:
+        mean = total / max(1, calls)
+        if total >= 1.0:
+            total_s, mean_s = f"{total:10.3f} s", f"{mean * 1e6:9.1f} us"
+        else:
+            total_s, mean_s = f"{total * 1e3:9.3f} ms", f"{mean * 1e6:9.1f} us"
+        lines.append(f"{name:<32s} {calls:>10d} {total_s:>12s} {mean_s:>12s}")
+    if len(rows) > top_n:
+        lines.append(f"... and {len(rows) - top_n} more timers")
+    return "\n".join(lines)

@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
+from time import perf_counter
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -36,6 +37,7 @@ from repro.errors import SchedulingError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.kdag import KDag
+    from repro.obs.telemetry import Telemetry
     from repro.system.resources import ResourceConfig
 
 __all__ = ["Scheduler", "QueueScheduler"]
@@ -53,6 +55,7 @@ class Scheduler(ABC):
     def __init__(self) -> None:
         self._job: "KDag | None" = None
         self._resources: "ResourceConfig | None" = None
+        self._telemetry: "Telemetry | None" = None
 
     # -- lifecycle ------------------------------------------------------
     def prepare(
@@ -135,6 +138,37 @@ class Scheduler(ABC):
                     f"tasks for {slots} slots"
                 )
             chosen.extend(picked)
+        return chosen
+
+    def attach_telemetry(self, telemetry: "Telemetry | None") -> None:
+        """Point the decision-timing wrapper at a telemetry context.
+
+        Engines call this once per run, before the event loop, with the
+        resolved telemetry (``None`` when observability is disabled).
+        Because :meth:`on_decision` is the *only* consumer, schedulers
+        need no per-algorithm changes to be covered by decision timing
+        — overriding :meth:`assign` (as MQB does) is enough.
+        """
+        self._telemetry = telemetry
+
+    def on_decision(self, free: list[int], time: float) -> list[int]:
+        """:meth:`assign` wrapped with decision-cost telemetry.
+
+        Engines with observability enabled route decision rounds
+        through this wrapper instead of calling :meth:`assign`
+        directly; the substitution happens once per run, so the
+        disabled path carries no extra branch in its inner loop.
+        Records the wall time under ``decision.<name>`` and bumps the
+        ``decisions.<name>`` / ``dispatched.<name>`` counters.
+        """
+        tel = self._telemetry
+        if tel is None:
+            return self.assign(free, time)
+        t0 = perf_counter()
+        chosen = self.assign(free, time)
+        tel.add_time("decision." + self.name, perf_counter() - t0)
+        tel.inc("decisions." + self.name)
+        tel.inc("dispatched." + self.name, len(chosen))
         return chosen
 
     def task_finished(self, task: int, time: float) -> None:

@@ -20,11 +20,14 @@ directly to the next completion instant, so the cost per run is
 from __future__ import annotations
 
 import heapq
+from time import perf_counter
 
 import numpy as np
 
 from repro.core.kdag import KDag
 from repro.errors import SchedulingError
+from repro.obs.events import COMPLETE, DECISION, SAMPLE, SLICE
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.base import Scheduler
 from repro.sim.result import ScheduleResult
 from repro.sim.trace import ScheduleTrace
@@ -39,6 +42,7 @@ def simulate(
     scheduler: Scheduler,
     rng: np.random.Generator | None = None,
     record_trace: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> ScheduleResult:
     """Run ``scheduler`` on ``job`` non-preemptively; return the result.
 
@@ -55,6 +59,12 @@ def simulate(
     record_trace:
         When true, the result carries a full :class:`ScheduleTrace`
         (one segment per task).
+    telemetry:
+        Observability context (:mod:`repro.obs`).  ``None`` or a
+        disabled context keeps the run bit-identical to an
+        uninstrumented engine; an enabled one records phase timers,
+        decision costs, heap stats and — when it carries an event
+        stream — slice/decision/sample events.
 
     Raises
     ------
@@ -63,7 +73,15 @@ def simulate(
         (no running tasks, pending work, but no assignment) — all six
         library schedulers are work conserving and never trigger this.
     """
-    scheduler.prepare(job, resources, rng)
+    # Resolve observability once; the loops below never re-check it.
+    obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+    scheduler.attach_telemetry(obs)
+    if obs is None:
+        scheduler.prepare(job, resources, rng)
+    else:
+        _t0 = perf_counter()
+        scheduler.prepare(job, resources, rng)
+        obs.add_time("phase.prepare", perf_counter() - _t0)
     k = job.num_types
     n = job.n_tasks
     # The decision/completion loop is pure Python; bind the per-task
@@ -97,6 +115,12 @@ def simulate(
         n_ready += 1
         scheduler.task_ready(vi, now, work[vi])
 
+    # With observability on, decisions route through the timing wrapper
+    # (chosen per run, not per round) and the loop tracks heap depth.
+    assign = scheduler.assign if obs is None else scheduler.on_decision
+    heap_peak = 0
+    _t_loop = perf_counter() if obs is not None else 0.0
+
     heappush, heappop = heapq.heappush, heapq.heappop
     while completed < n:
         # ---- decision round at time `now` ----
@@ -104,7 +128,7 @@ def simulate(
             free[a] and scheduler.pending(a) for a in range(k)
         ):
             decisions += 1
-            chosen = scheduler.assign(free, now)
+            chosen = assign(free, now)
             counts_this_round = [0] * k
             for task in chosen:
                 if state[task] != 1:
@@ -127,8 +151,22 @@ def simulate(
                 seq += 1
                 if trace is not None:
                     trace.add(task, alpha, proc, now, finish)
+                if obs is not None:
+                    obs.emit(SLICE, now, task=task, alpha=alpha, proc=proc,
+                             end=finish)
             for alpha, c in enumerate(counts_this_round):
                 free[alpha] -= c
+            if obs is not None:
+                obs.emit(DECISION, now, n=len(chosen))
+                if len(events) > heap_peak:
+                    heap_peak = len(events)
+
+        if obs is not None:
+            obs.emit(
+                SAMPLE, now,
+                ready=[scheduler.pending(a) for a in range(k)],
+                free=list(free),
+            )
 
         # `completed < n` guarantees unfinished work, so an empty event
         # heap here means the scheduler left ready tasks unassigned.
@@ -148,6 +186,8 @@ def simulate(
             free[alpha] += 1
             free_procs[alpha].append(proc)
             makespan = now
+            if obs is not None:
+                obs.emit(COMPLETE, now, task=task, alpha=alpha, proc=proc)
             scheduler.task_finished(task, now)
             for ei in range(child_ptr[task], child_ptr[task + 1]):
                 ci = child_idx[ei]
@@ -157,6 +197,14 @@ def simulate(
                     state[ci] = 1
                     n_ready += 1
                     scheduler.task_ready(ci, now, work[ci])
+
+    if obs is not None:
+        obs.add_time("phase.engine_loop", perf_counter() - _t_loop)
+        obs.inc("engine.runs")
+        obs.inc("engine.tasks", n)
+        obs.inc("engine.decisions", decisions)
+        obs.inc("engine.events_pushed", seq)
+        obs.observe("engine.heap_peak", heap_peak)
 
     return ScheduleResult(
         makespan=makespan,

@@ -20,10 +20,14 @@ job sizes, and the honest price of modeling preemption faithfully.
 
 from __future__ import annotations
 
+from time import perf_counter
+
 import numpy as np
 
 from repro.core.kdag import KDag
 from repro.errors import SchedulingError
+from repro.obs.events import SLICE
+from repro.obs.telemetry import Telemetry
 from repro.schedulers.base import Scheduler
 from repro.sim.result import ScheduleResult
 from repro.sim.trace import ScheduleTrace
@@ -42,6 +46,7 @@ def simulate_preemptive(
     rng: np.random.Generator | None = None,
     quantum: float = 1.0,
     record_trace: bool = False,
+    telemetry: Telemetry | None = None,
 ) -> ScheduleResult:
     """Run ``scheduler`` on ``job`` with quantum-based preemption.
 
@@ -50,7 +55,14 @@ def simulate_preemptive(
     """
     if quantum <= 0 or not np.isfinite(quantum):
         raise SchedulingError(f"quantum must be positive and finite, got {quantum}")
-    scheduler.prepare(job, resources, rng)
+    obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+    scheduler.attach_telemetry(obs)
+    if obs is None:
+        scheduler.prepare(job, resources, rng)
+    else:
+        _t0 = perf_counter()
+        scheduler.prepare(job, resources, rng)
+        obs.add_time("phase.prepare", perf_counter() - _t0)
     k = job.num_types
     n = job.n_tasks
     types = job.types
@@ -74,6 +86,9 @@ def simulate_preemptive(
     # type is at most total_work / quantum rounds; multiply for slack.
     budget = int(_MAX_QUANTA_FACTOR * (float(job.work.sum()) / quantum + n + 1))
 
+    assign = scheduler.assign if obs is None else scheduler.on_decision
+    _t_loop = perf_counter() if obs is not None else 0.0
+
     free_template = list(resources.counts)
     while completed < n:
         if budget <= 0:
@@ -90,7 +105,7 @@ def simulate_preemptive(
             )
 
         decisions += 1
-        chosen = scheduler.assign(list(free_template), now)
+        chosen = assign(list(free_template), now)
         if not chosen:
             raise SchedulingError(
                 f"{scheduler.name} assigned nothing at t={now} with "
@@ -121,6 +136,9 @@ def simulate_preemptive(
             run = min(quantum, float(remaining[task]))
             if trace is not None:
                 trace.add(task, alpha, proc, now, now + run)
+            if obs is not None:
+                obs.emit(SLICE, now, task=task, alpha=alpha, proc=proc,
+                         end=now + run)
             remaining[task] -= run
             if remaining[task] <= 1e-12:
                 state[task] = 3
@@ -142,6 +160,12 @@ def simulate_preemptive(
                 if indeg[ci] == 0:
                     state[ci] = 1
                     scheduler.task_ready(ci, now, float(remaining[ci]))
+
+    if obs is not None:
+        obs.add_time("phase.engine_loop", perf_counter() - _t_loop)
+        obs.inc("engine.runs")
+        obs.inc("engine.tasks", n)
+        obs.inc("engine.decisions", decisions)
 
     return ScheduleResult(
         makespan=makespan,

@@ -161,3 +161,94 @@ class TestDemo:
 
         with pytest.raises(ConfigurationError):
             main(["demo", "nope-cell"])
+
+
+class TestTrace:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["trace", "small-layered-ep"])
+        assert args.cell == "small-layered-ep"
+        assert args.scheduler == "mqb"
+        assert args.out == "trace.json"
+        assert args.jsonl is None
+
+    def test_exports_chrome_trace_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert (
+            main(
+                [
+                    "trace", "small-layered-ep",
+                    "--scheduler", "kgreedy", "--seed", "5",
+                    "--out", str(out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "per-type utilization" in text
+        assert "scheduler decision costs" in text
+        assert "kgreedy" in text
+        doc = json.loads(out.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        assert any(ev.get("ph") == "X" for ev in doc["traceEvents"])
+
+    def test_jsonl_round_trip(self, tmp_path, capsys):
+        from repro.obs.export import read_events_jsonl
+
+        jsonl = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "trace", "small-random-ep", "--scheduler", "lspan",
+                    "--out", str(tmp_path / "t.json"),
+                    "--jsonl", str(jsonl),
+                ]
+            )
+            == 0
+        )
+        events = read_events_jsonl(jsonl)
+        assert events
+        assert {e.kind for e in events} >= {"slice", "decision", "sample"}
+
+    def test_preemptive_flag(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "trace", "small-random-ep", "--preemptive",
+                    "--out", str(tmp_path / "p.json"),
+                ]
+            )
+            == 0
+        )
+        assert "per-type utilization" in capsys.readouterr().out
+
+    def test_unknown_cell(self, tmp_path):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown workload cell"):
+            main(["trace", "nope-cell", "--out", str(tmp_path / "t.json")])
+
+
+class TestProfile:
+    def test_prints_timer_table(self, capsys):
+        assert main(["profile", "fig4", "--instances", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "phase.engine_loop" in out
+        assert "decision.mqb" in out
+
+    def test_full_report(self, capsys):
+        assert main(["profile", "fig8", "--instances", "2", "--full"]) == 0
+        out = capsys.readouterr().out
+        assert "engine phases" in out
+        assert "counters" in out
+
+    def test_unknown_experiment(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["profile", "fig99"])
+
+    def test_theory_experiment_rejects_profiling(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="profiling"):
+            main(["profile", "lemma1", "--instances", "10"])

@@ -1,0 +1,58 @@
+"""Unit tests for the structured event stream and its ring buffer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.events import EVENT_KINDS, Event, EventStream, SAMPLE, SLICE
+
+
+class TestEvent:
+    def test_to_dict_flattens_payload(self):
+        e = Event(1.5, SLICE, {"task": 3, "alpha": 0, "proc": 2, "end": 4.0})
+        d = e.to_dict()
+        assert d == {"ts": 1.5, "kind": "slice", "task": 3, "alpha": 0,
+                     "proc": 2, "end": 4.0}
+
+    def test_from_dict_inverts_to_dict(self):
+        e = Event(2.0, SAMPLE, {"ready": [1, 2], "free": [0, 1]})
+        assert Event.from_dict(e.to_dict()) == e
+
+    def test_kind_constants_are_distinct(self):
+        assert len(set(EVENT_KINDS)) == len(EVENT_KINDS)
+
+
+class TestEventStream:
+    def test_emit_preserves_order(self):
+        s = EventStream()
+        s.emit(SLICE, 0.0, task=0)
+        s.emit(SLICE, 1.0, task=1)
+        assert [e.data["task"] for e in s] == [0, 1]
+        assert len(s) == 2
+        assert s.dropped == 0
+
+    def test_ring_buffer_drops_oldest(self):
+        s = EventStream(capacity=3)
+        for i in range(5):
+            s.emit(SLICE, float(i), task=i)
+        assert len(s) == 3
+        assert s.emitted == 5
+        assert s.dropped == 2
+        assert [e.data["task"] for e in s] == [2, 3, 4]
+
+    def test_of_kind_filters(self):
+        s = EventStream()
+        s.emit(SLICE, 0.0, task=0)
+        s.emit(SAMPLE, 0.0, ready=[1], free=[1])
+        s.emit(SLICE, 1.0, task=1)
+        assert [e.data["task"] for e in s.of_kind(SLICE)] == [0, 1]
+
+    def test_to_dicts(self):
+        s = EventStream()
+        s.emit(SLICE, 0.5, task=7)
+        assert s.to_dicts() == [{"ts": 0.5, "kind": "slice", "task": 7}]
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EventStream(capacity=0)

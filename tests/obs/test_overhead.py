@@ -1,0 +1,125 @@
+"""Zero-overhead-when-disabled guarantees of the observability layer.
+
+Two families of checks:
+
+* **Bit-identity** — for every paper scheduler and a sample of cells,
+  running any engine with ``telemetry=None``, with the disabled
+  :data:`~repro.obs.telemetry.NULL_TELEMETRY`, or with a fully enabled
+  tracing context produces identical results: telemetry observes, it
+  never influences.
+* **Wall clock** — the disabled path stays within a generous factor of
+  the uninstrumented baseline (the instrumentation is hoisted out of
+  the inner loops, so the true overhead is one attribute check per
+  run; the bound is loose because CI timing is noisy).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.faults.engine import simulate_with_faults
+from repro.faults.models import ExponentialFaults
+from repro.obs.events import EventStream
+from repro.obs.telemetry import NULL_TELEMETRY, Telemetry
+from repro.schedulers.registry import PAPER_ALGORITHMS, make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.preemptive import simulate_preemptive
+from repro.workloads.generator import WORKLOAD_CELLS, sample_instance
+
+CELLS = ("small-layered-ep", "small-random-ep")
+
+
+def _instance(cell: str, seed: int = 0):
+    return sample_instance(WORKLOAD_CELLS[cell], np.random.default_rng(seed))
+
+
+def _fingerprint(result) -> tuple:
+    return (result.makespan, result.decisions)
+
+
+@pytest.mark.parametrize("cell", CELLS)
+@pytest.mark.parametrize("name", PAPER_ALGORITHMS)
+class TestBitIdentity:
+    def test_event_engine(self, name, cell):
+        job, system = _instance(cell)
+        runs = []
+        for telemetry in (None, NULL_TELEMETRY, Telemetry(events=EventStream())):
+            res = simulate(
+                job, system, make_scheduler(name),
+                rng=np.random.default_rng(1), telemetry=telemetry,
+            )
+            runs.append(_fingerprint(res))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_preemptive_engine(self, name, cell):
+        job, system = _instance(cell)
+        runs = []
+        for telemetry in (None, NULL_TELEMETRY, Telemetry(events=EventStream())):
+            res = simulate_preemptive(
+                job, system, make_scheduler(name),
+                rng=np.random.default_rng(1), telemetry=telemetry,
+            )
+            runs.append(_fingerprint(res))
+        assert runs[0] == runs[1] == runs[2]
+
+    def test_fault_engine(self, name, cell):
+        job, system = _instance(cell)
+        timeline = ExponentialFaults(mtbf=40.0, mttr=5.0).sample(
+            system, 400.0, np.random.default_rng(7)
+        )
+        runs = []
+        for telemetry in (None, NULL_TELEMETRY, Telemetry(events=EventStream())):
+            res = simulate_with_faults(
+                job, system, make_scheduler(name), timeline,
+                rng=np.random.default_rng(1), telemetry=telemetry,
+            )
+            runs.append((res.makespan, res.kills, res.wasted_work))
+        assert runs[0] == runs[1] == runs[2]
+
+
+class TestStreamBitIdentity:
+    def test_stream_engine(self):
+        from repro.multijob.arrival import poisson_stream
+        from repro.multijob.engine import simulate_stream
+        from repro.multijob.schedulers import GlobalKGreedy, GlobalMQB
+
+        _, resources = _instance("small-layered-ep", seed=5)
+        stream = poisson_stream(
+            WORKLOAD_CELLS["small-layered-ep"], 6, 5.0,
+            np.random.default_rng(5),
+        )
+        for policy in (GlobalMQB, GlobalKGreedy):
+            runs = []
+            for telemetry in (
+                None, NULL_TELEMETRY, Telemetry(events=EventStream())
+            ):
+                res = simulate_stream(
+                    stream, resources, policy(), telemetry=telemetry
+                )
+                runs.append(res.completion_times)
+            assert runs[0] == runs[1] == runs[2]
+
+
+class TestWallClock:
+    def test_disabled_telemetry_overhead_is_bounded(self):
+        job, system = _instance("small-layered-ep")
+
+        def run(telemetry):
+            t0 = time.perf_counter()
+            simulate(
+                job, system, make_scheduler("mqb"),
+                rng=np.random.default_rng(1), telemetry=telemetry,
+            )
+            return time.perf_counter() - t0
+
+        # Warm caches, then take the min over several repeats for both
+        # paths; the disabled path must stay within a generous factor
+        # (it is one attribute check away from the bare path, but CI
+        # boxes are noisy).
+        run(None)
+        bare = min(run(None) for _ in range(5))
+        disabled = min(run(NULL_TELEMETRY) for _ in range(5))
+        assert disabled <= bare * 3 + 0.01

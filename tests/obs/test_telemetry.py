@@ -1,0 +1,116 @@
+"""Unit tests for the Telemetry aggregates and snapshot merging."""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.obs.events import EventStream
+from repro.obs.telemetry import (
+    NULL_TELEMETRY,
+    NullTelemetry,
+    Telemetry,
+    TelemetrySnapshot,
+    merge_snapshots,
+)
+
+
+class TestCounters:
+    def test_inc_creates_and_accumulates(self):
+        t = Telemetry()
+        t.inc("a")
+        t.inc("a", 4)
+        t.inc("b", 2)
+        assert t.counters == {"a": 5, "b": 2}
+
+    def test_timer_context_manager(self):
+        t = Telemetry()
+        with t.timer("phase.x"):
+            pass
+        with t.timer("phase.x"):
+            pass
+        total, calls = t.timers["phase.x"]
+        assert calls == 2
+        assert total >= 0.0
+
+    def test_observe_tracks_count_sum_min_max(self):
+        t = Telemetry()
+        for v in (5.0, 1.0, 3.0):
+            t.observe("h", v)
+        assert t.histograms["h"] == [3, 9.0, 1.0, 5.0]
+
+    def test_emit_without_stream_is_noop(self):
+        t = Telemetry()
+        t.emit("slice", 1.0, task=0)  # must not raise
+
+    def test_emit_forwards_to_stream(self):
+        stream = EventStream()
+        t = Telemetry(events=stream)
+        t.emit("slice", 1.0, task=0)
+        assert len(stream) == 1
+
+
+class TestSnapshot:
+    def _sample(self) -> Telemetry:
+        t = Telemetry()
+        t.inc("c", 3)
+        t.add_time("phase.x", 0.5)
+        t.observe("h", 2.0)
+        return t
+
+    def test_snapshot_freezes_state(self):
+        t = self._sample()
+        snap = t.snapshot()
+        t.inc("c")
+        assert snap.counters["c"] == 3
+
+    def test_round_trips_through_dict(self):
+        snap = self._sample().snapshot()
+        again = TelemetrySnapshot.from_dict(snap.to_dict())
+        assert again == snap
+
+    def test_snapshot_is_picklable(self):
+        snap = self._sample().snapshot()
+        assert pickle.loads(pickle.dumps(snap)) == snap
+
+    def test_merge_sums_counters_and_timers(self):
+        a = self._sample().snapshot()
+        b = self._sample().snapshot()
+        merged = a.merge(b)
+        assert merged.counters["c"] == 6
+        assert merged.timers["phase.x"] == (1.0, 2)
+        assert merged.histograms["h"] == (2, 4.0, 2.0, 2.0)
+
+    def test_merge_is_associative_on_counters(self):
+        snaps = [self._sample().snapshot() for _ in range(3)]
+        left = snaps[0].merge(snaps[1]).merge(snaps[2])
+        right = snaps[0].merge(snaps[1].merge(snaps[2]))
+        assert left.counters == right.counters
+        assert merge_snapshots(snaps).counters == left.counters
+
+    def test_merge_empty_is_identity(self):
+        snap = self._sample().snapshot()
+        assert TelemetrySnapshot().merge(snap) == snap
+        assert snap.merge(TelemetrySnapshot()) == snap
+
+    def test_merge_snapshot_accepts_dict_form(self):
+        t = Telemetry()
+        t.merge_snapshot(self._sample().snapshot().to_dict())
+        t.merge_snapshot(self._sample().snapshot())
+        assert t.counters["c"] == 6
+        assert t.timers["phase.x"] == [1.0, 2]
+
+
+class TestNullTelemetry:
+    def test_disabled_flag(self):
+        assert NullTelemetry().enabled is False
+        assert NULL_TELEMETRY.enabled is False
+        assert Telemetry().enabled is True
+
+    def test_hooks_record_nothing(self):
+        t = NullTelemetry()
+        t.inc("c")
+        t.add_time("phase.x", 1.0)
+        t.observe("h", 1.0)
+        t.emit("slice", 0.0)
+        snap = t.snapshot()
+        assert snap.counters == {} and snap.timers == {} and snap.histograms == {}
