@@ -9,12 +9,17 @@ how much, and where the crossovers fall.
 
 from __future__ import annotations
 
+import os
 from pathlib import Path
 
 import pytest
 
-from repro.experiments.report import render_result
-from repro.experiments.store import save_result
+# Benchmarks measure fresh computation; never serve sweep results from
+# the user's persistent cache (export REPRO_CACHE=1 to opt in).
+os.environ.setdefault("REPRO_CACHE", "0")
+
+from repro.experiments.report import render_result  # noqa: E402
+from repro.experiments.store import save_result  # noqa: E402
 
 RESULTS_DIR = Path(__file__).resolve().parent.parent / "results" / "bench"
 

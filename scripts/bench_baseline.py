@@ -25,7 +25,9 @@ from __future__ import annotations
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 import timeit
 from pathlib import Path
@@ -67,6 +69,9 @@ def _best_of(fn, repeat: int = 5, number: int = 1) -> float:
 
 
 def measure() -> dict[str, float]:
+    # The engine/sweep timings below measure real computation; pin the
+    # result cache off so a warm user cache can't shortcut them.
+    os.environ["REPRO_CACHE"] = "0"
     job, system = sample_instance(
         WORKLOAD_CELLS["medium-layered-ir"], np.random.default_rng(42)
     )
@@ -107,6 +112,21 @@ def measure() -> dict[str, float]:
 
     after["fig4_ir_sweep_16_serial"] = min(sweep(1) for _ in range(2))
     after["fig4_ir_sweep_16_workers8"] = min(sweep(8) for _ in range(2))
+
+    # Result cache (src/repro/resultcache): the same sweep cold (every
+    # instance computed and persisted) vs warm (pure lookups, engines
+    # never run).  Uses a throwaway cache dir so the numbers are honest
+    # regardless of the host's cache state.
+    cache_root = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        os.environ["REPRO_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = cache_root
+        after["fig4_ir_sweep_16_cold_cache"] = sweep(1)
+        after["fig4_ir_sweep_16_warm_cache"] = min(sweep(1) for _ in range(3))
+    finally:
+        os.environ["REPRO_CACHE"] = "0"
+        os.environ.pop("REPRO_CACHE_DIR", None)
+        shutil.rmtree(cache_root, ignore_errors=True)
     return after
 
 
@@ -120,6 +140,11 @@ def main() -> int:
     speedups["fig4_ir_sweep_16_workers8_vs_seed_serial"] = round(
         BASELINE["fig4_ir_sweep_16_serial"] / after["fig4_ir_sweep_16_workers8"], 3
     )
+    speedups["fig4_ir_sweep_16_warm_vs_cold_cache"] = round(
+        after["fig4_ir_sweep_16_cold_cache"]
+        / after["fig4_ir_sweep_16_warm_cache"],
+        3,
+    )
     payload = {
         "description": (
             "Engine/offline-pass hot-path timings, seconds (min over "
@@ -127,7 +152,10 @@ def main() -> int:
             "tree. Sweep = run_comparison(medium-layered-ir, 6 paper "
             "algorithms, 16 instances, seed 2011). The _telemetry "
             "variant runs the same instance under an enabled Telemetry "
-            "(aggregates only, no event stream)."
+            "(aggregates only, no event stream). The _cold_cache / "
+            "_warm_cache pair times the same sweep against a fresh "
+            "result cache (first run computes+persists, second run is "
+            "pure lookups); their ratio is the warm_vs_cold speedup."
         ),
         "host": {
             "platform": platform.platform(),

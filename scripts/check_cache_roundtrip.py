@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""CI guard: a sweep cached twice must be all-hits and bit-identical.
+
+Runs a small paired-comparison sweep three times against a fresh cache
+directory:
+
+1. with the cache disabled — the ground truth,
+2. cold — computes every instance and persists it,
+3. warm — must be answered *entirely* from the cache.
+
+Asserts that (a) the warm run records exactly ``n_instances`` cache
+hits and zero misses/invalidations, (b) it never samples an instance
+(``sweep.instances`` stays absent — hits skip the engines entirely),
+and (c) all three :class:`SeriesStats` results compare ``==`` —
+float-for-float, not approximately.  Exercised serial and with a
+2-worker pool.
+
+Run from the repo root (CI sets a throwaway ``REPRO_CACHE_DIR``)::
+
+    PYTHONPATH=src REPRO_CACHE=1 REPRO_CACHE_DIR=/tmp/repro-ci-cache \
+        python scripts/check_cache_roundtrip.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+N_INSTANCES = 8
+SEED = 2026
+ALGORITHMS = ("kgreedy", "mqb", "lspan")
+
+
+def main() -> int:
+    if "REPRO_CACHE_DIR" not in os.environ:
+        os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-cache-")
+    os.environ["REPRO_CACHE"] = "1"
+
+    from repro.experiments.runner import run_comparison
+    from repro.obs.telemetry import Telemetry
+    from repro.workloads.generator import WORKLOAD_CELLS
+
+    spec = WORKLOAD_CELLS["small-layered-ep"]
+
+    os.environ["REPRO_CACHE"] = "0"
+    truth = run_comparison(spec, ALGORITHMS, N_INSTANCES, SEED)
+    os.environ["REPRO_CACHE"] = "1"
+
+    failures: list[str] = []
+
+    def check(label: str, condition: bool) -> None:
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    for workers in (1, 2):
+        print(f"workers={workers}:")
+        cold_t = Telemetry()
+        cold = run_comparison(
+            spec, ALGORITHMS, N_INSTANCES, SEED,
+            n_workers=workers, telemetry=cold_t,
+        )
+        warm_t = Telemetry()
+        warm = run_comparison(
+            spec, ALGORITHMS, N_INSTANCES, SEED,
+            n_workers=workers, telemetry=warm_t,
+        )
+        check("cold run bit-identical to cache-disabled run", cold == truth)
+        check("warm run bit-identical to cache-disabled run", warm == truth)
+        check(
+            f"warm run is all hits ({N_INSTANCES}/{N_INSTANCES})",
+            warm_t.counters.get("cache.hits") == N_INSTANCES,
+        )
+        check(
+            "warm run has no misses or invalidations",
+            "cache.misses" not in warm_t.counters
+            and "cache.invalidated" not in warm_t.counters,
+        )
+        check(
+            "warm run never sampled an instance",
+            "sweep.instances" not in warm_t.counters,
+        )
+        # Clear between worker counts so each pass is a true cold start.
+        if workers == 1:
+            from repro.resultcache.store import ResultStore
+
+            ResultStore().clear()
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\ncache round-trip ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -86,6 +86,12 @@ from repro.obs import (
     render_summary,
     write_chrome_trace,
 )
+from repro.resultcache import (
+    ENGINE_REV,
+    ResultStore,
+    cache_enabled,
+    open_store,
+)
 
 __version__ = "1.0.0"
 
@@ -143,4 +149,9 @@ __all__ = [
     "PhaseProfiler",
     "render_summary",
     "write_chrome_trace",
+    # resultcache
+    "ENGINE_REV",
+    "ResultStore",
+    "cache_enabled",
+    "open_store",
 ]

@@ -11,6 +11,7 @@ Usage::
     repro demo medium-layered-ir --scheduler mqb
     repro trace medium-layered-ir --scheduler mqb --out trace.json
     repro profile fig4 --instances 50
+    repro cache stats
 
 ``repro run`` prints the rendered tables and (with ``--out``) saves the
 raw JSON; ``repro report`` re-renders a saved result; ``repro demo``
@@ -23,6 +24,12 @@ Perfetto (https://ui.perfetto.dev) or ``chrome://tracing`` for a
 per-processor timeline — plus a text utilization summary.
 ``repro profile`` runs a whole experiment under the phase profiler and
 prints where the wall-clock time went.
+
+Sweeps memoize per-instance results in a persistent content-addressed
+cache (:mod:`repro.resultcache`): re-running a finished experiment is
+pure lookups, an interrupted one resumes where it stopped.  ``repro
+cache stats|clear|prune`` manages the store; ``--no-cache`` (or
+``REPRO_CACHE=0``) runs without it.
 """
 
 from __future__ import annotations
@@ -72,6 +79,14 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--out", default=None, help="directory for JSON results")
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress rendered tables"
+    )
+    run_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "recompute every instance instead of consulting the result "
+            "cache (equivalent to REPRO_CACHE=0)"
+        ),
     )
     run_p.add_argument(
         "--mtbf",
@@ -179,6 +194,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="full observability report (decision costs, counters), "
         "not just the timer table",
     )
+    prof_p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every instance (equivalent to REPRO_CACHE=0)",
+    )
+
+    from repro.resultcache.cli import add_cache_parser
+
+    add_cache_parser(sub)
     return parser
 
 
@@ -189,7 +213,17 @@ def _cmd_list() -> int:
     return 0
 
 
+def _apply_no_cache(args: argparse.Namespace) -> None:
+    """``--no-cache`` is sugar for REPRO_CACHE=0 (process-wide: worker
+    processes inherit the environment, so the whole sweep honours it)."""
+    if getattr(args, "no_cache", False):
+        import os
+
+        os.environ["REPRO_CACHE"] = "0"
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
+    _apply_no_cache(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
@@ -329,6 +363,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.profile import render_profile
     from repro.obs.telemetry import Telemetry
 
+    _apply_no_cache(args)
     telemetry = Telemetry()
     t0 = time.time()
     run_experiment(
@@ -360,6 +395,10 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_trace(args)
     if args.command == "profile":
         return _cmd_profile(args)
+    if args.command == "cache":
+        from repro.resultcache.cli import cmd_cache
+
+        return cmd_cache(args)
     return _cmd_report(args)
 
 

@@ -11,6 +11,15 @@ Result dict shapes (consumed by :mod:`repro.experiments.report`):
 * ``kind: "lines"`` — ``panels: [{name, label, x_label, x: [...],
   series: {key: [mean per x]}}]``
 * ``kind: "table"`` — ``columns: [...]``, ``rows: [[...], ...]``
+
+Every sweep-backed figure runs through :func:`run_comparison` (or the
+robustness runner) and therefore through the persistent result cache
+(:mod:`repro.resultcache`): re-running a figure with the same
+configuration is pure cache lookups, interrupting one loses at most
+the in-flight chunk, and a larger ``n_instances`` re-uses every
+instance the smaller run already computed (instance keys don't depend
+on the sweep size).  The theory experiments (``lemma1``, ``thm2``)
+are quick closed-form/Monte-Carlo loops and are not cached.
 """
 
 from __future__ import annotations

@@ -23,6 +23,15 @@ the ``REPRO_WORKERS`` environment variable (an integer, or ``auto``
 for the CPU count); otherwise serial.  The offline-info cache
 (:mod:`repro.core.cache`) is per process — each worker warms its own,
 which costs one pass per (job, quantity) per worker and nothing more.
+
+Because instance results are pure functions of ``(seed, i)`` and the
+sweep configuration, they are memoized persistently by
+:mod:`repro.resultcache`: the parent resolves every instance against
+the cache before building a pool, shards only the misses (as
+``segments`` of :func:`run_sharded_instances`), and persists each
+chunk's columns as it lands — a re-run of a finished sweep is pure
+lookups and an interrupted sweep resumes from its last completed
+chunk.  Set ``REPRO_CACHE=0`` to disable.
 """
 
 from __future__ import annotations
@@ -41,15 +50,26 @@ from repro.experiments.runner import (
     _stats_from_ratios,
 )
 from repro.obs.telemetry import Telemetry
+from repro.resultcache.integrate import open_sweep_cache, segments_of
+from repro.resultcache.keys import comparison_fingerprint
 from repro.schedulers.registry import make_scheduler
 from repro.workloads.params import WorkloadSpec
 
-__all__ = ["resolve_workers", "run_comparison_parallel", "run_sharded_instances"]
+__all__ = [
+    "resolve_workers",
+    "plan_chunks",
+    "run_comparison_parallel",
+    "run_sharded_instances",
+]
 
 #: Chunks per worker the instance range is split into (smaller chunks
 #: balance load across heterogeneous instance costs; larger chunks
 #: amortize per-task dispatch overhead).
 _CHUNKS_PER_WORKER = 4
+
+#: Writeback points a serial cached sweep is split into, so an
+#: interrupted serial run still resumes from a recent chunk.
+_SERIAL_WRITEBACK_CHUNKS = 8
 
 
 def resolve_workers(n_workers: int | None = None) -> int:
@@ -125,11 +145,41 @@ def _run_chunk(
     )
 
 
-def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
+def plan_chunks(
+    segments: Sequence[tuple[int, int]], chunk_size: int
+) -> list[tuple[int, int]]:
+    """Split instance segments into dispatchable ``(start, stop)`` chunks.
+
+    Every chunk covers at least one instance, so the plan can never
+    contain more chunks than there are remaining instances — the
+    invariant that keeps a mostly-cached sweep from building a pool
+    (or a chunk list) larger than its actual work.
+    """
     return [
-        (s, min(s + chunk_size, n_instances))
-        for s in range(0, n_instances, chunk_size)
+        (s, min(s + chunk_size, stop))
+        for start, stop in segments
+        for s in range(start, stop, chunk_size)
     ]
+
+
+def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
+    return plan_chunks([(0, n_instances)], chunk_size)
+
+
+def _check_segments(
+    segments: Sequence[tuple[int, int]], n_instances: int
+) -> list[tuple[int, int]]:
+    prev = 0
+    out = []
+    for start, stop in segments:
+        if not (prev <= start < stop <= n_instances):
+            raise ConfigurationError(
+                f"segments must be sorted, disjoint and within "
+                f"[0, {n_instances}), got {list(segments)}"
+            )
+        prev = stop
+        out.append((int(start), int(stop)))
+    return out
 
 
 def run_sharded_instances(
@@ -139,6 +189,9 @@ def run_sharded_instances(
     n_workers: int | None = None,
     chunk_size: int | None = None,
     collect_extras: bool = False,
+    segments: Sequence[tuple[int, int]] | None = None,
+    out: np.ndarray | None = None,
+    on_chunk: Callable[[int, np.ndarray], None] | None = None,
 ):
     """Shard ``worker`` over the instance range; assemble the result matrix.
 
@@ -151,6 +204,21 @@ def run_sharded_instances(
     matrix is bit-for-bit the serial one.  Both the paired-comparison
     sweep and the robustness sweep are built on this primitive.
 
+    ``segments`` restricts computation to sorted, disjoint
+    ``(start, stop)`` ranges — the cache-miss portion of a sweep;
+    columns outside them are taken from ``out``, which the caller must
+    then supply prefilled.  The default chunk size is derived from the
+    *remaining* (in-segment) instance count, and every chunk holds at
+    least one instance, so a mostly-cached sweep never plans more
+    chunks (or pool workers) than it has instances left to compute.
+
+    ``on_chunk(start, block)`` runs in the parent as each chunk's
+    result lands (completion order under a pool) — the persistence
+    hook that makes interrupted sweeps resumable.  When set, a serial
+    run is also split into chunks (``_SERIAL_WRITEBACK_CHUNKS`` by
+    default) instead of one monolithic call, bounding how much work an
+    interruption can lose.
+
     With ``collect_extras`` the worker must return ``(block, extra)``
     and the call returns ``(matrix, extras)`` where ``extras`` holds
     each chunk's ``extra`` ordered by chunk start index — a
@@ -161,21 +229,46 @@ def run_sharded_instances(
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
     if chunk_size is not None and chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    if segments is None:
+        segments = [(0, n_instances)]
+    else:
+        if out is None:
+            raise ConfigurationError(
+                "segments requires a prefilled `out` matrix for the "
+                "columns it skips"
+            )
+        segments = _check_segments(segments, n_instances)
     workers = resolve_workers(n_workers)
+    remaining = sum(stop - start for start, stop in segments)
 
-    out = np.empty((n_rows, n_instances), dtype=np.float64)
-    if workers == 1 or n_instances == 1:
-        result = worker(0, n_instances)
-        if collect_extras:
-            block, extra = result
-            out[:, :] = block
-            return out, [extra]
-        out[:, :] = result
-        return out
+    if out is None:
+        out = np.empty((n_rows, n_instances), dtype=np.float64)
+    if remaining == 0:
+        return (out, []) if collect_extras else out
+
+    if workers == 1 or remaining == 1:
+        size = chunk_size
+        if size is None:
+            if on_chunk is not None:
+                size = max(1, -(-remaining // _SERIAL_WRITEBACK_CHUNKS))
+            else:
+                size = max(stop - start for start, stop in segments)
+        extras: list[object] = []
+        for start, stop in plan_chunks(segments, size):
+            result = worker(start, stop)
+            if collect_extras:
+                block, extra = result
+                extras.append(extra)
+            else:
+                block = result
+            out[:, start:stop] = block
+            if on_chunk is not None:
+                on_chunk(start, block)
+        return (out, extras) if collect_extras else out
 
     if chunk_size is None:
-        chunk_size = max(1, -(-n_instances // (workers * _CHUNKS_PER_WORKER)))
-    bounds = _chunk_bounds(n_instances, chunk_size)
+        chunk_size = max(1, -(-remaining // (workers * _CHUNKS_PER_WORKER)))
+    bounds = plan_chunks(segments, chunk_size)
     workers = min(workers, len(bounds))
 
     extras_by_start: dict[int, object] = {}
@@ -194,6 +287,8 @@ def run_sharded_instances(
                 else:
                     block = result
                 out[:, start : start + block.shape[1]] = block
+                if on_chunk is not None:
+                    on_chunk(start, block)
     if collect_extras:
         return out, [extras_by_start[s] for s in sorted(extras_by_start)]
     return out
@@ -222,6 +317,12 @@ def run_comparison_parallel(
     merged into the caller's, in chunk order.  Counter totals are
     therefore identical for every worker count; timer totals reflect
     the actual wall clock spent, which naturally varies with chunking.
+
+    The result cache (:mod:`repro.resultcache`) is consulted before
+    any dispatch: cached instances are filled into the ratio matrix up
+    front and only the misses are sharded, so hits never occupy a pool
+    slot and an all-hit sweep never forks at all.  Each chunk's
+    columns are persisted as it completes.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -240,6 +341,19 @@ def run_comparison_parallel(
 
     algorithms = tuple(algorithms)
     profile = telemetry is not None and telemetry.enabled
+    cache = open_sweep_cache(
+        comparison_fingerprint(spec, algorithms, seed, preemptive, quantum),
+        len(algorithms),
+        telemetry=telemetry,
+    )
+    segments = out = on_chunk = None
+    if cache is not None:
+        out = np.empty((len(algorithms), n_instances), dtype=np.float64)
+        misses = cache.fill_hits(out)
+        if not misses:
+            return _stats_from_ratios(algorithms, out, preemptive)
+        segments = segments_of(misses)
+        on_chunk = cache.write_chunk
     result = run_sharded_instances(
         partial(_ratio_chunk, spec, algorithms, seed, preemptive, quantum, profile),
         len(algorithms),
@@ -247,6 +361,9 @@ def run_comparison_parallel(
         n_workers=workers,
         chunk_size=chunk_size,
         collect_extras=profile,
+        segments=segments,
+        out=out,
+        on_chunk=on_chunk,
     )
     if profile:
         ratios, snapshots = result

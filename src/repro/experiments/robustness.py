@@ -168,6 +168,13 @@ def run_robustness_comparison(
     every ``n_workers`` — with or without ``telemetry``, which profiles
     per chunk and merges snapshots as in
     :func:`repro.experiments.parallel.run_comparison_parallel`.
+
+    Per-instance metric columns are memoized by
+    :mod:`repro.resultcache` under the full sweep fingerprint (cell,
+    algorithms, rate grid, both seeds, repair/horizon factors,
+    recovery policy): only cache-miss instances are sharded to
+    workers, and completed chunks persist as they land, so an
+    interrupted robustness sweep resumes instead of starting over.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
@@ -180,34 +187,60 @@ def run_robustness_comparison(
         raise ConfigurationError(f"horizon_factor must be > 0, got {horizon_factor}")
 
     from repro.experiments.parallel import run_sharded_instances
+    from repro.resultcache.integrate import open_sweep_cache, segments_of
+    from repro.resultcache.keys import robustness_fingerprint
 
     algorithms = tuple(algorithms)
     rates = tuple(float(r) for r in rates)
+    effective_fault_seed = seed if fault_seed is None else fault_seed
+    n_rows = len(algorithms) * len(rates) * len(_METRICS)
     profile = telemetry is not None and telemetry.enabled
-    result = run_sharded_instances(
-        partial(
-            _robustness_chunk,
-            spec,
-            algorithms,
-            rates,
-            seed,
-            seed if fault_seed is None else fault_seed,
-            mttr_factor,
-            horizon_factor,
-            policy,
-            profile,
+    cache = open_sweep_cache(
+        robustness_fingerprint(
+            spec, algorithms, rates, seed, effective_fault_seed,
+            mttr_factor, horizon_factor, policy,
         ),
-        len(algorithms) * len(rates) * len(_METRICS),
-        n_instances,
-        n_workers=n_workers,
-        collect_extras=profile,
+        n_rows,
+        telemetry=telemetry,
     )
-    if profile:
-        matrix, snapshots = result
-        for snap in snapshots:
-            telemetry.merge_snapshot(snap)
-    else:
-        matrix = result
+    segments = out = on_chunk = None
+    matrix = None
+    if cache is not None:
+        out = np.empty((n_rows, n_instances), dtype=np.float64)
+        misses = cache.fill_hits(out)
+        if not misses:
+            matrix = out
+        else:
+            segments = segments_of(misses)
+            on_chunk = cache.write_chunk
+    if matrix is None:
+        result = run_sharded_instances(
+            partial(
+                _robustness_chunk,
+                spec,
+                algorithms,
+                rates,
+                seed,
+                effective_fault_seed,
+                mttr_factor,
+                horizon_factor,
+                policy,
+                profile,
+            ),
+            n_rows,
+            n_instances,
+            n_workers=n_workers,
+            collect_extras=profile,
+            segments=segments,
+            out=out,
+            on_chunk=on_chunk,
+        )
+        if profile:
+            matrix, snapshots = result
+            for snap in snapshots:
+                telemetry.merge_snapshot(snap)
+        else:
+            matrix = result
     means = matrix.mean(axis=1)
     out: dict[str, dict[str, list[float]]] = {m: {} for m in _METRICS}
     for a, name in enumerate(algorithms):

@@ -159,11 +159,21 @@ def run_comparison(
     (timer totals are wall-clock facts of the actual run).  Events are
     only collected in-process: a parallel sweep records aggregates,
     not per-event streams.
+
+    Instance results are memoized persistently by
+    :mod:`repro.resultcache` (disable with ``REPRO_CACHE=0``): the
+    serial loop consults the cache per instance and persists each
+    fresh result immediately, so a re-run is pure lookups and an
+    interrupted sweep resumes where it stopped.  Cached columns are
+    bit-identical to recomputed ones, so results — cached, fresh, or
+    mixed — are the same for every worker count and cache state.
     """
     if n_instances < 1:
         raise ConfigurationError(f"n_instances must be >= 1, got {n_instances}")
 
     from repro.experiments.parallel import resolve_workers, run_comparison_parallel
+    from repro.resultcache.integrate import open_sweep_cache
+    from repro.resultcache.keys import comparison_fingerprint
 
     if resolve_workers(n_workers) > 1 and n_instances > 1:
         return run_comparison_parallel(
@@ -177,11 +187,23 @@ def run_comparison(
             telemetry=telemetry,
         )
 
+    cache = open_sweep_cache(
+        comparison_fingerprint(spec, algorithms, seed, preemptive, quantum),
+        len(algorithms),
+        telemetry=telemetry,
+    )
     schedulers = [make_scheduler(name) for name in algorithms]
     ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
     for i in range(n_instances):
+        if cache is not None:
+            column = cache.lookup(i)
+            if column is not None:
+                ratios[:, i] = column
+                continue
         _instance_ratios(
             spec, schedulers, i, seed, preemptive, quantum, ratios[:, i],
             telemetry=telemetry,
         )
+        if cache is not None:
+            cache.write_instance(i, ratios[:, i])
     return _stats_from_ratios(algorithms, ratios, preemptive)

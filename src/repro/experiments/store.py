@@ -1,4 +1,11 @@
-"""JSON persistence for experiment results."""
+"""JSON persistence for experiment results.
+
+Writes are atomic: the document is serialized to a temp file in the
+destination directory and published with :func:`os.replace`
+(:func:`repro.resultcache.store.atomic_write_text`), so a crash or
+interrupt mid-write can never leave a truncated ``results/full/*.json``
+— readers see either the previous complete file or the new one.
+"""
 
 from __future__ import annotations
 
@@ -6,18 +13,19 @@ import json
 from pathlib import Path
 
 from repro.errors import ConfigurationError
+from repro.resultcache.store import atomic_write_text
 
 __all__ = ["save_result", "load_result"]
 
 
 def save_result(result: dict, directory: str | Path) -> Path:
-    """Write ``result`` to ``<directory>/<figure>.json``; returns the path."""
+    """Atomically write ``result`` to ``<directory>/<figure>.json``."""
     if "figure" not in result:
         raise ConfigurationError("result dict has no 'figure' key")
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
     path = directory / f"{result['figure']}.json"
-    path.write_text(json.dumps(result, indent=2, sort_keys=True))
+    atomic_write_text(path, json.dumps(result, indent=2, sort_keys=True))
     return path
 
 

@@ -22,7 +22,7 @@ from typing import Iterator
 
 from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 
-__all__ = ["PhaseProfiler", "render_profile"]
+__all__ = ["PhaseProfiler", "render_cache_line", "render_profile"]
 
 
 class PhaseProfiler:
@@ -50,14 +50,36 @@ class PhaseProfiler:
         return self.telemetry.snapshot()
 
 
+def render_cache_line(snapshot: TelemetrySnapshot) -> str | None:
+    """One-line result-cache summary, or ``None`` if no cache traffic.
+
+    Reads the ``cache.*`` counters :mod:`repro.resultcache` maintains
+    during sweeps — hits, misses (recomputed), invalidated (corrupt
+    record replaced) and writes — so ``repro profile`` shows how much
+    of a sweep was served from the persistent store.
+    """
+    hits = snapshot.counters.get("cache.hits", 0)
+    misses = snapshot.counters.get("cache.misses", 0)
+    invalid = snapshot.counters.get("cache.invalidated", 0)
+    lookups = hits + misses + invalid
+    if lookups == 0:
+        return None
+    return (
+        f"result cache: {hits}/{lookups} hits ({hits / lookups:.0%}), "
+        f"{misses} misses, {invalid} invalidated, "
+        f"{snapshot.counters.get('cache.writes', 0)} written"
+    )
+
+
 def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
     """Text table of all timers in ``snapshot``, sorted by total time."""
     rows = sorted(
         ((name, total, calls) for name, (total, calls) in snapshot.timers.items()),
         key=lambda row: -row[1],
     )
+    cache_line = render_cache_line(snapshot)
     if not rows:
-        return "(no timers recorded)"
+        return cache_line if cache_line else "(no timers recorded)"
     lines = [f"{'timer':<32s} {'calls':>10s} {'total':>12s} {'mean':>12s}"]
     for name, total, calls in rows[:top_n]:
         mean = total / max(1, calls)
@@ -68,4 +90,6 @@ def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
         lines.append(f"{name:<32s} {calls:>10d} {total_s:>12s} {mean_s:>12s}")
     if len(rows) > top_n:
         lines.append(f"... and {len(rows) - top_n} more timers")
+    if cache_line:
+        lines.append(cache_line)
     return "\n".join(lines)

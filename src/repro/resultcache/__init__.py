@@ -1,0 +1,64 @@
+"""Content-addressed cache of per-instance sweep results.
+
+Sweeps in this repo are perfectly memoizable: instance ``i`` of a
+comparison derives all of its randomness from ``SeedSequence([seed,
+i])``, so its result column is a pure function of the fingerprint
+(workload spec, algorithm list, seed, instance index, engine knobs,
+:data:`~repro.resultcache.keys.ENGINE_REV`, numpy major version).
+This package persists those columns under their SHA-256 content
+addresses and lets the experiment pipeline skip every computation it
+has already done — a finished sweep re-runs as pure lookups, an
+interrupted one resumes from its last persisted chunk, and only
+cache-miss instances are dispatched to worker processes.
+
+Modules:
+
+* :mod:`~repro.resultcache.keys` — fingerprints and ``ENGINE_REV``;
+* :mod:`~repro.resultcache.records` — the JSON record codec;
+* :mod:`~repro.resultcache.store` — atomic, lock-free file store;
+* :mod:`~repro.resultcache.integrate` — shims used by the runners;
+* :mod:`~repro.resultcache.stats` — ``repro cache stats`` aggregation;
+* :mod:`~repro.resultcache.cli` — the ``repro cache`` subcommand.
+"""
+
+from repro.resultcache.keys import (
+    ENGINE_REV,
+    comparison_fingerprint,
+    fingerprint_digest,
+    instance_key,
+    robustness_fingerprint,
+    workload_fingerprint,
+)
+from repro.resultcache.records import CacheRecordError, decode_record, encode_record
+from repro.resultcache.store import (
+    ResultStore,
+    atomic_write_text,
+    cache_enabled,
+    default_cache_dir,
+    open_store,
+)
+from repro.resultcache.integrate import SweepCache, open_sweep_cache, segments_of
+from repro.resultcache.stats import StoreStats, collect_stats, render_stats
+
+__all__ = [
+    "ENGINE_REV",
+    "comparison_fingerprint",
+    "robustness_fingerprint",
+    "workload_fingerprint",
+    "fingerprint_digest",
+    "instance_key",
+    "CacheRecordError",
+    "encode_record",
+    "decode_record",
+    "ResultStore",
+    "atomic_write_text",
+    "cache_enabled",
+    "default_cache_dir",
+    "open_store",
+    "SweepCache",
+    "open_sweep_cache",
+    "segments_of",
+    "StoreStats",
+    "collect_stats",
+    "render_stats",
+]

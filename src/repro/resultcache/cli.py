@@ -1,0 +1,55 @@
+"""``repro cache {stats,clear,prune}`` — manage the sweep result cache."""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.errors import ConfigurationError
+from repro.resultcache.keys import ENGINE_REV
+from repro.resultcache.stats import collect_stats, render_stats
+from repro.resultcache.store import ResultStore, default_cache_dir
+
+__all__ = ["add_cache_parser", "cmd_cache"]
+
+
+def add_cache_parser(sub: argparse._SubParsersAction) -> None:
+    """Attach the ``cache`` subcommand to the CLI's subparser tree."""
+    cache_p = sub.add_parser(
+        "cache", help="inspect or manage the sweep result cache"
+    )
+    cache_p.add_argument(
+        "action",
+        choices=("stats", "clear", "prune"),
+        help=(
+            "stats: what is stored; clear: delete every record; prune: "
+            f"delete records not from the current engine rev ({ENGINE_REV})"
+        ),
+    )
+    cache_p.add_argument(
+        "--dir",
+        default=None,
+        help=(
+            "cache directory (default: REPRO_CACHE_DIR, else "
+            f"{default_cache_dir()})"
+        ),
+    )
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Execute one cache management action."""
+    store = ResultStore(args.dir)
+    if args.action == "stats":
+        print(render_stats(collect_stats(store)))
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"removed {removed} cached result(s) from {store.root}")
+        return 0
+    if args.action == "prune":
+        removed = store.prune()
+        print(
+            f"pruned {removed} stale result(s) from {store.root} "
+            f"(kept engine rev {ENGINE_REV})"
+        )
+        return 0
+    raise ConfigurationError(f"unknown cache action {args.action!r}")

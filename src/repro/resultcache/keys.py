@@ -1,0 +1,148 @@
+"""Cache-key fingerprints for memoized sweep results.
+
+A cached instance result is only reusable if **everything** it depends
+on is part of its key.  The fingerprint of one instance of a sweep
+covers:
+
+* the workload cell — family, structure, system size, K, skew and the
+  full generator parameter set (``spec.effective_params``, so a spec
+  built with explicit default params and one built with ``params=None``
+  share entries: they sample identical instances);
+* the algorithm list, by registry name.  Registry names encode
+  scheduler parameters (``mqb[min]``, ``mqb+1step+exp``, ...), and the
+  *whole ordered list* is fingerprinted because instance randomness is
+  spawned positionally — scheduler ``a`` draws from child ``a + 1`` of
+  ``SeedSequence([seed, i])``, so the same scheduler in a different
+  slot of a different list sees a different generator;
+* the base seed and the instance index ``i``;
+* engine selection knobs — ``preemptive`` and (only when preemptive,
+  where it matters) the ``quantum``; robustness sweeps add their full
+  grid (rates, fault seed, repair/horizon factors, recovery policy);
+* :data:`ENGINE_REV`, the engine-semantics version.  **Bump it in any
+  PR that changes simulated results** — engine event ordering, workload
+  sampling, scheduler tie-breaking, seeding layout.  Old entries then
+  miss (and ``repro cache prune`` deletes them) instead of silently
+  serving results the current code would not produce;
+* the numpy major version, since generator bit streams are only
+  guaranteed stable within a major release.
+
+Keys are content addresses: the SHA-256 hex digest of the canonical
+JSON form (sorted keys, no whitespace) of the field dict.  Any field
+flip yields a different digest — asserted field-by-field in
+``tests/resultcache/test_keys.py``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Sequence
+
+import numpy as np
+
+from repro.workloads.params import WorkloadSpec
+
+__all__ = [
+    "ENGINE_REV",
+    "NUMPY_MAJOR",
+    "canonical_json",
+    "fingerprint_digest",
+    "workload_fingerprint",
+    "comparison_fingerprint",
+    "robustness_fingerprint",
+    "instance_key",
+]
+
+#: Version of the simulation semantics the cached results embody.
+#: Bump whenever a change alters any simulated number for a fixed
+#: (spec, algorithms, seed) — see the module docstring and DESIGN.md.
+ENGINE_REV = 1
+
+#: Generator streams are stable within a numpy major version only.
+NUMPY_MAJOR = int(np.__version__.split(".")[0])
+
+
+def canonical_json(fields: dict) -> str:
+    """Deterministic JSON form: sorted keys, compact separators."""
+    return json.dumps(fields, sort_keys=True, separators=(",", ":"))
+
+
+def fingerprint_digest(fields: dict) -> str:
+    """SHA-256 content address of a canonicalized field dict."""
+    return hashlib.sha256(canonical_json(fields).encode("utf-8")).hexdigest()
+
+
+def workload_fingerprint(spec: WorkloadSpec) -> dict:
+    """JSON-safe identity of one workload cell, defaults resolved."""
+    params = spec.effective_params
+    fields = {
+        k: list(v) if isinstance(v, tuple) else v
+        for k, v in dataclasses.asdict(params).items()
+    }
+    return {
+        "family": spec.family,
+        "structure": spec.structure,
+        "system": spec.system,
+        "num_types": int(spec.num_types),
+        "skew_factor": int(spec.skew_factor),
+        "params": {"class": type(params).__name__, **fields},
+    }
+
+
+def _base_fields(spec: WorkloadSpec, algorithms: Sequence[str], seed: int) -> dict:
+    return {
+        "engine_rev": ENGINE_REV,
+        "numpy_major": NUMPY_MAJOR,
+        "workload": workload_fingerprint(spec),
+        "algorithms": [str(a).strip().lower() for a in algorithms],
+        "seed": int(seed),
+    }
+
+
+def comparison_fingerprint(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    seed: int,
+    preemptive: bool = False,
+    quantum: float = 1.0,
+) -> dict:
+    """Sweep-level fields of a paired-comparison cache key.
+
+    ``quantum`` is normalized to ``None`` on the non-preemptive path,
+    where the engine never reads it — two non-preemptive runs with
+    different (ignored) quanta share cache entries.
+    """
+    return {
+        "kind": "comparison",
+        **_base_fields(spec, algorithms, seed),
+        "preemptive": bool(preemptive),
+        "quantum": float(quantum) if preemptive else None,
+    }
+
+
+def robustness_fingerprint(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    rates: Sequence[float],
+    seed: int,
+    fault_seed: int,
+    mttr_factor: float,
+    horizon_factor: float,
+    policy: str,
+) -> dict:
+    """Sweep-level fields of a robustness-sweep cache key."""
+    return {
+        "kind": "robustness",
+        **_base_fields(spec, algorithms, seed),
+        "rates": [float(r) for r in rates],
+        "fault_seed": int(fault_seed),
+        "mttr_factor": float(mttr_factor),
+        "horizon_factor": float(horizon_factor),
+        "policy": str(policy),
+    }
+
+
+def instance_key(base_fields: dict, instance: int) -> str:
+    """Content address of instance ``instance`` of the sweep."""
+    return fingerprint_digest({**base_fields, "instance": int(instance)})

@@ -1,0 +1,85 @@
+"""On-disk record format for cached instance results.
+
+One record holds one instance's result column — the per-algorithm
+completion-time ratios of a paired comparison, or the flattened
+``(algorithm x rate x metric)`` column of a robustness sweep — as a
+JSON document::
+
+    {"v": 1, "key": "<sha256>", "engine_rev": N,
+     "fields": {...full fingerprint...}, "values": [...]}
+
+Floats are serialized via :func:`json.dumps`, which emits ``repr``
+forms that round-trip ``float64`` exactly — a decoded record is
+bit-identical to what was computed (asserted by
+``tests/resultcache/test_store.py``).  ``fields`` stores the full
+fingerprint dict so ``repro cache stats``/``prune`` can classify
+entries without re-deriving keys, and so a record is self-describing
+when inspected by hand.
+
+Decoding is strict: wrong version, key mismatch, wrong value count or
+non-numeric values raise :class:`CacheRecordError`, which the store
+treats as a miss (recompute-and-overwrite), never a crash.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+__all__ = ["RECORD_VERSION", "CacheRecordError", "encode_record", "decode_record"]
+
+#: Record layout version; bump on incompatible format changes.
+RECORD_VERSION = 1
+
+
+class CacheRecordError(Exception):
+    """A cache record on disk is corrupt, stale, or mis-keyed."""
+
+
+def encode_record(key: str, fields: dict, values: np.ndarray) -> str:
+    """Serialize one instance's result column under its content key."""
+    return json.dumps(
+        {
+            "v": RECORD_VERSION,
+            "key": key,
+            "engine_rev": int(fields["engine_rev"]),
+            "fields": fields,
+            "values": [float(v) for v in np.asarray(values, dtype=np.float64)],
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def decode_record(text: str, key: str, n_rows: int) -> np.ndarray:
+    """Parse and validate a record; returns the ``(n_rows,)`` column.
+
+    Raises :class:`CacheRecordError` on any structural problem — the
+    caller falls back to recomputing the instance.
+    """
+    try:
+        doc = json.loads(text)
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise CacheRecordError(f"unparseable cache record: {exc}") from None
+    if not isinstance(doc, dict):
+        raise CacheRecordError("cache record is not a JSON object")
+    if doc.get("v") != RECORD_VERSION:
+        raise CacheRecordError(
+            f"record version {doc.get('v')!r} != {RECORD_VERSION}"
+        )
+    if doc.get("key") != key:
+        raise CacheRecordError("record key does not match its address")
+    values = doc.get("values")
+    if not isinstance(values, list) or len(values) != n_rows:
+        raise CacheRecordError(
+            f"expected {n_rows} values, got "
+            f"{len(values) if isinstance(values, list) else type(values).__name__}"
+        )
+    try:
+        column = np.asarray(values, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise CacheRecordError(f"non-numeric cache values: {exc}") from None
+    if column.shape != (n_rows,):
+        raise CacheRecordError(f"bad value shape {column.shape}")
+    return column

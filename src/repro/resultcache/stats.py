@@ -1,0 +1,65 @@
+"""Aggregate statistics over a result store (``repro cache stats``)."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.resultcache.keys import ENGINE_REV
+from repro.resultcache.store import ResultStore
+
+__all__ = ["StoreStats", "collect_stats", "render_stats"]
+
+
+@dataclass
+class StoreStats:
+    """What is currently on disk, bucketed the way prune sees it."""
+
+    root: str
+    records: int = 0
+    total_bytes: int = 0
+    current_rev: int = 0
+    by_engine_rev: dict[int, int] = field(default_factory=dict)
+    by_kind: dict[str, int] = field(default_factory=dict)
+    unreadable: int = 0
+
+    @property
+    def stale(self) -> int:
+        """Records a ``repro cache prune`` would delete."""
+        return self.records - self.by_engine_rev.get(ENGINE_REV, 0)
+
+
+def collect_stats(store: ResultStore) -> StoreStats:
+    """Scan the store once; classify every record."""
+    stats = StoreStats(root=str(store.root), current_rev=ENGINE_REV)
+    for path in store.iter_record_paths():
+        try:
+            size = path.stat().st_size
+            doc = json.loads(path.read_text(encoding="utf-8"))
+            rev = doc.get("engine_rev")
+            kind = doc.get("fields", {}).get("kind", "?")
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError, AttributeError):
+            stats.records += 1
+            stats.unreadable += 1
+            continue
+        stats.records += 1
+        stats.total_bytes += size
+        stats.by_engine_rev[rev] = stats.by_engine_rev.get(rev, 0) + 1
+        stats.by_kind[kind] = stats.by_kind.get(kind, 0) + 1
+    return stats
+
+
+def render_stats(stats: StoreStats) -> str:
+    """Human-readable ``repro cache stats`` output."""
+    lines = [
+        f"cache root:   {stats.root}",
+        f"engine rev:   {stats.current_rev}",
+        f"records:      {stats.records}"
+        + (f" ({stats.unreadable} unreadable)" if stats.unreadable else ""),
+        f"size:         {stats.total_bytes / 1024:.1f} KiB",
+    ]
+    for kind, count in sorted(stats.by_kind.items()):
+        lines.append(f"  {kind:<12s}{count}")
+    if stats.stale:
+        lines.append(f"stale:        {stats.stale} (run `repro cache prune`)")
+    return "\n".join(lines)

@@ -1,0 +1,196 @@
+"""Persistent content-addressed store for instance results.
+
+Layout (one file per instance record, fanned out by key prefix so no
+directory grows unbounded)::
+
+    <root>/v1/<key[:2]>/<key>.json
+
+Concurrency discipline:
+
+* **Writes are atomic** — each record is written to a uniquely named
+  temp file *in the destination directory* and published with
+  :func:`os.replace`, so a crash mid-write can never leave a truncated
+  record at a live address (:func:`atomic_write_text`, shared with
+  :mod:`repro.experiments.store`).
+* **Reads are lock-free** — a reader either sees a complete record or
+  no file at all; there is nothing to lock.  Concurrent writers of the
+  same key race benignly: results are deterministic functions of the
+  key, so every contender publishes identical bytes and last-replace
+  wins.
+* A record that fails validation (truncated by an older non-atomic
+  writer, hand-edited, version-skewed) is **deleted and reported as a
+  miss**, never an error: the sweep recomputes and overwrites it.
+
+Environment knobs:
+
+* ``REPRO_CACHE`` — ``0``/``false``/``off``/``no`` disables the cache
+  entirely (sweeps neither read nor write it); anything else, or
+  unset, enables it.
+* ``REPRO_CACHE_DIR`` — store root; defaults to
+  ``$XDG_CACHE_HOME/repro/results`` (``~/.cache/repro/results``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+from typing import Iterator
+
+from repro.resultcache.keys import ENGINE_REV
+from repro.resultcache.records import (
+    CacheRecordError,
+    decode_record,
+    encode_record,
+)
+
+__all__ = [
+    "STORE_FORMAT",
+    "atomic_write_text",
+    "cache_enabled",
+    "default_cache_dir",
+    "ResultStore",
+    "open_store",
+]
+
+#: On-disk layout version (directory name under the store root).
+STORE_FORMAT = "v1"
+
+_FALSY = {"0", "false", "off", "no"}
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` via tempfile + :func:`os.replace`.
+
+    The temp file lives in ``path``'s directory, so the final replace
+    is a same-filesystem rename — atomic on POSIX.  On any failure the
+    temp file is removed and the destination is left untouched.
+    """
+    path = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=f".{path.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def cache_enabled() -> bool:
+    """Whether sweeps should consult/populate the result cache."""
+    return os.environ.get("REPRO_CACHE", "").strip().lower() not in _FALSY
+
+
+def default_cache_dir() -> Path:
+    """``REPRO_CACHE_DIR``, else the XDG cache location."""
+    explicit = os.environ.get("REPRO_CACHE_DIR", "").strip()
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME", "").strip()
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro" / "results"
+
+
+class ResultStore:
+    """Content-addressed record store rooted at one directory."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    # -- addressing -----------------------------------------------------
+    def _dir(self) -> Path:
+        return self.root / STORE_FORMAT
+
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives (whether or not it exists)."""
+        return self._dir() / key[:2] / f"{key}.json"
+
+    # -- record I/O -----------------------------------------------------
+    def lookup(self, key: str, n_rows: int):
+        """``(column, status)`` — status in ``{"hit", "miss", "invalid"}``.
+
+        ``invalid`` means a file existed at the address but failed
+        validation; it is unlinked (best effort) so the recomputed
+        result can take its place.
+        """
+        path = self.path_for(key)
+        try:
+            text = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            return None, "miss"
+        except OSError:
+            return None, "miss"
+        try:
+            return decode_record(text, key, n_rows), "hit"
+        except CacheRecordError:
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None, "invalid"
+
+    def put(self, key: str, fields: dict, values) -> Path:
+        """Atomically publish one instance record; returns its path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        atomic_write_text(path, encode_record(key, fields, values))
+        return path
+
+    # -- maintenance ----------------------------------------------------
+    def iter_record_paths(self) -> Iterator[Path]:
+        """All record files currently in the store, any engine rev."""
+        base = self._dir()
+        if not base.is_dir():
+            return
+        for shard in sorted(base.iterdir()):
+            if shard.is_dir():
+                yield from sorted(shard.glob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in list(self.iter_record_paths()):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def prune(self, engine_rev: int = ENGINE_REV) -> int:
+        """Delete records not produced by ``engine_rev`` (or unreadable).
+
+        This is the cleanup half of the ``ENGINE_REV`` bump policy:
+        after a semantics bump, stale entries can never hit (the rev is
+        in every key) but still occupy disk until pruned.
+        """
+        import json
+
+        removed = 0
+        for path in list(self.iter_record_paths()):
+            stale = False
+            try:
+                doc = json.loads(path.read_text(encoding="utf-8"))
+                stale = not isinstance(doc, dict) or doc.get("engine_rev") != engine_rev
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+
+def open_store(root: str | Path | None = None) -> ResultStore | None:
+    """A :class:`ResultStore`, or ``None`` when caching is disabled."""
+    if not cache_enabled():
+        return None
+    return ResultStore(root)

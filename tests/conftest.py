@@ -2,10 +2,17 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
-from repro import KDag, KDagBuilder, ResourceConfig
+# Keep the suite hermetic: never read or write the user's persistent
+# sweep result cache (~/.cache/repro).  Cache tests opt back in with
+# monkeypatch.setenv("REPRO_CACHE", "1") plus a tmp_path REPRO_CACHE_DIR.
+os.environ.setdefault("REPRO_CACHE", "0")
+
+from repro import KDag, KDagBuilder, ResourceConfig  # noqa: E402
 
 
 @pytest.fixture

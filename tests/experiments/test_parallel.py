@@ -15,8 +15,10 @@ from repro.errors import ConfigurationError
 from repro.experiments.parallel import (
     _chunk_bounds,
     _run_chunk,
+    plan_chunks,
     resolve_workers,
     run_comparison_parallel,
+    run_sharded_instances,
 )
 from repro.experiments.runner import _stats_from_ratios, run_comparison
 from repro.workloads.params import EPParams, IRParams, WorkloadSpec
@@ -94,6 +96,67 @@ class TestChunkAssembly:
         bounds = _chunk_bounds(10, 3)
         assert bounds == [(0, 3), (3, 6), (6, 9), (9, 10)]
         assert _chunk_bounds(4, 100) == [(0, 4)]
+
+
+def _identity_block(start: int, stop: int) -> np.ndarray:
+    """1-row block whose entries are the instance indices themselves."""
+    return np.arange(start, stop, dtype=np.float64)[None, :]
+
+
+class TestChunkPlanning:
+    """Chunk counts must be clamped to the remaining instances."""
+
+    def test_never_more_chunks_than_instances(self):
+        # n_instances < n_workers: the plan (and hence the pool) must
+        # shrink to the work, not the worker count.
+        chunks = plan_chunks([(0, 3)], 1)
+        assert len(chunks) == 3
+        for workers in (8, 64):
+            size = max(1, -(-3 // (workers * 4)))
+            assert len(plan_chunks([(0, 3)], size)) <= 3
+
+    def test_segments_chunk_independently(self):
+        assert plan_chunks([(0, 2), (5, 9)], 3) == [(0, 2), (5, 8), (8, 9)]
+        assert plan_chunks([], 4) == []
+
+    def test_small_sweep_more_workers_than_instances(self):
+        # Regression (ISSUE 4): n_instances < n_workers must still
+        # assemble the exact serial matrix.
+        out = run_sharded_instances(_identity_block, 1, 3, n_workers=8)
+        assert out.tolist() == [[0.0, 1.0, 2.0]]
+        stats = run_comparison(TINY_EP, ["kgreedy"], 2, seed=44, n_workers=16)
+        assert stats == run_comparison(TINY_EP, ["kgreedy"], 2, seed=44, n_workers=1)
+
+    def test_segments_restrict_computation(self):
+        out = np.full((1, 6), -1.0)
+        result = run_sharded_instances(
+            _identity_block, 1, 6, n_workers=1,
+            segments=[(1, 3), (5, 6)], out=out,
+        )
+        assert result is out
+        assert out.tolist() == [[-1.0, 1.0, 2.0, -1.0, -1.0, 5.0]]
+
+    def test_segments_require_prefilled_out(self):
+        with pytest.raises(ConfigurationError):
+            run_sharded_instances(_identity_block, 1, 6, segments=[(0, 2)])
+
+    def test_bad_segments_rejected(self):
+        out = np.empty((1, 4))
+        for segments in ([(2, 1)], [(0, 2), (1, 3)], [(0, 9)]):
+            with pytest.raises(ConfigurationError):
+                run_sharded_instances(
+                    _identity_block, 1, 4, segments=segments, out=out
+                )
+
+    def test_on_chunk_sees_every_computed_block(self):
+        seen: dict[int, list[float]] = {}
+        run_sharded_instances(
+            _identity_block, 1, 7, n_workers=1, chunk_size=3,
+            on_chunk=lambda start, block: seen.__setitem__(
+                start, block[0].tolist()
+            ),
+        )
+        assert seen == {0: [0.0, 1.0, 2.0], 3: [3.0, 4.0, 5.0], 6: [6.0]}
 
 
 class TestResolveWorkers:

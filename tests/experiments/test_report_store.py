@@ -132,3 +132,18 @@ class TestStore:
     def test_creates_directory(self, tmp_path):
         save_result(TABLE, tmp_path / "deep" / "dir")
         assert (tmp_path / "deep" / "dir" / "figZ.json").exists()
+
+    def test_write_is_atomic_no_temp_residue(self, tmp_path):
+        save_result(BARS, tmp_path)
+        assert [p.name for p in tmp_path.iterdir()] == ["figX.json"]
+
+    def test_failed_write_preserves_previous_result(self, tmp_path):
+        # A crash mid-serialization must leave the old file intact —
+        # the tempfile + os.replace discipline, not truncate-in-place.
+        save_result(BARS, tmp_path)
+        before = (tmp_path / "figX.json").read_text()
+        poisoned = {**BARS, "panels": [object()]}  # not JSON-serializable
+        with pytest.raises(TypeError):
+            save_result(poisoned, tmp_path)
+        assert (tmp_path / "figX.json").read_text() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["figX.json"]

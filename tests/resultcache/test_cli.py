@@ -1,0 +1,86 @@
+"""The ``repro cache`` subcommand and the ``--no-cache`` escape hatch."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.resultcache.keys import ENGINE_REV
+from repro.resultcache.store import ResultStore
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    return root
+
+
+def populate(cache_dir) -> ResultStore:
+    store = ResultStore(cache_dir)
+    store.put("a" * 64, {"engine_rev": ENGINE_REV, "kind": "comparison"}, np.ones(2))
+    store.put("b" * 64, {"engine_rev": ENGINE_REV - 1, "kind": "comparison"}, np.ones(2))
+    return store
+
+
+class TestParser:
+    def test_cache_actions_parse(self):
+        parser = build_parser()
+        for action in ("stats", "clear", "prune"):
+            args = parser.parse_args(["cache", action])
+            assert args.command == "cache" and args.action == action
+
+    def test_rejects_unknown_action(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "defrag"])
+
+    def test_no_cache_flags(self):
+        assert build_parser().parse_args(
+            ["run", "fig4", "--no-cache"]
+        ).no_cache
+        assert build_parser().parse_args(
+            ["profile", "fig4", "--no-cache"]
+        ).no_cache
+
+
+class TestActions:
+    def test_stats_reports_store_contents(self, cache_dir, capsys):
+        populate(cache_dir)
+        assert main(["cache", "stats"]) == 0
+        out = capsys.readouterr().out
+        assert str(cache_dir) in out
+        assert "records:      2" in out
+        assert "stale:        1" in out
+
+    def test_clear_empties_store(self, cache_dir, capsys):
+        store = populate(cache_dir)
+        assert main(["cache", "clear"]) == 0
+        assert "removed 2" in capsys.readouterr().out
+        assert list(store.iter_record_paths()) == []
+
+    def test_prune_keeps_current_rev(self, cache_dir, capsys):
+        store = populate(cache_dir)
+        assert main(["cache", "prune"]) == 0
+        assert "pruned 1" in capsys.readouterr().out
+        remaining = list(store.iter_record_paths())
+        assert len(remaining) == 1 and remaining[0].name.startswith("a")
+
+    def test_dir_override_beats_env(self, cache_dir, tmp_path, capsys):
+        populate(cache_dir)
+        other = tmp_path / "elsewhere"
+        assert main(["cache", "stats", "--dir", str(other)]) == 0
+        assert "records:      0" in capsys.readouterr().out
+
+
+class TestNoCacheFlag:
+    def test_run_no_cache_writes_nothing(self, cache_dir, capsys):
+        assert main(
+            ["run", "fig6", "--instances", "1", "--quiet", "--no-cache"]
+        ) == 0
+        assert list(ResultStore(cache_dir).iter_record_paths()) == []
+
+    def test_run_populates_cache_by_default(self, cache_dir, capsys):
+        assert main(["run", "fig6", "--instances", "1", "--quiet"]) == 0
+        assert len(list(ResultStore(cache_dir).iter_record_paths())) == 2

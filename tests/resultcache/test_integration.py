@@ -1,0 +1,208 @@
+"""Cache integration with the sweep runners.
+
+The correctness bar (ISSUE 4): cached and freshly-computed sweep
+outputs must be **bit-identical** for serial and multiple worker
+counts, and any fingerprint change must miss.  Equality below is
+``==`` on :class:`SeriesStats` floats — never ``approx``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.experiments.parallel as parallel_mod
+from repro.experiments.runner import run_comparison
+from repro.experiments.robustness import run_robustness_comparison
+from repro.obs.telemetry import Telemetry
+from repro.resultcache.integrate import open_sweep_cache
+from repro.resultcache.keys import comparison_fingerprint
+from repro.resultcache.store import ResultStore
+from repro.workloads.params import EPParams, IRParams, WorkloadSpec
+
+TINY_EP = WorkloadSpec(
+    "ep", "layered", "small",
+    params=EPParams(branches_range=(3, 5), chain_length_range=(8, 12)),
+)
+TINY_IR = WorkloadSpec(
+    "ir", "random", "small",
+    params=IRParams(
+        iterations_range=(2, 3), maps_range=(4, 8),
+        reduces_range=(2, 3), fanin_range=(1, 2),
+    ),
+)
+ALGS = ["kgreedy", "mqb", "lspan"]
+N = 10
+SEED = 411
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    """Enable the cache, rooted in a fresh per-test directory."""
+    root = tmp_path / "cache"
+    monkeypatch.setenv("REPRO_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(root))
+    return root
+
+
+def uncached_baseline(monkeypatch, **kwargs):
+    monkeypatch.setenv("REPRO_CACHE", "0")
+    try:
+        return run_comparison(TINY_EP, ALGS, N, SEED, **kwargs)
+    finally:
+        monkeypatch.setenv("REPRO_CACHE", "1")
+
+
+class TestBitIdentity:
+    def test_cached_equals_uncached_serial_and_parallel(
+        self, cache_dir, monkeypatch
+    ):
+        baseline = uncached_baseline(monkeypatch)
+        # Cold (computes + persists) and warm (pure lookups), serial.
+        assert run_comparison(TINY_EP, ALGS, N, SEED) == baseline
+        assert run_comparison(TINY_EP, ALGS, N, SEED) == baseline
+        # Warm under two different worker counts.
+        assert run_comparison(TINY_EP, ALGS, N, SEED, n_workers=2) == baseline
+        assert run_comparison(TINY_EP, ALGS, N, SEED, n_workers=4) == baseline
+
+    def test_parallel_cold_then_warm_matches_uncached(
+        self, cache_dir, monkeypatch
+    ):
+        baseline = uncached_baseline(monkeypatch)
+        assert run_comparison(TINY_EP, ALGS, N, SEED, n_workers=3) == baseline
+        assert run_comparison(TINY_EP, ALGS, N, SEED, n_workers=1) == baseline
+
+    def test_preemptive_round_trip(self, cache_dir, monkeypatch):
+        baseline = uncached_baseline(monkeypatch, preemptive=True)
+        assert run_comparison(TINY_EP, ALGS, N, SEED, preemptive=True) == baseline
+        assert run_comparison(TINY_EP, ALGS, N, SEED, preemptive=True) == baseline
+        # Preemptive and non-preemptive sweeps never share entries.
+        assert run_comparison(TINY_EP, ALGS, N, SEED) != baseline
+
+
+class TestCounters:
+    def test_cold_all_misses_then_warm_all_hits(self, cache_dir):
+        cold = Telemetry()
+        run_comparison(TINY_EP, ALGS, N, SEED, telemetry=cold)
+        assert cold.counters["cache.misses"] == N
+        assert cold.counters["cache.writes"] == N
+        assert "cache.hits" not in cold.counters
+
+        warm = Telemetry()
+        run_comparison(TINY_EP, ALGS, N, SEED, telemetry=warm)
+        assert warm.counters["cache.hits"] == N
+        assert "cache.misses" not in warm.counters
+        # Hits skip the engines entirely: no instances were sampled.
+        assert "sweep.instances" not in warm.counters
+
+    def test_warm_parallel_counts_hits_in_parent(self, cache_dir):
+        run_comparison(TINY_EP, ALGS, N, SEED)
+        warm = Telemetry()
+        run_comparison(TINY_EP, ALGS, N, SEED, n_workers=2, telemetry=warm)
+        assert warm.counters["cache.hits"] == N
+
+
+class TestResume:
+    def _delete_instances(self, indices):
+        store = ResultStore()
+        cache = open_sweep_cache(
+            comparison_fingerprint(TINY_EP, tuple(ALGS), SEED, False, 1.0),
+            len(ALGS),
+        )
+        for i in indices:
+            store.path_for(cache.key_for(i)).unlink()
+
+    @pytest.mark.parametrize("workers", [1, 2], ids=["serial", "pool"])
+    def test_partial_cache_computes_only_the_holes(
+        self, cache_dir, monkeypatch, workers
+    ):
+        baseline = uncached_baseline(monkeypatch)
+        run_comparison(TINY_EP, ALGS, N, SEED)
+        # Simulate an interrupted sweep: drop instances 3..5 and 8.
+        self._delete_instances([3, 4, 5, 8])
+        resumed = Telemetry()
+        assert (
+            run_comparison(TINY_EP, ALGS, N, SEED, n_workers=workers,
+                           telemetry=resumed)
+            == baseline
+        )
+        assert resumed.counters["cache.hits"] == N - 4
+        assert resumed.counters["cache.misses"] == 4
+        # The holes were re-persisted: next run is all hits.
+        warm = Telemetry()
+        run_comparison(TINY_EP, ALGS, N, SEED, telemetry=warm)
+        assert warm.counters["cache.hits"] == N
+
+    def test_growing_a_sweep_reuses_its_prefix(self, cache_dir):
+        run_comparison(TINY_EP, ALGS, N, SEED)
+        grown = Telemetry()
+        run_comparison(TINY_EP, ALGS, N + 5, SEED, telemetry=grown)
+        assert grown.counters["cache.hits"] == N
+        assert grown.counters["cache.misses"] == 5
+
+
+class TestHitsNeverForkWorkers:
+    def test_all_hit_parallel_sweep_builds_no_pool(
+        self, cache_dir, monkeypatch
+    ):
+        run_comparison(TINY_EP, ALGS, N, SEED)
+
+        def forbidden(*args, **kwargs):
+            raise AssertionError("pool built for an all-hit sweep")
+
+        monkeypatch.setattr(parallel_mod, "ProcessPoolExecutor", forbidden)
+        warm = run_comparison(TINY_EP, ALGS, N, SEED, n_workers=4)
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        assert warm == run_comparison(TINY_EP, ALGS, N, SEED, n_workers=1)
+
+
+class TestCorruptionRecovery:
+    def test_corrupt_record_recomputes_instead_of_crashing(
+        self, cache_dir, monkeypatch
+    ):
+        baseline = uncached_baseline(monkeypatch)
+        run_comparison(TINY_EP, ALGS, N, SEED)
+        cache = open_sweep_cache(
+            comparison_fingerprint(TINY_EP, tuple(ALGS), SEED, False, 1.0),
+            len(ALGS),
+        )
+        path = ResultStore().path_for(cache.key_for(2))
+        path.write_text(path.read_text()[: len(path.read_text()) // 2])
+
+        telemetry = Telemetry()
+        assert run_comparison(TINY_EP, ALGS, N, SEED, telemetry=telemetry) == baseline
+        assert telemetry.counters["cache.invalidated"] == 1
+        assert telemetry.counters["cache.hits"] == N - 1
+
+
+class TestRobustnessIntegration:
+    RATES = (0.0, 0.5)
+
+    def _run(self, **kwargs):
+        return run_robustness_comparison(
+            TINY_IR, ("kgreedy", "mqb"), self.RATES, 6, seed=5, **kwargs
+        )
+
+    def test_cached_equals_uncached_all_worker_counts(
+        self, cache_dir, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_CACHE", "0")
+        baseline = self._run()
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert self._run() == baseline                    # cold
+        assert self._run() == baseline                    # warm serial
+        assert self._run(n_workers=2) == baseline         # warm pool
+        assert self._run(n_workers=3) == baseline
+
+    def test_warm_robustness_is_all_hits(self, cache_dir):
+        self._run()
+        warm = Telemetry()
+        self._run(telemetry=warm)
+        assert warm.counters["cache.hits"] == 6
+        assert "cache.misses" not in warm.counters
+
+    def test_fault_seed_flip_misses(self, cache_dir):
+        self._run()
+        relabeled = Telemetry()
+        self._run(fault_seed=99, telemetry=relabeled)
+        assert relabeled.counters["cache.misses"] == 6

@@ -1,0 +1,137 @@
+"""Fingerprint invalidation: every dependency flip must change the key.
+
+The cache is only sound if the key covers everything an instance
+result depends on.  Each test below flips exactly one field of the
+fingerprint and asserts the instance key changes — a stale hit after
+any of these changes would silently serve wrong results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.resultcache.keys as keys
+from repro.resultcache.keys import (
+    comparison_fingerprint,
+    instance_key,
+    robustness_fingerprint,
+    workload_fingerprint,
+)
+from repro.workloads.params import EPParams, WorkloadSpec
+
+SPEC = WorkloadSpec(
+    "ep", "layered", "small",
+    params=EPParams(branches_range=(3, 5), chain_length_range=(8, 12)),
+)
+ALGS = ("kgreedy", "mqb")
+
+
+def base_key(**overrides) -> str:
+    fields = dict(
+        spec=SPEC, algorithms=ALGS, seed=7, preemptive=False, quantum=1.0
+    )
+    fields.update(overrides)
+    instance = fields.pop("instance", 0)
+    return instance_key(comparison_fingerprint(**fields), instance)
+
+
+class TestComparisonKeyInvalidation:
+    def test_stable_for_identical_inputs(self):
+        assert base_key() == base_key()
+
+    def test_workload_param_flip_misses(self):
+        changed = WorkloadSpec(
+            "ep", "layered", "small",
+            params=EPParams(branches_range=(3, 6), chain_length_range=(8, 12)),
+        )
+        assert base_key(spec=changed) != base_key()
+
+    @pytest.mark.parametrize(
+        "changed",
+        [
+            WorkloadSpec("ep", "random", "small", params=SPEC.params),
+            WorkloadSpec("ep", "layered", "medium", params=SPEC.params),
+            SPEC.with_num_types(3),
+            SPEC.with_skew(5),
+        ],
+        ids=["structure", "system", "num_types", "skew"],
+    )
+    def test_cell_shape_flip_misses(self, changed):
+        assert base_key(spec=changed) != base_key()
+
+    def test_scheduler_param_flip_misses(self):
+        # Registry names encode scheduler parameters: the [min]
+        # balance-metric ablation is a different algorithm.
+        assert base_key(algorithms=("kgreedy", "mqb[min]")) != base_key()
+
+    def test_scheduler_order_flip_misses(self):
+        # Position matters: scheduler a draws from spawn child a+1.
+        assert base_key(algorithms=("mqb", "kgreedy")) != base_key()
+
+    def test_seed_flip_misses(self):
+        assert base_key(seed=8) != base_key()
+
+    def test_instance_index_flip_misses(self):
+        assert base_key(instance=1) != base_key()
+
+    def test_preemptive_flip_misses(self):
+        assert base_key(preemptive=True) != base_key()
+
+    def test_quantum_flip_misses_only_when_preemptive(self):
+        assert base_key(preemptive=True, quantum=0.5) != base_key(
+            preemptive=True, quantum=1.0
+        )
+        # The non-preemptive engine never reads the quantum.
+        assert base_key(quantum=0.5) == base_key(quantum=1.0)
+
+    def test_engine_rev_flip_misses(self, monkeypatch):
+        before = base_key()
+        monkeypatch.setattr(keys, "ENGINE_REV", keys.ENGINE_REV + 1)
+        assert base_key() != before
+
+    def test_numpy_major_flip_misses(self, monkeypatch):
+        before = base_key()
+        monkeypatch.setattr(keys, "NUMPY_MAJOR", keys.NUMPY_MAJOR + 1)
+        assert base_key() != before
+
+
+class TestDefaultsResolution:
+    def test_none_params_equals_explicit_defaults(self):
+        # Both sample identical instances, so they must share entries.
+        implicit = WorkloadSpec("ep", "layered", "small")
+        explicit = WorkloadSpec("ep", "layered", "small", params=EPParams())
+        assert workload_fingerprint(implicit) == workload_fingerprint(explicit)
+
+
+class TestRobustnessKeyInvalidation:
+    def rb_key(self, **overrides) -> str:
+        fields = dict(
+            spec=SPEC, algorithms=ALGS, rates=(0.0, 0.5), seed=7,
+            fault_seed=7, mttr_factor=0.25, horizon_factor=12.0,
+            policy="restart",
+        )
+        fields.update(overrides)
+        instance = fields.pop("instance", 0)
+        return instance_key(robustness_fingerprint(**fields), instance)
+
+    def test_stable(self):
+        assert self.rb_key() == self.rb_key()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"rates": (0.0, 1.0)},
+            {"fault_seed": 8},
+            {"mttr_factor": 0.5},
+            {"horizon_factor": 6.0},
+            {"policy": "checkpoint"},
+            {"instance": 3},
+        ],
+        ids=["rates", "fault_seed", "mttr", "horizon", "policy", "instance"],
+    )
+    def test_field_flip_misses(self, override):
+        assert self.rb_key(**override) != self.rb_key()
+
+    def test_kind_separates_comparison_and_robustness(self):
+        # Same cell/algorithms/seed, different sweep kind: never shared.
+        assert self.rb_key() != base_key()

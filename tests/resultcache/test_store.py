@@ -1,0 +1,160 @@
+"""Store backend: exact round-trips, atomicity, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.resultcache.keys import ENGINE_REV, fingerprint_digest
+from repro.resultcache.records import CacheRecordError, decode_record, encode_record
+from repro.resultcache.store import (
+    ResultStore,
+    atomic_write_text,
+    cache_enabled,
+    default_cache_dir,
+    open_store,
+)
+from repro.resultcache.stats import collect_stats
+
+
+FIELDS = {"engine_rev": ENGINE_REV, "kind": "comparison", "instance": 0}
+
+
+def a_key(i: int = 0) -> str:
+    return fingerprint_digest({"test": i})
+
+
+@pytest.fixture
+def store(tmp_path) -> ResultStore:
+    return ResultStore(tmp_path / "cache")
+
+
+class TestRoundTrip:
+    def test_bit_exact_floats(self, store):
+        # Adversarial float64s: json repr must round-trip every bit.
+        values = np.array(
+            [1.0 / 3.0, 1e-308, 1.7976931348623157e308, np.pi, -0.0, 5e-324]
+        )
+        store.put(a_key(), FIELDS, values)
+        column, status = store.lookup(a_key(), len(values))
+        assert status == "hit"
+        assert column.dtype == np.float64
+        assert all(
+            a == b and np.signbit(a) == np.signbit(b)
+            for a, b in zip(column, values)
+        )
+
+    def test_missing_is_miss(self, store):
+        column, status = store.lookup(a_key(99), 3)
+        assert column is None and status == "miss"
+
+    def test_record_is_self_describing(self, store):
+        store.put(a_key(), FIELDS, np.ones(2))
+        doc = json.loads(store.path_for(a_key()).read_text())
+        assert doc["engine_rev"] == ENGINE_REV
+        assert doc["fields"]["kind"] == "comparison"
+
+
+class TestCorruption:
+    def test_truncated_record_is_invalid_and_removed(self, store):
+        store.put(a_key(), FIELDS, np.ones(4))
+        path = store.path_for(a_key())
+        path.write_text(path.read_text()[:20])
+        column, status = store.lookup(a_key(), 4)
+        assert column is None and status == "invalid"
+        assert not path.exists(), "corrupt record should be unlinked"
+        # Subsequent lookups are clean misses.
+        assert store.lookup(a_key(), 4) == (None, "miss")
+
+    def test_wrong_row_count_is_invalid(self, store):
+        store.put(a_key(), FIELDS, np.ones(4))
+        assert store.lookup(a_key(), 5) == (None, "invalid")
+
+    def test_key_mismatch_is_invalid(self, store):
+        # A record copied to the wrong address must not be served.
+        store.put(a_key(0), FIELDS, np.ones(2))
+        other = a_key(1)
+        target = store.path_for(other)
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(store.path_for(a_key(0)).read_text())
+        assert store.lookup(other, 2) == (None, "invalid")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(CacheRecordError):
+            decode_record("[1, 2]", "k", 2)
+        with pytest.raises(CacheRecordError):
+            decode_record(
+                encode_record("k", FIELDS, np.ones(2)).replace('"v":1', '"v":99'),
+                "k",
+                2,
+            )
+
+
+class TestAtomicWrite:
+    def test_no_temp_residue(self, store, tmp_path):
+        store.put(a_key(), FIELDS, np.ones(2))
+        leftovers = [
+            p for p in (tmp_path / "cache").rglob("*") if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+    def test_failure_preserves_previous_content(self, tmp_path):
+        # A crash mid-write (here: a non-str payload failing inside the
+        # file write) must leave the published file untouched and no
+        # temp residue behind.
+        target = tmp_path / "doc.json"
+        target.write_text("previous")
+        with pytest.raises(TypeError):
+            atomic_write_text(target, 12345)  # type: ignore[arg-type]
+        assert target.read_text() == "previous"
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert list(tmp_path.glob(".doc.json.*")) == []
+
+
+class TestMaintenance:
+    def test_clear_removes_everything(self, store):
+        for i in range(3):
+            store.put(a_key(i), FIELDS, np.ones(2))
+        assert store.clear() == 3
+        assert list(store.iter_record_paths()) == []
+
+    def test_prune_drops_stale_and_unreadable_only(self, store):
+        store.put(a_key(0), FIELDS, np.ones(2))
+        store.put(a_key(1), {**FIELDS, "engine_rev": ENGINE_REV + 1}, np.ones(2))
+        garbled = store.path_for(a_key(2))
+        garbled.parent.mkdir(parents=True, exist_ok=True)
+        garbled.write_text("{not json")
+        assert store.prune() == 2
+        assert store.lookup(a_key(0), 2)[1] == "hit"
+
+    def test_stats_buckets(self, store):
+        store.put(a_key(0), FIELDS, np.ones(2))
+        store.put(a_key(1), {**FIELDS, "engine_rev": ENGINE_REV + 1}, np.ones(2))
+        stats = collect_stats(store)
+        assert stats.records == 2
+        assert stats.by_engine_rev == {ENGINE_REV: 1, ENGINE_REV + 1: 1}
+        assert stats.stale == 1
+        assert stats.total_bytes > 0
+
+
+class TestEnvironment:
+    def test_disabled_by_falsy_env(self, monkeypatch):
+        for value in ("0", "false", "OFF", "no"):
+            monkeypatch.setenv("REPRO_CACHE", value)
+            assert not cache_enabled()
+            assert open_store() is None
+
+    def test_enabled_by_default_and_truthy(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CACHE", raising=False)
+        assert cache_enabled()
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        assert cache_enabled()
+
+    def test_cache_dir_env_wins(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "here"))
+        assert default_cache_dir() == tmp_path / "here"
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+        monkeypatch.setenv("XDG_CACHE_HOME", str(tmp_path / "xdg"))
+        assert default_cache_dir() == tmp_path / "xdg" / "repro" / "results"
