@@ -1,0 +1,261 @@
+#!/usr/bin/env python
+"""Open-loop Poisson load generator for the scheduling daemon.
+
+Offers requests to a running (or ``--spawn``-ed) daemon at fixed rates
+and records what actually happened: per-request status and latency,
+throughput, and p50/p95/p99 latency per offered-load level, written to
+``BENCH_service.json``.
+
+**Open-loop** means arrivals are scheduled by a Poisson process and
+never wait for earlier responses — the generator keeps offering load
+when the daemon slows down, which is exactly the regime where admission
+control earns its keep: the run asserts that under overload every
+excess request gets a structured 429 (none hang, none are silently
+dropped).
+
+Run from the repo root::
+
+    PYTHONPATH=src python scripts/loadgen.py --spawn
+    PYTHONPATH=src python scripts/loadgen.py --url http://127.0.0.1:8512
+
+``--spawn`` launches ``repro serve`` on a free port with a server-side
+rate limit chosen *below* the top offered rate, so the overload level
+deterministically produces rejections regardless of host speed, and
+asserts the daemon exits 0 on SIGTERM after the run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.service.client import ServiceClient, ServiceResponse  # noqa: E402
+from repro.service.testing import free_port, spawn_service  # noqa: E402
+
+OUT_PATH = REPO_ROOT / "BENCH_service.json"
+
+CELL = "small-layered-ep"
+
+
+def percentile(latencies: list[float], q: float) -> float:
+    return float(np.percentile(np.asarray(latencies), q)) if latencies else 0.0
+
+
+def run_level(
+    client: ServiceClient,
+    rate: float,
+    duration: float,
+    seed: int,
+    distinct_seeds: int,
+) -> dict:
+    """Offer ``rate`` req/s for ``duration`` seconds; return the record.
+
+    Request seeds cycle over ``distinct_seeds`` values so the level
+    measures a realistic mix of fresh computation and warm cache hits
+    rather than hammering one fingerprint.
+    """
+    rng = np.random.default_rng(seed)
+    # Pre-draw the whole Poisson arrival schedule (open loop: the plan
+    # does not depend on responses).
+    gaps = rng.exponential(1.0 / rate, size=max(1, int(rate * duration * 2)))
+    arrivals = np.cumsum(gaps)
+    arrivals = arrivals[arrivals < duration]
+
+    responses: list[ServiceResponse | None] = [None] * len(arrivals)
+    threads: list[threading.Thread] = []
+
+    def fire(index: int) -> None:
+        try:
+            responses[index] = client.post(
+                "schedule",
+                {"cell": CELL, "scheduler": "mqb", "seed": index % distinct_seeds},
+            )
+        except Exception as exc:  # transport failure = a hung/dropped request
+            print(f"  !! transport failure on request {index}: {exc}",
+                  file=sys.stderr)
+
+    start = time.perf_counter()
+    for index, at in enumerate(arrivals):
+        delay = start + float(at) - time.perf_counter()
+        if delay > 0:
+            time.sleep(delay)
+        thread = threading.Thread(target=fire, args=(index,), daemon=True)
+        thread.start()
+        threads.append(thread)
+    for thread in threads:
+        thread.join(timeout=120.0)
+    elapsed = time.perf_counter() - start
+
+    completed = [r for r in responses if r is not None]
+    ok = [r for r in completed if r.ok]
+    rejected = [r for r in completed if r.status == 429]
+    other = [r for r in completed if not r.ok and r.status != 429]
+    ok_latencies = sorted(r.latency for r in ok)
+    record = {
+        "offered_rate": rate,
+        "duration": elapsed,
+        "offered": len(arrivals),
+        "answered": len(completed),
+        "hung_or_dropped": len(arrivals) - len(completed),
+        "ok": len(ok),
+        "rejected_429": len(rejected),
+        "errors_other": len(other),
+        "throughput": len(ok) / elapsed if elapsed > 0 else 0.0,
+        "latency": {
+            "p50": percentile(ok_latencies, 50),
+            "p95": percentile(ok_latencies, 95),
+            "p99": percentile(ok_latencies, 99),
+            "mean": float(np.mean(ok_latencies)) if ok_latencies else 0.0,
+        },
+        "sources": {
+            source: sum(1 for r in ok if r.body.get("source") == source)
+            for source in ("fresh", "cached", "joined")
+        },
+        "rejection_codes": sorted(
+            {r.error_code for r in rejected if r.error_code is not None}
+        ),
+    }
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--url", default=None,
+        help="daemon URL (default: spawn one; see --spawn)",
+    )
+    parser.add_argument(
+        "--spawn", action="store_true",
+        help="launch `repro serve` on a free port for the run (implied "
+        "when --url is omitted)",
+    )
+    parser.add_argument(
+        "--rates", default="4,40",
+        help="comma-separated offered loads in req/s (default 4,40)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=5.0,
+        help="seconds per load level (default 5)",
+    )
+    parser.add_argument(
+        "--rate-limit", type=float, default=10.0,
+        help="server-side admission rate when spawning (default 10/s; "
+        "set below the top offered rate so overload is deterministic)",
+    )
+    parser.add_argument("--seed", type=int, default=2011, help="arrival seed")
+    parser.add_argument(
+        "--distinct-seeds", type=int, default=16,
+        help="distinct request fingerprints per level (default 16)",
+    )
+    parser.add_argument(
+        "--out", default=str(OUT_PATH), help=f"output path (default {OUT_PATH})"
+    )
+    args = parser.parse_args(argv)
+
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    if len(rates) < 2:
+        parser.error("need at least two offered-load levels (--rates)")
+
+    spawned = None
+    if args.url is None or args.spawn:
+        port = free_port()
+        print(f"[loadgen] spawning repro serve on port {port} "
+              f"(rate limit {args.rate_limit}/s)", file=sys.stderr)
+        spawned = spawn_service(
+            port, workers=0, queue_limit=64,
+            rate_limit=args.rate_limit, burst=args.rate_limit,
+        )
+        client = spawned.client
+    else:
+        client = ServiceClient.from_url(args.url)
+        client.wait_until_up(timeout=10.0)
+
+    levels = []
+    exit_code = 0
+    try:
+        for level_index, rate in enumerate(rates):
+            print(f"[loadgen] level {level_index + 1}/{len(rates)}: "
+                  f"{rate:g} req/s for {args.duration:g}s", file=sys.stderr)
+            record = run_level(
+                client, rate, args.duration,
+                seed=args.seed + level_index,
+                distinct_seeds=args.distinct_seeds,
+            )
+            levels.append(record)
+            print(
+                f"  offered {record['offered']}, ok {record['ok']}, "
+                f"429 {record['rejected_429']}, "
+                f"p50 {record['latency']['p50'] * 1000:.1f}ms, "
+                f"p99 {record['latency']['p99'] * 1000:.1f}ms, "
+                f"throughput {record['throughput']:.1f}/s",
+                file=sys.stderr,
+            )
+        metrics = client.metrics()
+    finally:
+        if spawned is not None:
+            code = spawned.terminate()
+            print(f"[loadgen] daemon exited {code} after SIGTERM",
+                  file=sys.stderr)
+            if code != 0:
+                print("[loadgen] FAIL: drain was not clean", file=sys.stderr)
+                exit_code = 1
+
+    # The admission-control contract under overload: every offered
+    # request was answered (none hung, none silently dropped), and the
+    # overloaded level produced explicit structured rejections.
+    for record in levels:
+        if record["hung_or_dropped"]:
+            print(f"[loadgen] FAIL: {record['hung_or_dropped']} requests "
+                  f"unanswered at {record['offered_rate']:g}/s",
+                  file=sys.stderr)
+            exit_code = 1
+        if record["errors_other"]:
+            print(f"[loadgen] FAIL: {record['errors_other']} non-429 errors "
+                  f"at {record['offered_rate']:g}/s", file=sys.stderr)
+            exit_code = 1
+    if spawned is not None and rates[-1] > args.rate_limit:
+        overloaded = levels[-1]
+        if not overloaded["rejected_429"]:
+            print("[loadgen] FAIL: overload level produced no 429s",
+                  file=sys.stderr)
+            exit_code = 1
+
+    counters = metrics["telemetry"]["counters"]
+    payload = {
+        "benchmark": "service-loadgen",
+        "recorded": time.strftime("%Y-%m-%d %H:%M:%S"),
+        "workload": {
+            "cell": CELL,
+            "scheduler": "mqb",
+            "distinct_seeds": args.distinct_seeds,
+            "arrivals": "open-loop Poisson",
+        },
+        "daemon": {
+            "spawned": spawned is not None,
+            "rate_limit": args.rate_limit if spawned is not None else None,
+            "clean_sigterm_exit": (exit_code == 0) if spawned is not None else None,
+        },
+        "levels": levels,
+        "admission_counters": {
+            k: v for k, v in sorted(counters.items())
+            if k.startswith(("admission.", "cache.", "dedup.", "service.requests"))
+        },
+        "passed": exit_code == 0,
+    }
+    out = Path(args.out)
+    out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"[loadgen] wrote {out}", file=sys.stderr)
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ Usage::
     repro trace medium-layered-ir --scheduler mqb --out trace.json
     repro profile fig4 --instances 50
     repro cache stats
+    repro serve --port 8512 --workers 4
+    repro submit schedule medium-layered-ir --scheduler mqb
 
 ``repro run`` prints the rendered tables and (with ``--out``) saves the
 raw JSON; ``repro report`` re-renders a saved result; ``repro demo``
@@ -30,6 +32,11 @@ cache (:mod:`repro.resultcache`): re-running a finished experiment is
 pure lookups, an interrupted one resumes where it stopped.  ``repro
 cache stats|clear|prune`` manages the store; ``--no-cache`` (or
 ``REPRO_CACHE=0``) runs without it.
+
+``repro serve`` runs the scheduling daemon (:mod:`repro.service`):
+JSON-over-HTTP submission of schedules, sweeps, and stream simulations
+with admission control and result deduplication; ``repro submit``
+talks to it.
 """
 
 from __future__ import annotations
@@ -201,8 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     from repro.resultcache.cli import add_cache_parser
+    from repro.service.cli import add_service_parsers
 
     add_cache_parser(sub)
+    add_service_parsers(sub)
     return parser
 
 
@@ -399,6 +408,14 @@ def main(argv: list[str] | None = None) -> int:
         from repro.resultcache.cli import cmd_cache
 
         return cmd_cache(args)
+    if args.command == "serve":
+        from repro.service.cli import cmd_serve
+
+        return cmd_serve(args)
+    if args.command == "submit":
+        from repro.service.cli import cmd_submit
+
+        return cmd_submit(args)
     return _cmd_report(args)
 
 

@@ -47,6 +47,7 @@ from repro.workloads.adversarial import adversarial_job, adversarial_optimal_mak
 from repro.workloads.generator import WORKLOAD_CELLS
 from repro.experiments.robustness import run_robustness
 from repro.experiments.runner import run_comparison
+from repro.experiments.stream import run_stream
 
 __all__ = ["EXPERIMENTS", "run_experiment"]
 
@@ -60,6 +61,7 @@ DEFAULT_INSTANCES = {
     "fig8": 200,
     "thm2": 60,
     "robustness": 40,
+    "stream": 10,
 }
 
 _FIG4_PANELS = [
@@ -324,6 +326,7 @@ EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "lemma1": run_lemma1,
     "thm2": run_thm2,
     "robustness": run_robustness,
+    "stream": run_stream,
 }
 
 

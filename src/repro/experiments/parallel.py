@@ -58,6 +58,7 @@ from repro.workloads.params import WorkloadSpec
 __all__ = [
     "resolve_workers",
     "plan_chunks",
+    "terminate_pool",
     "run_comparison_parallel",
     "run_sharded_instances",
 ]
@@ -166,6 +167,31 @@ def _chunk_bounds(n_instances: int, chunk_size: int) -> list[tuple[int, int]]:
     return plan_chunks([(0, n_instances)], chunk_size)
 
 
+def terminate_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down *now*: cancel queued work, kill live workers.
+
+    ``ProcessPoolExecutor.shutdown`` always waits for chunks that have
+    already started; on the failure path that means a Ctrl-C (or one
+    broken chunk) leaves the parent hanging — or, if the parent dies,
+    orphaned worker processes still burning CPU.  Terminating the
+    workers after ``shutdown(wait=False, cancel_futures=True)`` is the
+    documented-safe way out: every chunk is idempotent (pure function
+    of its instance range), so nothing is lost but in-flight work.
+    """
+    pool.shutdown(wait=False, cancel_futures=True)
+    processes = getattr(pool, "_processes", None) or {}
+    for proc in list(processes.values()):
+        try:
+            proc.terminate()
+        except (OSError, AttributeError):  # already dead / exotic impl
+            pass
+    for proc in list(processes.values()):
+        try:
+            proc.join(timeout=5.0)
+        except (OSError, AssertionError):
+            pass
+
+
 def _check_segments(
     segments: Sequence[tuple[int, int]], n_instances: int
 ) -> list[tuple[int, int]]:
@@ -272,7 +298,8 @@ def run_sharded_instances(
     workers = min(workers, len(bounds))
 
     extras_by_start: dict[int, object] = {}
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    pool = ProcessPoolExecutor(max_workers=workers)
+    try:
         pending = {
             pool.submit(worker, start, stop): start for start, stop in bounds
         }
@@ -289,6 +316,16 @@ def run_sharded_instances(
                 out[:, start : start + block.shape[1]] = block
                 if on_chunk is not None:
                     on_chunk(start, block)
+    except BaseException:
+        # KeyboardInterrupt or a failed chunk: don't block on (or leak)
+        # the surviving workers — cancel what never started, kill what
+        # did, and let the failure propagate.  Completed chunks were
+        # already persisted through ``on_chunk``, so an interrupted
+        # cached sweep still resumes from them.
+        terminate_pool(pool)
+        raise
+    else:
+        pool.shutdown(wait=True)
     if collect_extras:
         return out, [extras_by_start[s] for s in sorted(extras_by_start)]
     return out

@@ -23,11 +23,14 @@ arrival times:
 from repro.multijob.arrival import JobStream, poisson_stream
 from repro.multijob.engine import StreamResult, simulate_stream
 from repro.multijob.schedulers import (
+    STREAM_POLICIES,
     GlobalKGreedy,
     GlobalMQB,
     JobFCFS,
     SmallestRemainingFirst,
     StreamScheduler,
+    available_stream_policies,
+    make_stream_scheduler,
 )
 
 __all__ = [
@@ -40,4 +43,7 @@ __all__ = [
     "JobFCFS",
     "SmallestRemainingFirst",
     "GlobalMQB",
+    "STREAM_POLICIES",
+    "make_stream_scheduler",
+    "available_stream_policies",
 ]

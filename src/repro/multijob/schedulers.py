@@ -21,12 +21,13 @@ from __future__ import annotations
 
 import heapq
 from abc import ABC, abstractmethod
+from typing import Callable
 
 import numpy as np
 
 from repro.core.descendants import descendant_values
 from repro.core.kdag import KDag
-from repro.errors import SchedulingError
+from repro.errors import ConfigurationError, SchedulingError
 from repro.multijob.arrival import JobStream
 from repro.system.resources import ResourceConfig
 
@@ -36,6 +37,9 @@ __all__ = [
     "JobFCFS",
     "SmallestRemainingFirst",
     "GlobalMQB",
+    "STREAM_POLICIES",
+    "make_stream_scheduler",
+    "available_stream_policies",
 ]
 
 
@@ -247,3 +251,29 @@ class GlobalMQB(StreamScheduler):
     def _pop(self, alpha: int, jid: int, task: int) -> None:
         del self._pools[alpha][(jid, task)]
         self._l[alpha] -= float(self.stream.jobs[jid].work[task])
+
+
+#: Registry of stream policies by name, in the study's plotting order —
+#: the stream analogue of :data:`repro.schedulers.registry.PAPER_ALGORITHMS`.
+STREAM_POLICIES: dict[str, Callable[[], StreamScheduler]] = {
+    GlobalKGreedy.name: GlobalKGreedy,
+    JobFCFS.name: JobFCFS,
+    SmallestRemainingFirst.name: SmallestRemainingFirst,
+    GlobalMQB.name: GlobalMQB,
+}
+
+
+def make_stream_scheduler(name: str) -> StreamScheduler:
+    """Construct a fresh stream policy from its registry name."""
+    key = name.strip().lower()
+    try:
+        return STREAM_POLICIES[key]()
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown stream policy {name!r}; known: {sorted(STREAM_POLICIES)}"
+        ) from None
+
+
+def available_stream_policies() -> list[str]:
+    """All registry names accepted by :func:`make_stream_scheduler`."""
+    return sorted(STREAM_POLICIES)

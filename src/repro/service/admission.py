@@ -1,0 +1,180 @@
+"""Admission control: bounded queue, token-bucket rate limit, deadlines.
+
+The daemon admits a request before any work is queued for it; the
+controller enforces two independent limits and reports each rejection
+as a structured :class:`~repro.service.protocol.ProtocolError` the
+HTTP layer maps to ``429`` (with a ``Retry-After`` hint) or ``503``:
+
+* **bounded queue** — at most ``max_pending`` admitted-but-unfinished
+  requests (queued *or* executing).  Overload is rejected explicitly
+  (``queue_full``), never buffered without bound: an open-loop arrival
+  process otherwise grows the queue — and every queued request's
+  latency — without limit.
+* **token bucket** — a sustained request rate ``rate_limit`` with
+  burst capacity ``burst``.  Deterministic and clock-injectable, so
+  the tests need no sleeping.
+
+Deadlines are cooperative: admission records the request's budget, the
+HTTP layer bounds its *wait* with it (``deadline_exceeded``, HTTP 504).
+A deadline never cancels the underlying computation — with request
+deduplication the result is still worth finishing and caching for the
+retry that typically follows.
+
+All admission traffic counts into the service telemetry:
+``admission.admitted``, ``admission.rejected.queue_full``,
+``admission.rejected.rate_limited``, ``admission.rejected.draining``
+and the ``service.queue_depth`` histogram.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+from repro.service.protocol import ProtocolError
+
+__all__ = ["TokenBucket", "AdmissionController", "AdmissionTicket"]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    The bucket starts full.  :meth:`try_acquire` either consumes one
+    token and returns ``0.0``, or returns the seconds until the next
+    token accrues (the ``Retry-After`` hint) without consuming.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ConfigurationError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ConfigurationError(
+                f"burst must be >= 1 (one whole request), got {self.burst}"
+            )
+        self._clock = clock
+        self._tokens = self.burst
+        self._last = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_acquire(self) -> float:
+        """Take one token; return 0.0, or seconds until one is available."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class AdmissionTicket:
+    """One admitted request; release exactly once (context manager)."""
+
+    def __init__(self, controller: "AdmissionController") -> None:
+        self._controller = controller
+        self._released = False
+
+    def release(self) -> None:
+        if not self._released:
+            self._released = True
+            self._controller._release()
+
+    def __enter__(self) -> "AdmissionTicket":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Gatekeeper in front of the executor; see the module docstring."""
+
+    def __init__(
+        self,
+        max_pending: int,
+        bucket: TokenBucket | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        if max_pending < 1:
+            raise ConfigurationError(
+                f"max_pending must be >= 1, got {max_pending}"
+            )
+        self.max_pending = int(max_pending)
+        self.bucket = bucket
+        self._pending = 0
+        self._draining = False
+        self._obs = (
+            telemetry if (telemetry is not None and telemetry.enabled) else None
+        )
+
+    @property
+    def pending(self) -> int:
+        """Admitted-but-unfinished requests (queued or executing)."""
+        return self._pending
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def start_draining(self) -> None:
+        """Reject all new work from now on (graceful shutdown)."""
+        self._draining = True
+
+    def _reject(self, code: str, message: str, retry_after: float | None) -> None:
+        if self._obs is not None:
+            self._obs.inc(f"admission.rejected.{code}")
+        raise ProtocolError(code, message, retry_after=retry_after)
+
+    def admit(self) -> AdmissionTicket:
+        """Admit one request or raise a structured rejection.
+
+        Single-threaded by design: the daemon calls this from the event
+        loop only, so check-then-increment needs no lock.
+        """
+        if self._draining:
+            self._reject(
+                "draining", "daemon is draining; resubmit elsewhere or later",
+                retry_after=None,
+            )
+        if self._pending >= self.max_pending:
+            # The head-of-line request frees a slot after roughly one
+            # service time; one token period is the honest stand-in hint
+            # when rate-limited deployments overload, 1s otherwise.
+            hint = 1.0 / self.bucket.rate if self.bucket is not None else 1.0
+            self._reject(
+                "queue_full",
+                f"request queue is full ({self._pending}/{self.max_pending} "
+                f"pending)",
+                retry_after=hint,
+            )
+        if self.bucket is not None:
+            wait = self.bucket.try_acquire()
+            if wait > 0.0:
+                self._reject(
+                    "rate_limited",
+                    f"rate limit exceeded ({self.bucket.rate:g} req/s, "
+                    f"burst {self.bucket.burst:g})",
+                    retry_after=wait,
+                )
+        self._pending += 1
+        if self._obs is not None:
+            self._obs.inc("admission.admitted")
+            self._obs.observe("service.queue_depth", float(self._pending))
+        return AdmissionTicket(self)
+
+    def _release(self) -> None:
+        self._pending -= 1
+        assert self._pending >= 0, "ticket released twice"

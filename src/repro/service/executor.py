@@ -1,0 +1,364 @@
+"""Request execution on a shared pool, with result dedup.
+
+One :class:`ServiceExecutor` owns the daemon's compute: a single
+process pool (:class:`~concurrent.futures.ProcessPoolExecutor`) shared
+by every request, or — with ``n_workers=0`` — the event loop's default
+thread pool, which is what the tests and the smoke path use (same
+code, no fork cost; simulation results are identical either way
+because the work functions are pure).
+
+Deduplication happens at two layers, both keyed by
+:func:`~repro.service.protocol.request_fingerprint`:
+
+* **in-flight** — a second request arriving while an identical one is
+  computing *joins* its task (``dedup.joined``) instead of spawning a
+  duplicate computation.  Joiners await through ``asyncio.shield``, so
+  one waiter hitting its deadline never cancels the shared work.
+* **completed** — results land in a bounded in-memory LRU; a warm
+  repeat is answered without touching the pool (``cache.hits`` /
+  ``cache.misses`` / ``cache.writes`` telemetry, same counter family
+  as the persistent result cache).
+
+Sweeps additionally go through the *persistent* result cache exactly
+like CLI sweeps do: the sweep path is built from
+:mod:`repro.experiments.parallel` primitives (``plan_chunks`` +
+``_ratio_chunk`` + :class:`~repro.resultcache.integrate.SweepCache`),
+sharding only cache-miss segments across the shared pool and
+persisting chunks as they land.  Distinct sweep requests that overlap
+instance-wise therefore still share per-instance work across requests
+— and across daemon restarts.
+
+Work functions are module-level (picklable) and take/return plain JSON
+dicts, so the same functions drive process workers, thread workers and
+direct unit tests.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from functools import partial
+from time import perf_counter
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.experiments.parallel import (
+    _CHUNKS_PER_WORKER,
+    _ratio_chunk,
+    plan_chunks,
+    terminate_pool,
+)
+from repro.experiments.runner import _stats_from_ratios
+from repro.multijob.arrival import poisson_stream
+from repro.multijob.engine import simulate_stream
+from repro.multijob.schedulers import make_stream_scheduler
+from repro.obs.telemetry import Telemetry
+from repro.resultcache.integrate import open_sweep_cache, segments_of
+from repro.resultcache.keys import comparison_fingerprint
+from repro.schedulers.registry import make_scheduler
+from repro.service.protocol import (
+    ProtocolError,
+    Request,
+    ScheduleRequest,
+    StreamRequest,
+    SweepRequest,
+    parse_request,
+    request_fingerprint,
+)
+from repro.sim.engine import simulate
+from repro.sim.preemptive import simulate_preemptive
+from repro.workloads.generator import sample_instance, sample_system, workload_cell
+
+__all__ = [
+    "ServiceExecutor",
+    "run_schedule_request",
+    "run_stream_request",
+]
+
+
+def run_schedule_request(payload: dict) -> dict:
+    """Execute one ``schedule`` request payload; return its result dict.
+
+    Seeding mirrors ``repro demo`` exactly (sample from
+    ``default_rng(seed)``, simulate with a fresh ``default_rng(seed)``)
+    so responses are bit-identical to a direct :func:`simulate` call —
+    the contract ``tests/service/test_service_http.py`` asserts per
+    scheduler.
+    """
+    request = parse_request(payload)
+    assert isinstance(request, ScheduleRequest)
+    spec = workload_cell(request.cell)
+    job, system = sample_instance(spec, np.random.default_rng(request.seed))
+    scheduler = make_scheduler(request.scheduler)
+    if request.preemptive:
+        result = simulate_preemptive(
+            job, system, scheduler,
+            rng=np.random.default_rng(request.seed), quantum=request.quantum,
+        )
+    else:
+        result = simulate(
+            job, system, scheduler, rng=np.random.default_rng(request.seed)
+        )
+    return {
+        "cell": request.cell,
+        "scheduler": result.scheduler,
+        "seed": request.seed,
+        "preemptive": request.preemptive,
+        "n_tasks": int(job.n_tasks),
+        "n_edges": int(job.n_edges),
+        "counts": list(system.counts),
+        "makespan": result.makespan,
+        "lower_bound": result.lower_bound(),
+        "ratio": result.completion_time_ratio(),
+        "decisions": int(result.decisions),
+    }
+
+
+def run_stream_request(payload: dict) -> dict:
+    """Execute one ``stream`` request payload; return its result dict.
+
+    Seeding: one ``default_rng(seed)`` draws the system, then the
+    stream — deterministic and reproducible from the payload alone.
+    """
+    request = parse_request(payload)
+    assert isinstance(request, StreamRequest)
+    spec = workload_cell(request.cell)
+    rng = np.random.default_rng(request.seed)
+    system = sample_system(spec, rng)
+    stream = poisson_stream(
+        spec, request.n_jobs, request.mean_interarrival, rng
+    )
+    result = simulate_stream(stream, system, make_stream_scheduler(request.policy))
+    flows = result.flow_times
+    return {
+        "cell": request.cell,
+        "policy": result.scheduler,
+        "n_jobs": request.n_jobs,
+        "mean_interarrival": request.mean_interarrival,
+        "seed": request.seed,
+        "counts": list(system.counts),
+        "makespan": result.makespan,
+        "mean_flow_time": result.mean_flow_time,
+        "max_flow_time": float(flows.max()),
+        "total_work": result.stream.total_work(),
+        "completion_times": list(result.completion_times),
+    }
+
+
+#: Default work functions by request kind.  ``sweep`` is absent on
+#: purpose: the executor shards sweeps across the pool itself.
+_WORK_FNS: dict[str, Callable[[dict], dict]] = {
+    "schedule": run_schedule_request,
+    "stream": run_stream_request,
+}
+
+
+class ServiceExecutor:
+    """Shared-pool request executor with two-layer dedup (see module doc).
+
+    ``n_workers=0`` executes on the event loop's default thread pool;
+    ``n_workers >= 1`` builds one shared
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  ``work_fns``
+    overrides the per-kind work functions (tests inject slow/fake work
+    to exercise dedup and queueing deterministically).
+    """
+
+    def __init__(
+        self,
+        n_workers: int = 0,
+        cache_entries: int = 256,
+        telemetry: Telemetry | None = None,
+        work_fns: dict[str, Callable[[dict], dict]] | None = None,
+    ) -> None:
+        if n_workers < 0:
+            raise ConfigurationError(f"n_workers must be >= 0, got {n_workers}")
+        if cache_entries < 0:
+            raise ConfigurationError(
+                f"cache_entries must be >= 0, got {cache_entries}"
+            )
+        self.n_workers = int(n_workers)
+        self.cache_entries = int(cache_entries)
+        self._telemetry = telemetry if telemetry is not None else Telemetry()
+        self._work_fns = dict(_WORK_FNS)
+        if work_fns:
+            self._work_fns.update(work_fns)
+        self._pool: ProcessPoolExecutor | None = None
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._cache: OrderedDict[str, dict] = OrderedDict()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> None:
+        """Build the shared pool (no-op in thread mode)."""
+        if self.n_workers >= 1 and self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.n_workers)
+
+    @property
+    def in_flight(self) -> int:
+        """Unique computations currently running (after dedup)."""
+        return len(self._inflight)
+
+    async def drain(self, timeout: float | None = None) -> bool:
+        """Wait for in-flight work, then shut the pool down.
+
+        Returns ``True`` on a clean drain.  On timeout the pool is torn
+        down hard (:func:`~repro.experiments.parallel.terminate_pool`)
+        so shutdown can never hang behind a stuck worker.
+        """
+        tasks = list(self._inflight.values())
+        clean = True
+        if tasks:
+            done, pending = await asyncio.wait(tasks, timeout=timeout)
+            clean = not pending
+        if self._pool is not None:
+            if clean:
+                self._pool.shutdown(wait=True)
+            else:
+                terminate_pool(self._pool)
+            self._pool = None
+        return clean
+
+    def close(self) -> None:
+        """Synchronous hard teardown (test/atexit convenience)."""
+        if self._pool is not None:
+            terminate_pool(self._pool)
+            self._pool = None
+
+    # -- the in-memory response cache -----------------------------------
+    def _cache_get(self, key: str) -> dict | None:
+        result = self._cache.get(key)
+        if result is not None:
+            self._cache.move_to_end(key)
+        return result
+
+    def _cache_put(self, key: str, result: dict) -> None:
+        if self.cache_entries == 0:
+            return
+        self._cache[key] = result
+        self._cache.move_to_end(key)
+        while len(self._cache) > self.cache_entries:
+            self._cache.pop(next(iter(self._cache)))
+        self._telemetry.inc("cache.writes")
+
+    # -- execution ------------------------------------------------------
+    async def execute(self, request: Request) -> tuple[dict, str]:
+        """Run (or dedup) one validated request; return ``(result, source)``.
+
+        ``source`` is ``"cached"`` (warm repeat, no work), ``"joined"``
+        (attached to an identical in-flight computation) or ``"fresh"``.
+        Worker failures surface as :class:`ProtocolError` with code
+        ``internal``; errors are never cached, so a retry recomputes.
+        """
+        key = request_fingerprint(request)
+        cached = self._cache_get(key)
+        if cached is not None:
+            self._telemetry.inc("cache.hits")
+            return cached, "cached"
+        task = self._inflight.get(key)
+        if task is not None:
+            self._telemetry.inc("dedup.joined")
+            return await asyncio.shield(task), "joined"
+        self._telemetry.inc("cache.misses")
+        task = asyncio.get_running_loop().create_task(self._compute(key, request))
+        self._inflight[key] = task
+        # If every waiter is cancelled (deadlines), the computation
+        # still finishes and caches; consume its outcome so an orphaned
+        # failure never warns "exception was never retrieved".
+        task.add_done_callback(
+            lambda t: t.exception() if not t.cancelled() else None
+        )
+        return await asyncio.shield(task), "fresh"
+
+    async def _compute(self, key: str, request: Request) -> dict:
+        t0 = perf_counter()
+        try:
+            if request.kind == "sweep" and "sweep" not in self._work_fns:
+                assert isinstance(request, SweepRequest)
+                result = await self._execute_sweep(request)
+            else:
+                result = await self._run_in_pool(
+                    self._work_fns[request.kind], request.to_payload()
+                )
+        except ProtocolError:
+            self._telemetry.inc(f"exec.error.{request.kind}")
+            self._inflight.pop(key, None)
+            raise
+        except Exception as exc:
+            self._telemetry.inc(f"exec.error.{request.kind}")
+            self._inflight.pop(key, None)
+            raise ProtocolError(
+                "internal", f"{type(exc).__name__}: {exc}"
+            ) from exc
+        self._telemetry.inc(f"exec.ok.{request.kind}")
+        self._telemetry.add_time(
+            f"service.exec.{request.kind}", perf_counter() - t0
+        )
+        self._cache_put(key, result)
+        self._inflight.pop(key, None)
+        return result
+
+    async def _run_in_pool(self, fn: Callable, *args) -> dict:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(self._pool, fn, *args)
+
+    async def _execute_sweep(self, request: SweepRequest) -> dict:
+        """Shard one sweep over the shared pool, through the result cache.
+
+        The same recipe as
+        :func:`~repro.experiments.parallel.run_comparison_parallel`,
+        reshaped for a shared pool: persistent-cache hits are filled in
+        up front (off-loop — they are file reads), only miss segments
+        are planned into chunks, chunks run concurrently wherever the
+        pool has capacity, and each completed chunk is persisted.  The
+        assembled matrix is collapsed by the exact serial-path code, so
+        responses are bit-identical to :func:`run_comparison` for any
+        pool size and interleaving.
+        """
+        spec = workload_cell(request.cell)
+        algorithms = tuple(request.algorithms)
+        n = request.n_instances
+        loop = asyncio.get_running_loop()
+        out = np.empty((len(algorithms), n), dtype=np.float64)
+        segments = [(0, n)]
+        on_chunk = None
+        cache = open_sweep_cache(
+            comparison_fingerprint(
+                spec, algorithms, request.seed, request.preemptive,
+                request.quantum,
+            ),
+            len(algorithms),
+            telemetry=self._telemetry,
+        )
+        if cache is not None:
+            misses = await loop.run_in_executor(None, cache.fill_hits, out)
+            segments = segments_of(misses)
+            on_chunk = cache.write_chunk
+        remaining = sum(stop - start for start, stop in segments)
+        if remaining:
+            slots = max(1, self.n_workers)
+            chunk_size = max(1, -(-remaining // (slots * _CHUNKS_PER_WORKER)))
+            worker = partial(
+                _ratio_chunk, spec, algorithms, request.seed,
+                request.preemptive, request.quantum, False,
+            )
+
+            async def run_chunk(start: int, stop: int) -> None:
+                block = await self._run_in_pool(worker, start, stop)
+                out[:, start:stop] = block
+                if on_chunk is not None:
+                    await loop.run_in_executor(None, on_chunk, start, block)
+
+            await asyncio.gather(
+                *(run_chunk(s, e) for s, e in plan_chunks(segments, chunk_size))
+            )
+        stats = _stats_from_ratios(algorithms, out, request.preemptive)
+        return {
+            "cell": request.cell,
+            "algorithms": list(algorithms),
+            "n_instances": n,
+            "seed": request.seed,
+            "preemptive": request.preemptive,
+            "series": [s.to_dict() for s in stats],
+        }

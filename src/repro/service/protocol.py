@@ -1,0 +1,469 @@
+"""Versioned JSON request/response protocol of the scheduling service.
+
+Every request and response carries ``"protocol": PROTOCOL_VERSION``.
+A request names one of three kinds of work:
+
+* ``schedule`` — simulate one sampled instance of a workload cell
+  under one scheduler (the service form of ``repro demo``);
+* ``sweep`` — a paired-comparison sweep over a cell (the service form
+  of :func:`repro.experiments.runner.run_comparison`);
+* ``stream`` — simulate one multi-job Poisson stream under one stream
+  policy (:func:`repro.multijob.engine.simulate_stream`).
+
+Validation is strict and total: :func:`parse_request` either returns a
+frozen request dataclass or raises :class:`ProtocolError` with a
+structured, machine-readable error ``code`` (plus the offending field
+where applicable).  Unknown fields are rejected — silent tolerance
+would make typos indistinguishable from defaults and would haunt
+protocol evolution.  Every error code maps to one HTTP status
+(:data:`HTTP_STATUS`), and error bodies always carry ``status:
+"error"`` with ``error: {code, message, ...}``.
+
+Seeding contract (the bit-identity guarantee the tests assert):
+
+* ``schedule`` samples ``(job, system)`` from
+  ``np.random.default_rng(seed)`` and hands the engine a *fresh*
+  ``np.random.default_rng(seed)`` — exactly what ``repro demo`` does,
+  so a ``/schedule`` response is bit-identical to a direct
+  :func:`repro.sim.engine.simulate` call with the same derivation;
+* ``sweep`` defers to :func:`run_comparison`'s documented
+  ``SeedSequence([seed, i])`` layout;
+* ``stream`` draws the system and then the stream from one
+  ``np.random.default_rng(seed)``.
+
+Requests are content-addressable: :func:`request_fingerprint` hashes
+the execution-relevant fields (never ``deadline``) together with
+:data:`~repro.resultcache.keys.ENGINE_REV` and the numpy major
+version, through the same canonical-JSON/SHA-256 scheme as the
+persistent result cache.  Two requests with equal fingerprints are
+guaranteed equal results, which is what lets the executor deduplicate
+duplicate in-flight and repeated requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.errors import ReproError
+from repro.multijob.schedulers import available_stream_policies
+from repro.resultcache.keys import ENGINE_REV, NUMPY_MAJOR, fingerprint_digest
+from repro.schedulers.registry import available_schedulers
+from repro.workloads.generator import EXTRA_CELLS, WORKLOAD_CELLS
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REQUEST_KINDS",
+    "MAX_SWEEP_INSTANCES",
+    "MAX_STREAM_JOBS",
+    "HTTP_STATUS",
+    "ProtocolError",
+    "ScheduleRequest",
+    "SweepRequest",
+    "StreamRequest",
+    "parse_request",
+    "request_fingerprint",
+    "ok_response",
+    "error_response",
+]
+
+#: Version of the wire protocol.  Bump on any incompatible change to
+#: request/response shapes; the daemon rejects other versions with
+#: ``bad_protocol`` so clients fail loudly instead of misparsing.
+PROTOCOL_VERSION = 1
+
+REQUEST_KINDS = ("schedule", "sweep", "stream")
+
+#: Admission-time caps on request size, so one request cannot occupy a
+#: worker for unbounded time.  Generous against every legitimate use:
+#: the paper's own sweeps used 5000 instances per point.
+MAX_SWEEP_INSTANCES = 5000
+MAX_STREAM_JOBS = 500
+
+#: HTTP status of each structured error code.
+HTTP_STATUS: dict[str, int] = {
+    "bad_json": 400,
+    "bad_protocol": 400,
+    "unknown_kind": 400,
+    "bad_request": 400,
+    "unknown_cell": 400,
+    "unknown_scheduler": 400,
+    "unknown_policy": 400,
+    "not_found": 404,
+    "method_not_allowed": 405,
+    "payload_too_large": 413,
+    "queue_full": 429,
+    "rate_limited": 429,
+    "internal": 500,
+    "draining": 503,
+    "deadline_exceeded": 504,
+}
+
+
+class ProtocolError(ReproError):
+    """A request the service rejects, with a structured error code."""
+
+    def __init__(
+        self, code: str, message: str, retry_after: float | None = None
+    ) -> None:
+        if code not in HTTP_STATUS:
+            raise ValueError(f"unregistered error code {code!r}")
+        super().__init__(message)
+        self.code = code
+        self.message = message
+        self.retry_after = retry_after
+
+    @property
+    def http_status(self) -> int:
+        return HTTP_STATUS[self.code]
+
+    def to_body(self) -> dict:
+        return error_response(self.code, self.message, self.retry_after)
+
+
+def _known_cells() -> list[str]:
+    return sorted(WORKLOAD_CELLS) + sorted(EXTRA_CELLS)
+
+
+@dataclass(frozen=True)
+class ScheduleRequest:
+    """Simulate one sampled instance of ``cell`` under ``scheduler``."""
+
+    cell: str
+    scheduler: str = "mqb"
+    seed: int = 0
+    preemptive: bool = False
+    quantum: float = 1.0
+    deadline: float | None = None
+
+    kind = "schedule"
+
+    def to_payload(self) -> dict:
+        """Wire form; round-trips through :func:`parse_request`."""
+        payload = {
+            "protocol": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "cell": self.cell,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "preemptive": self.preemptive,
+            "quantum": self.quantum,
+        }
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
+        return payload
+
+    def fingerprint_fields(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cell": self.cell,
+            "scheduler": self.scheduler,
+            "seed": self.seed,
+            "preemptive": self.preemptive,
+            # As in the sweep cache keys: the non-preemptive engine
+            # never reads the quantum, so it must not split the cache.
+            "quantum": self.quantum if self.preemptive else None,
+        }
+
+
+@dataclass(frozen=True)
+class SweepRequest:
+    """Paired-comparison sweep of ``algorithms`` over ``cell``."""
+
+    cell: str
+    algorithms: tuple[str, ...]
+    n_instances: int = 10
+    seed: int = 2011
+    preemptive: bool = False
+    quantum: float = 1.0
+    deadline: float | None = None
+
+    kind = "sweep"
+
+    def to_payload(self) -> dict:
+        payload = {
+            "protocol": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "cell": self.cell,
+            "algorithms": list(self.algorithms),
+            "n_instances": self.n_instances,
+            "seed": self.seed,
+            "preemptive": self.preemptive,
+            "quantum": self.quantum,
+        }
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
+        return payload
+
+    def fingerprint_fields(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cell": self.cell,
+            "algorithms": list(self.algorithms),
+            "n_instances": self.n_instances,
+            "seed": self.seed,
+            "preemptive": self.preemptive,
+            "quantum": self.quantum if self.preemptive else None,
+        }
+
+
+@dataclass(frozen=True)
+class StreamRequest:
+    """Simulate one Poisson job stream under one stream policy."""
+
+    cell: str
+    policy: str = "global-mqb"
+    n_jobs: int = 10
+    mean_interarrival: float = 40.0
+    seed: int = 0
+    deadline: float | None = None
+
+    kind = "stream"
+
+    def to_payload(self) -> dict:
+        payload = {
+            "protocol": PROTOCOL_VERSION,
+            "kind": self.kind,
+            "cell": self.cell,
+            "policy": self.policy,
+            "n_jobs": self.n_jobs,
+            "mean_interarrival": self.mean_interarrival,
+            "seed": self.seed,
+        }
+        if self.deadline is not None:
+            payload["deadline"] = self.deadline
+        return payload
+
+    def fingerprint_fields(self) -> dict:
+        return {
+            "kind": self.kind,
+            "cell": self.cell,
+            "policy": self.policy,
+            "n_jobs": self.n_jobs,
+            "mean_interarrival": self.mean_interarrival,
+            "seed": self.seed,
+        }
+
+
+Request = ScheduleRequest | SweepRequest | StreamRequest
+
+
+class _Fields:
+    """Typed, consuming view of a request payload.
+
+    Each ``take_*`` pops and validates one field; :meth:`finish`
+    rejects whatever remains, so unknown fields are always an error.
+    """
+
+    def __init__(self, payload: Mapping[str, Any]) -> None:
+        self._data = dict(payload)
+
+    def _pop(self, name: str, default: Any, required: bool) -> Any:
+        if name in self._data:
+            return self._data.pop(name)
+        if required:
+            raise ProtocolError("bad_request", f"missing required field {name!r}")
+        return default
+
+    def take_str(self, name: str, default: str | None = None) -> str:
+        value = self._pop(name, default, default is None)
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(
+                "bad_request", f"field {name!r} must be a non-empty string"
+            )
+        return value
+
+    def take_int(
+        self, name: str, default: int, lo: int | None = None, hi: int | None = None
+    ) -> int:
+        value = self._pop(name, default, False)
+        # bool is an int subclass; reject it explicitly.
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise ProtocolError("bad_request", f"field {name!r} must be an integer")
+        if (lo is not None and value < lo) or (hi is not None and value > hi):
+            raise ProtocolError(
+                "bad_request",
+                f"field {name!r} must be in [{lo}, {hi}], got {value}",
+            )
+        return value
+
+    def take_float(
+        self, name: str, default: float | None, lo: float | None = None
+    ) -> float | None:
+        value = self._pop(name, default, False)
+        if value is None:
+            return None
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ProtocolError("bad_request", f"field {name!r} must be a number")
+        value = float(value)
+        if lo is not None and value < lo:
+            raise ProtocolError(
+                "bad_request", f"field {name!r} must be >= {lo}, got {value}"
+            )
+        return value
+
+    def take_bool(self, name: str, default: bool) -> bool:
+        value = self._pop(name, default, False)
+        if not isinstance(value, bool):
+            raise ProtocolError("bad_request", f"field {name!r} must be a boolean")
+        return value
+
+    def take_str_list(self, name: str) -> tuple[str, ...]:
+        value = self._pop(name, None, True)
+        if (
+            not isinstance(value, (list, tuple))
+            or not value
+            or not all(isinstance(v, str) and v for v in value)
+        ):
+            raise ProtocolError(
+                "bad_request",
+                f"field {name!r} must be a non-empty list of strings",
+            )
+        return tuple(value)
+
+    def finish(self) -> None:
+        if self._data:
+            raise ProtocolError(
+                "bad_request", f"unknown fields: {sorted(self._data)}"
+            )
+
+
+def _check_cell(cell: str) -> str:
+    if cell not in WORKLOAD_CELLS and cell not in EXTRA_CELLS:
+        raise ProtocolError(
+            "unknown_cell",
+            f"unknown workload cell {cell!r}; known: {_known_cells()}",
+        )
+    return cell
+
+
+def _check_scheduler(name: str) -> str:
+    if name.strip().lower() not in available_schedulers():
+        raise ProtocolError(
+            "unknown_scheduler",
+            f"unknown scheduler {name!r}; known: {available_schedulers()}",
+        )
+    return name.strip().lower()
+
+
+def _check_policy(name: str) -> str:
+    if name.strip().lower() not in available_stream_policies():
+        raise ProtocolError(
+            "unknown_policy",
+            f"unknown stream policy {name!r}; "
+            f"known: {available_stream_policies()}",
+        )
+    return name.strip().lower()
+
+
+def parse_request(
+    payload: Any, expected_kind: str | None = None
+) -> Request:
+    """Validate a decoded JSON payload into a request dataclass.
+
+    ``expected_kind`` pins the kind (the HTTP layer passes the endpoint
+    path's kind); a payload may omit ``kind`` when it is pinned, but a
+    conflicting explicit kind is an error, never silently reinterpreted.
+    """
+    if not isinstance(payload, Mapping):
+        raise ProtocolError("bad_request", "request body must be a JSON object")
+    fields = _Fields(payload)
+    protocol = fields.take_int("protocol", PROTOCOL_VERSION)
+    if protocol != PROTOCOL_VERSION:
+        raise ProtocolError(
+            "bad_protocol",
+            f"protocol {protocol} not supported; this daemon speaks "
+            f"{PROTOCOL_VERSION}",
+        )
+    kind = fields.take_str("kind", expected_kind)
+    if expected_kind is not None and kind != expected_kind:
+        raise ProtocolError(
+            "bad_request",
+            f"kind {kind!r} conflicts with the {expected_kind!r} endpoint",
+        )
+    if kind not in REQUEST_KINDS:
+        raise ProtocolError(
+            "unknown_kind",
+            f"unknown request kind {kind!r}; known: {list(REQUEST_KINDS)}",
+        )
+
+    cell = _check_cell(fields.take_str("cell"))
+    deadline = fields.take_float("deadline", None, lo=0.0)
+    if kind == "schedule":
+        request: Request = ScheduleRequest(
+            cell=cell,
+            scheduler=_check_scheduler(fields.take_str("scheduler", "mqb")),
+            seed=fields.take_int("seed", 0),
+            preemptive=fields.take_bool("preemptive", False),
+            quantum=fields.take_float("quantum", 1.0, lo=1e-9),
+            deadline=deadline,
+        )
+    elif kind == "sweep":
+        algorithms = tuple(
+            _check_scheduler(a) for a in fields.take_str_list("algorithms")
+        )
+        request = SweepRequest(
+            cell=cell,
+            algorithms=algorithms,
+            n_instances=fields.take_int(
+                "n_instances", 10, lo=1, hi=MAX_SWEEP_INSTANCES
+            ),
+            seed=fields.take_int("seed", 2011),
+            preemptive=fields.take_bool("preemptive", False),
+            quantum=fields.take_float("quantum", 1.0, lo=1e-9),
+            deadline=deadline,
+        )
+    else:
+        request = StreamRequest(
+            cell=cell,
+            policy=_check_policy(fields.take_str("policy", "global-mqb")),
+            n_jobs=fields.take_int("n_jobs", 10, lo=1, hi=MAX_STREAM_JOBS),
+            mean_interarrival=fields.take_float("mean_interarrival", 40.0, lo=0.0),
+            seed=fields.take_int("seed", 0),
+            deadline=deadline,
+        )
+    fields.finish()
+    return request
+
+
+def request_fingerprint(request: Request) -> str:
+    """Content address of a request's execution-relevant identity.
+
+    Includes the protocol version, :data:`ENGINE_REV` and the numpy
+    major version for the same reason the persistent result cache does:
+    a fingerprint must never outlive the semantics it hashed.
+    """
+    return fingerprint_digest(
+        {
+            "service": PROTOCOL_VERSION,
+            "engine_rev": ENGINE_REV,
+            "numpy_major": NUMPY_MAJOR,
+            **request.fingerprint_fields(),
+        }
+    )
+
+
+def ok_response(
+    kind: str, result: dict, elapsed: float, source: str = "fresh"
+) -> dict:
+    """A success body.  ``source`` is ``fresh``/``cached``/``joined``."""
+    return {
+        "protocol": PROTOCOL_VERSION,
+        "status": "ok",
+        "kind": kind,
+        "source": source,
+        "elapsed": elapsed,
+        "result": result,
+    }
+
+
+def error_response(
+    code: str, message: str, retry_after: float | None = None
+) -> dict:
+    """A structured error body; ``code`` must be registered."""
+    if code not in HTTP_STATUS:
+        raise ValueError(f"unregistered error code {code!r}")
+    error: dict = {"code": code, "message": message}
+    if retry_after is not None:
+        error["retry_after"] = retry_after
+    return {"protocol": PROTOCOL_VERSION, "status": "error", "error": error}

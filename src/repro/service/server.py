@@ -1,0 +1,389 @@
+"""The scheduling daemon: asyncio JSON-over-HTTP front-end.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — the
+stdlib has no async HTTP server, and the protocol subset a scheduling
+API needs (request line, headers, ``Content-Length`` body, one
+response, close) is ~60 lines — far less surface than a web framework
+dependency.  Endpoints:
+
+* ``POST /schedule`` — simulate one instance (bit-identical to a
+  direct :func:`repro.sim.engine.simulate`);
+* ``POST /sweep`` — a paired-comparison sweep, sharded over the shared
+  pool through the persistent result cache;
+* ``POST /stream`` — one multi-job Poisson stream simulation;
+* ``GET /healthz`` — liveness (``503`` once draining);
+* ``GET /metrics`` — the serialized
+  :class:`~repro.obs.telemetry.TelemetrySnapshot` plus queue depth,
+  in-flight count, and admission/rejection counters.
+
+Every request passes admission control
+(:class:`~repro.service.admission.AdmissionController`) before any
+work is queued: a full queue or an exhausted token bucket answers
+``429`` with a ``Retry-After`` hint and a structured JSON error body —
+overload is explicit, never an unbounded buffer or a silent drop.
+
+Graceful drain: SIGTERM/SIGINT stop the listener, reject new requests
+with ``503 draining``, wait for admitted requests (bounded by
+``drain_timeout``), then shut the pool down — clean exit code 0, no
+orphaned workers (``scripts/service_smoke.py`` asserts this end to
+end).  Connections are ``Connection: close``; on loopback, where this
+daemon lives, connection reuse buys nothing worth the state machine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from time import perf_counter
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.executor import ServiceExecutor
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REQUEST_KINDS,
+    ProtocolError,
+    error_response,
+    ok_response,
+    parse_request,
+)
+
+__all__ = ["ServiceConfig", "ScheduleService", "run_service"]
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Daemon knobs, one frozen record (CLI flags map 1:1 onto these)."""
+
+    host: str = "127.0.0.1"
+    port: int = 8512
+    #: Worker processes for the shared pool; 0 executes in-process on
+    #: the event loop's thread pool (tests, smoke runs).
+    workers: int = 1
+    #: Bound on admitted-but-unfinished requests; beyond it: 429.
+    queue_limit: int = 64
+    #: Sustained admission rate (requests/second); ``None`` disables
+    #: rate limiting.  ``burst`` defaults to ``max(1, rate)``.
+    rate_limit: float | None = None
+    burst: float | None = None
+    #: Server-side default deadline (seconds) when a request names none;
+    #: ``None`` means wait indefinitely.
+    default_deadline: float | None = None
+    #: How long a drain waits for in-flight work before hard teardown.
+    drain_timeout: float = 20.0
+    #: In-memory response-cache entries (0 disables).
+    cache_entries: int = 256
+    max_body_bytes: int = 1 << 20
+    #: Timeout for reading one request head/body off a connection.
+    read_timeout: float = 30.0
+
+    def __post_init__(self) -> None:
+        if self.queue_limit < 1:
+            raise ConfigurationError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        if self.workers < 0:
+            raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
+
+
+class _BadHttp(Exception):
+    """Malformed HTTP framing (before any JSON exists to answer with)."""
+
+
+class ScheduleService:
+    """One daemon instance: listener + admission + shared executor."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        telemetry: Telemetry | None = None,
+        work_fns: dict | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.executor = ServiceExecutor(
+            n_workers=self.config.workers,
+            cache_entries=self.config.cache_entries,
+            telemetry=self.telemetry,
+            work_fns=work_fns,
+        )
+        bucket = (
+            TokenBucket(self.config.rate_limit, self.config.burst)
+            if self.config.rate_limit is not None
+            else None
+        )
+        self.admission = AdmissionController(
+            self.config.queue_limit, bucket=bucket, telemetry=self.telemetry
+        )
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started_at = 0.0
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (resolves ``port`` — pass 0 for ephemeral)."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        self.executor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    def request_shutdown(self) -> None:
+        """Trigger a graceful drain; safe from any thread or signal."""
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    async def serve_forever(self) -> bool:
+        """Serve until SIGTERM/SIGINT (or :meth:`request_shutdown`), then drain.
+
+        Returns ``True`` if the drain completed cleanly within
+        ``drain_timeout``.
+        """
+        assert self._shutdown is not None, "start() first"
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._shutdown.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread / non-Unix: programmatic shutdown only
+        try:
+            await self._shutdown.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+        return await self.drain()
+
+    async def drain(self) -> bool:
+        """Stop accepting, finish admitted work, tear the pool down."""
+        self.admission.start_draining()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self.admission.pending > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        remaining = max(0.0, deadline - time.monotonic())
+        clean = await self.executor.drain(timeout=remaining)
+        return clean and self.admission.pending == 0
+
+    # -- request handling -----------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        status, body, retry_after = 500, error_response("internal", "unset"), None
+        try:
+            method, path, payload = await self._read_request(reader)
+            status, body, retry_after = await self._dispatch(method, path, payload)
+        except ProtocolError as err:
+            status, body, retry_after = err.http_status, err.to_body(), err.retry_after
+        except (_BadHttp, asyncio.TimeoutError):
+            status, body = 400, error_response("bad_request", "malformed HTTP request")
+        except (
+            asyncio.IncompleteReadError, ConnectionError, BrokenPipeError
+        ):
+            writer.close()
+            return
+        except Exception as exc:  # never leak a traceback as a hang
+            status, body = 500, error_response(
+                "internal", f"{type(exc).__name__}: {exc}"
+            )
+        try:
+            await self._write_response(writer, status, body, retry_after)
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        timeout = self.config.read_timeout
+        request_line = await asyncio.wait_for(reader.readline(), timeout)
+        if not request_line:
+            raise _BadHttp("empty request")
+        parts = request_line.decode("latin-1").split()
+        if len(parts) != 3:
+            raise _BadHttp(f"bad request line {request_line!r}")
+        method, target = parts[0].upper(), parts[1]
+        headers: dict[str, str] = {}
+        while True:
+            line = await asyncio.wait_for(reader.readline(), timeout)
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, sep, value = line.decode("latin-1").partition(":")
+            if not sep:
+                raise _BadHttp(f"bad header line {line!r}")
+            headers[name.strip().lower()] = value.strip()
+        try:
+            length = int(headers.get("content-length", "0"))
+        except ValueError:
+            raise ProtocolError(
+                "bad_request", "Content-Length must be an integer"
+            ) from None
+        if length < 0:
+            raise ProtocolError("bad_request", "negative Content-Length")
+        if length > self.config.max_body_bytes:
+            raise ProtocolError(
+                "payload_too_large",
+                f"request body of {length} bytes exceeds the "
+                f"{self.config.max_body_bytes}-byte limit",
+            )
+        body = (
+            await asyncio.wait_for(reader.readexactly(length), timeout)
+            if length
+            else b""
+        )
+        return method, target.split("?", 1)[0], body
+
+    async def _dispatch(
+        self, method: str, path: str, raw_body: bytes
+    ) -> tuple[int, dict, float | None]:
+        if path == "/healthz":
+            self._require_method(method, "GET")
+            draining = self.admission.draining
+            return (
+                503 if draining else 200,
+                {
+                    "protocol": PROTOCOL_VERSION,
+                    "status": "draining" if draining else "ok",
+                    "uptime": time.monotonic() - self._started_at,
+                },
+                None,
+            )
+        if path == "/metrics":
+            self._require_method(method, "GET")
+            return 200, self._metrics_body(), None
+        kind = path.lstrip("/")
+        if kind not in REQUEST_KINDS:
+            raise ProtocolError(
+                "not_found",
+                f"no endpoint {path!r}; try /schedule /sweep /stream "
+                f"/healthz /metrics",
+            )
+        self._require_method(method, "POST")
+        self.telemetry.inc("service.requests")
+        self.telemetry.inc(f"service.requests.{kind}")
+        try:
+            payload = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError("bad_json", f"request body is not JSON: {exc}") from None
+        request = parse_request(payload, expected_kind=kind)
+
+        ticket = self.admission.admit()  # raises 429/503 rejections
+        t0 = perf_counter()
+        try:
+            deadline = (
+                request.deadline
+                if request.deadline is not None
+                else self.config.default_deadline
+            )
+            try:
+                result, source = await asyncio.wait_for(
+                    self.executor.execute(request), timeout=deadline
+                )
+            except asyncio.TimeoutError:
+                self.telemetry.inc("admission.rejected.deadline")
+                raise ProtocolError(
+                    "deadline_exceeded",
+                    f"deadline of {deadline:g}s passed before the result; "
+                    f"the computation continues and will be cached",
+                ) from None
+        finally:
+            ticket.release()
+        elapsed = perf_counter() - t0
+        self.telemetry.add_time(f"service.latency.{kind}", elapsed)
+        return 200, ok_response(kind, result, elapsed, source), None
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise ProtocolError(
+                "method_not_allowed", f"use {expected}, not {method}"
+            )
+
+    def _metrics_body(self) -> dict:
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "status": "draining" if self.admission.draining else "ok",
+            "uptime": time.monotonic() - self._started_at,
+            "workers": self.config.workers,
+            "queue_limit": self.config.queue_limit,
+            "queue_depth": self.admission.pending,
+            "in_flight": self.executor.in_flight,
+            "telemetry": self.telemetry.snapshot().to_dict(),
+        }
+
+    async def _write_response(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict,
+        retry_after: float | None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        head = [
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            "Connection: close",
+        ]
+        if retry_after is not None:
+            # Retry-After is integer delay-seconds; round *up* so a
+            # hint of 0.2s never becomes "retry immediately".
+            head.append(f"Retry-After: {max(1, math.ceil(retry_after))}")
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+        await writer.drain()
+
+
+def run_service(config: ServiceConfig | None = None) -> int:
+    """Blocking entry point of ``repro serve``; returns an exit code."""
+
+    async def main() -> bool:
+        service = ScheduleService(config)
+        await service.start()
+        print(
+            f"[repro serve] listening on http://{service.config.host}:"
+            f"{service.port} (workers={service.config.workers}, "
+            f"queue={service.config.queue_limit}, "
+            f"rate={service.config.rate_limit or 'off'}) — SIGTERM drains",
+            file=sys.stderr,
+            flush=True,
+        )
+        clean = await service.serve_forever()
+        print(
+            f"[repro serve] drained {'cleanly' if clean else 'WITH TIMEOUT'}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return clean
+
+    try:
+        return 0 if asyncio.run(main()) else 1
+    except KeyboardInterrupt:  # second Ctrl-C during drain
+        return 130

@@ -1,0 +1,191 @@
+"""Test/smoke harnesses for the daemon: in-thread and subprocess hosts.
+
+:class:`ServiceThread` runs a complete :class:`ScheduleService` on a
+background thread with its own event loop, bound to an ephemeral port —
+the test process talks to it over real HTTP with the synchronous
+:class:`~repro.service.client.ServiceClient`.  That exercises the whole
+stack (framing, admission, executor, serialization) without
+pytest-asyncio, which this environment does not ship.
+
+:func:`spawn_service` launches ``repro serve`` as a real subprocess for
+scripts that must observe OS-level behaviour (SIGTERM handling, exit
+codes): the smoke test and the load generator.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+from repro.service.client import ServiceClient
+from repro.service.server import ScheduleService, ServiceConfig
+
+__all__ = ["ServiceThread", "SpawnedService", "spawn_service", "free_port"]
+
+
+class ServiceThread:
+    """Host a daemon on a background thread; use as a context manager.
+
+    ``workers=0`` (the default here) executes requests on the loop's
+    thread pool — no fork cost, identical results — which is what tests
+    want.  The bound port is ephemeral unless pinned via ``config``.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        telemetry: Telemetry | None = None,
+        work_fns: dict | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig(port=0, workers=0)
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self._work_fns = work_fns
+        self.service: ScheduleService | None = None
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.clean: bool | None = None
+
+    def __enter__(self) -> "ServiceThread":
+        self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def start(self) -> "ServiceThread":
+        if self._thread is not None:
+            raise ConfigurationError("ServiceThread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise ConfigurationError("service thread failed to start in 30s")
+        return self
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def main() -> bool:
+            self.service = ScheduleService(
+                self.config, telemetry=self.telemetry, work_fns=self._work_fns
+            )
+            try:
+                await self.service.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self.port = self.service.port
+            self._started.set()
+            return await self.service.serve_forever()
+
+        try:
+            self.clean = asyncio.run(main())
+        except BaseException:
+            # Startup failures are re-raised to the caller from start().
+            self._started.set()
+
+    def stop(self, timeout: float = 30.0) -> bool | None:
+        """Drain and join; returns whether the drain was clean."""
+        if self._thread is None:
+            return None
+        if self.service is not None:
+            self.service.request_shutdown()
+        self._thread.join(timeout=timeout)
+        self._thread = None
+        return self.clean
+
+    def client(self, timeout: float = 120.0) -> ServiceClient:
+        assert self.port is not None, "start() first"
+        return ServiceClient(self.config.host, self.port, timeout=timeout)
+
+
+@dataclass
+class SpawnedService:
+    """A ``repro serve`` subprocess plus the client pointed at it."""
+
+    process: subprocess.Popen
+    client: ServiceClient
+
+    def terminate(self, timeout: float = 30.0) -> int:
+        """SIGTERM (graceful drain) and wait; returns the exit code."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+            raise
+
+    def __enter__(self) -> "SpawnedService":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+
+
+def spawn_service(
+    port: int,
+    workers: int = 0,
+    queue_limit: int = 64,
+    rate_limit: float | None = None,
+    burst: float | None = None,
+    extra_args: list[str] | None = None,
+    startup_timeout: float = 30.0,
+) -> SpawnedService:
+    """Launch ``repro serve`` as a subprocess and wait until it answers.
+
+    The caller picks the port (use :func:`free_port`).  The child
+    inherits the environment with ``PYTHONPATH`` extended so ``repro``
+    resolves from the repo checkout.
+    """
+    cmd = [
+        sys.executable, "-m", "repro.cli", "serve",
+        "--host", "127.0.0.1",
+        "--port", str(port),
+        "--workers", str(workers),
+        "--queue-limit", str(queue_limit),
+    ]
+    if rate_limit is not None:
+        cmd += ["--rate-limit", str(rate_limit)]
+    if burst is not None:
+        cmd += ["--burst", str(burst)]
+    cmd += extra_args or []
+    env = dict(os.environ)
+    src = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(cmd, env=env)
+    client = ServiceClient("127.0.0.1", port)
+    try:
+        client.wait_until_up(timeout=startup_timeout)
+    except Exception:
+        process.kill()
+        process.wait(timeout=10.0)
+        raise
+    return SpawnedService(process=process, client=client)
+
+
+def free_port() -> int:
+    """An OS-assigned free TCP port (racy in principle, fine on loopback)."""
+    import socket
+
+    with socket.socket() as sock:
+        sock.bind(("127.0.0.1", 0))
+        return sock.getsockname()[1]

@@ -213,3 +213,62 @@ class TestValidation:
     def test_single_instance_falls_back_to_serial(self):
         stats = run_comparison_parallel(TINY_EP, ALGS, 1, seed=2, n_workers=4)
         assert stats == run_comparison(TINY_EP, ALGS, 1, seed=2, n_workers=1)
+
+
+def _failing_block(start: int, stop: int) -> np.ndarray:
+    """Worker that computes the first chunks, then blows up at index 6."""
+    if start >= 6:
+        raise RuntimeError(f"injected failure in chunk [{start}, {stop})")
+    return _identity_block(start, stop)
+
+
+class TestPoolShutdown:
+    """A failed (or interrupted) sweep must not leak worker processes."""
+
+    def test_worker_failure_propagates(self):
+        with pytest.raises(RuntimeError, match="injected failure"):
+            run_sharded_instances(
+                _failing_block, 1, 12, n_workers=2, chunk_size=3
+            )
+
+    def test_worker_failure_reaps_children(self):
+        import multiprocessing
+        import time
+
+        before = {p.pid for p in multiprocessing.active_children()}
+        with pytest.raises(RuntimeError):
+            run_sharded_instances(
+                _failing_block, 1, 12, n_workers=2, chunk_size=3
+            )
+        # _terminate_pool joins with a timeout; give stragglers a beat.
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            leaked = {
+                p.pid for p in multiprocessing.active_children()
+            } - before
+            if not leaked:
+                break
+            time.sleep(0.05)
+        assert not leaked
+
+    def test_failure_does_not_hang_on_running_chunks(self):
+        """Slow in-flight chunks must not stall the failure path: the
+        call returns promptly instead of waiting out the whole pool."""
+        import time
+
+        t0 = time.monotonic()
+        with pytest.raises(RuntimeError):
+            run_sharded_instances(
+                _failing_block_after_slow_start, 1, 16, n_workers=4,
+                chunk_size=2,
+            )
+        assert time.monotonic() - t0 < 10.0
+
+
+def _failing_block_after_slow_start(start: int, stop: int) -> np.ndarray:
+    import time
+
+    if start == 0:
+        raise RuntimeError("fail fast")
+    time.sleep(0.3)
+    return _identity_block(start, stop)

@@ -1,0 +1,92 @@
+"""Tests for the registered job-stream experiment (``repro run stream``)."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+
+from repro.cli import main
+from repro.experiments.figures import DEFAULT_INSTANCES, EXPERIMENTS
+from repro.experiments.stream import (
+    STREAM_JOBS,
+    STREAM_LOADS,
+    STREAM_SPEC,
+    _POLICIES,
+    run_stream,
+)
+from repro.multijob import (
+    STREAM_POLICIES,
+    make_stream_scheduler,
+    poisson_stream,
+    simulate_stream,
+)
+from repro.workloads.generator import sample_system
+
+
+class TestRegistry:
+    def test_registered_experiment(self):
+        assert EXPERIMENTS["stream"] is run_stream
+        assert "stream" in DEFAULT_INSTANCES
+
+    def test_policy_registry_round_trip(self):
+        for name, cls in STREAM_POLICIES.items():
+            sched = make_stream_scheduler(name)
+            assert isinstance(sched, cls)
+            assert sched.name == name
+
+    def test_unknown_policy_rejected(self):
+        import pytest
+
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError, match="unknown stream policy"):
+            make_stream_scheduler("nope")
+
+
+class TestRunStream:
+    def test_result_shape(self):
+        result = run_stream(n_instances=2, seed=3)
+        assert result["figure"] == "stream"
+        assert result["kind"] == "bars"
+        assert [p["name"] for p in result["panels"]] == [
+            "light-load", "heavy-load",
+        ]
+        for panel in result["panels"]:
+            assert [s["key"] for s in panel["series"]] == list(_POLICIES)
+            for s in panel["series"]:
+                assert s["n"] == 2
+                assert s["mean"] > 0 and s["max"] >= s["mean"]
+
+    def test_deterministic_and_worker_invariant(self):
+        serial = run_stream(n_instances=3, seed=7, n_workers=1)
+        again = run_stream(n_instances=3, seed=7, n_workers=1)
+        parallel = run_stream(n_instances=3, seed=7, n_workers=2)
+        assert serial == again == parallel
+
+    def test_matches_direct_simulation(self):
+        """Panel means reproduce hand-rolled simulate_stream calls."""
+        n = 2
+        result = run_stream(n_instances=n, seed=11)
+        load_index, (_, gap) = 1, STREAM_LOADS[1]
+        flows = {name: [] for name in _POLICIES}
+        for i in range(n):
+            rng = np.random.default_rng(np.random.SeedSequence([11, load_index, i]))
+            system = sample_system(STREAM_SPEC, rng)
+            stream = poisson_stream(STREAM_SPEC, STREAM_JOBS, gap, rng)
+            for name in _POLICIES:
+                r = simulate_stream(stream, system, make_stream_scheduler(name))
+                flows[name].append(r.mean_flow_time)
+        heavy = result["panels"][1]
+        for s in heavy["series"]:
+            assert s["mean"] == float(np.mean(flows[s["key"]]))
+
+
+class TestCli:
+    def test_run_stream_saves_json(self, tmp_path, capsys):
+        assert main([
+            "run", "stream", "--instances", "2", "--seed", "3",
+            "--out", str(tmp_path), "--quiet",
+        ]) == 0
+        saved = json.loads((tmp_path / "stream.json").read_text())
+        assert saved == run_stream(n_instances=2, seed=3)

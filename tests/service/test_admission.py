@@ -1,0 +1,147 @@
+"""Admission control: token bucket, bounded queue, drain, telemetry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+from repro.service.admission import AdmissionController, TokenBucket
+from repro.service.protocol import ProtocolError
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+class TestTokenBucket:
+    def test_burst_then_dry(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=2, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        wait = bucket.try_acquire()
+        assert wait == pytest.approx(1.0)
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, burst=1, clock=clock)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+        clock.advance(0.5)  # one token at 2/s
+        assert bucket.try_acquire() == 0.0
+
+    def test_never_exceeds_burst(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=10.0, burst=2, clock=clock)
+        clock.advance(100.0)
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() == 0.0
+        assert bucket.try_acquire() > 0.0
+
+    def test_rejection_does_not_consume(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        bucket.try_acquire()
+        first = bucket.try_acquire()
+        second = bucket.try_acquire()
+        assert first == pytest.approx(second)
+
+    def test_default_burst(self):
+        assert TokenBucket(rate=4.0).burst == 4.0
+        assert TokenBucket(rate=0.5).burst == 1.0
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=0.0)
+        with pytest.raises(ConfigurationError):
+            TokenBucket(rate=1.0, burst=0.5)
+
+
+class TestAdmissionController:
+    def test_admit_and_release(self):
+        ctrl = AdmissionController(max_pending=2)
+        with ctrl.admit():
+            assert ctrl.pending == 1
+        assert ctrl.pending == 0
+
+    def test_queue_full(self):
+        ctrl = AdmissionController(max_pending=1)
+        ticket = ctrl.admit()
+        with pytest.raises(ProtocolError) as excinfo:
+            ctrl.admit()
+        err = excinfo.value
+        assert err.code == "queue_full"
+        assert err.http_status == 429
+        assert err.retry_after is not None and err.retry_after > 0
+        ticket.release()
+        ctrl.admit()  # slot freed
+
+    def test_release_is_idempotent(self):
+        ctrl = AdmissionController(max_pending=1)
+        ticket = ctrl.admit()
+        ticket.release()
+        ticket.release()
+        assert ctrl.pending == 0
+
+    def test_rate_limited(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        ctrl = AdmissionController(max_pending=10, bucket=bucket)
+        ctrl.admit().release()
+        with pytest.raises(ProtocolError) as excinfo:
+            ctrl.admit()
+        err = excinfo.value
+        assert err.code == "rate_limited"
+        assert err.retry_after == pytest.approx(1.0)
+        clock.advance(1.0)
+        ctrl.admit()
+
+    def test_queue_check_precedes_rate_limit(self):
+        # A full queue must not burn rate tokens for requests it rejects.
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, burst=1, clock=clock)
+        ctrl = AdmissionController(max_pending=1, bucket=bucket)
+        clock.advance(10.0)
+        ticket = ctrl.admit()  # consumes the only token
+        with pytest.raises(ProtocolError) as excinfo:
+            ctrl.admit()
+        assert excinfo.value.code == "queue_full"
+        ticket.release()
+        clock.advance(1.0)
+        ctrl.admit()
+
+    def test_draining_rejects_everything(self):
+        ctrl = AdmissionController(max_pending=10)
+        ctrl.start_draining()
+        with pytest.raises(ProtocolError) as excinfo:
+            ctrl.admit()
+        err = excinfo.value
+        assert err.code == "draining"
+        assert err.http_status == 503
+
+    def test_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            AdmissionController(max_pending=0)
+
+    def test_telemetry_counters(self):
+        telemetry = Telemetry()
+        ctrl = AdmissionController(max_pending=1, telemetry=telemetry)
+        ticket = ctrl.admit()
+        with pytest.raises(ProtocolError):
+            ctrl.admit()
+        ticket.release()
+        ctrl.start_draining()
+        with pytest.raises(ProtocolError):
+            ctrl.admit()
+        counters = telemetry.snapshot().counters
+        assert counters["admission.admitted"] == 1
+        assert counters["admission.rejected.queue_full"] == 1
+        assert counters["admission.rejected.draining"] == 1

@@ -1,0 +1,202 @@
+"""Protocol round-trips, strict validation, and fingerprint properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.protocol import (
+    HTTP_STATUS,
+    MAX_STREAM_JOBS,
+    MAX_SWEEP_INSTANCES,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    ScheduleRequest,
+    StreamRequest,
+    SweepRequest,
+    error_response,
+    ok_response,
+    parse_request,
+    request_fingerprint,
+)
+
+CELL = "small-layered-ep"
+
+
+def parse_error(payload, expected_kind=None) -> ProtocolError:
+    with pytest.raises(ProtocolError) as excinfo:
+        parse_request(payload, expected_kind=expected_kind)
+    return excinfo.value
+
+
+class TestRoundTrip:
+    def test_schedule(self):
+        req = ScheduleRequest(cell=CELL, scheduler="mqb", seed=7)
+        assert parse_request(req.to_payload()) == req
+
+    def test_sweep(self):
+        req = SweepRequest(
+            cell=CELL, algorithms=("kgreedy", "mqb"), n_instances=3, seed=11
+        )
+        assert parse_request(req.to_payload()) == req
+
+    def test_stream(self):
+        req = StreamRequest(
+            cell=CELL, policy="srpt", n_jobs=5, mean_interarrival=25.0, seed=2
+        )
+        assert parse_request(req.to_payload()) == req
+
+    def test_preemptive_with_deadline(self):
+        req = ScheduleRequest(
+            cell=CELL, scheduler="mqb", preemptive=True, quantum=0.5, deadline=9.0
+        )
+        assert parse_request(req.to_payload()) == req
+
+    def test_defaults_fill_in(self):
+        req = parse_request({"kind": "schedule", "cell": CELL})
+        assert req == ScheduleRequest(cell=CELL)
+
+    def test_endpoint_pins_kind(self):
+        req = parse_request({"cell": CELL}, expected_kind="stream")
+        assert isinstance(req, StreamRequest)
+
+
+class TestRejection:
+    def test_non_object_body(self):
+        assert parse_error([1, 2]).code == "bad_request"
+
+    def test_wrong_protocol_version(self):
+        err = parse_error(
+            {"protocol": PROTOCOL_VERSION + 1, "kind": "schedule", "cell": CELL}
+        )
+        assert err.code == "bad_protocol"
+
+    def test_unknown_kind(self):
+        assert parse_error({"kind": "frobnicate", "cell": CELL}).code == "unknown_kind"
+
+    def test_kind_conflicts_with_endpoint(self):
+        err = parse_error(
+            {"kind": "sweep", "cell": CELL, "algorithms": ["mqb"]},
+            expected_kind="schedule",
+        )
+        assert err.code == "bad_request"
+
+    def test_missing_cell(self):
+        err = parse_error({"kind": "schedule"})
+        assert err.code == "bad_request"
+        assert "cell" in err.message
+
+    def test_unknown_cell(self):
+        assert parse_error({"kind": "schedule", "cell": "nope"}).code == "unknown_cell"
+
+    def test_unknown_scheduler(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "scheduler": "nope"})
+        assert err.code == "unknown_scheduler"
+
+    def test_unknown_policy(self):
+        err = parse_error({"kind": "stream", "cell": CELL, "policy": "nope"})
+        assert err.code == "unknown_policy"
+
+    def test_unknown_fields_rejected(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "sede": 3})
+        assert err.code == "bad_request"
+        assert "sede" in err.message
+
+    def test_bool_is_not_an_int(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "seed": True})
+        assert err.code == "bad_request"
+
+    def test_preemptive_must_be_bool(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "preemptive": 1})
+        assert err.code == "bad_request"
+
+    def test_empty_algorithms(self):
+        err = parse_error({"kind": "sweep", "cell": CELL, "algorithms": []})
+        assert err.code == "bad_request"
+
+    def test_sweep_instance_cap(self):
+        err = parse_error(
+            {
+                "kind": "sweep",
+                "cell": CELL,
+                "algorithms": ["mqb"],
+                "n_instances": MAX_SWEEP_INSTANCES + 1,
+            }
+        )
+        assert err.code == "bad_request"
+
+    def test_stream_job_cap(self):
+        err = parse_error(
+            {"kind": "stream", "cell": CELL, "n_jobs": MAX_STREAM_JOBS + 1}
+        )
+        assert err.code == "bad_request"
+
+    def test_negative_deadline(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "deadline": -1.0})
+        assert err.code == "bad_request"
+
+    def test_every_code_maps_to_a_status(self):
+        for code, status in HTTP_STATUS.items():
+            assert status in (400, 404, 405, 413, 429, 500, 503, 504), code
+
+    def test_unregistered_code_refused(self):
+        with pytest.raises(ValueError):
+            ProtocolError("no_such_code", "x")
+        with pytest.raises(ValueError):
+            error_response("no_such_code", "x")
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = ScheduleRequest(cell=CELL, scheduler="mqb", seed=3)
+        b = ScheduleRequest(cell=CELL, scheduler="mqb", seed=3)
+        assert request_fingerprint(a) == request_fingerprint(b)
+
+    def test_execution_fields_split_it(self):
+        base = ScheduleRequest(cell=CELL, scheduler="mqb", seed=3)
+        for other in (
+            ScheduleRequest(cell=CELL, scheduler="kgreedy", seed=3),
+            ScheduleRequest(cell=CELL, scheduler="mqb", seed=4),
+            ScheduleRequest(cell="medium-layered-ir", scheduler="mqb", seed=3),
+            ScheduleRequest(cell=CELL, scheduler="mqb", seed=3, preemptive=True),
+        ):
+            assert request_fingerprint(base) != request_fingerprint(other)
+
+    def test_deadline_never_fingerprinted(self):
+        a = ScheduleRequest(cell=CELL, seed=3)
+        b = ScheduleRequest(cell=CELL, seed=3, deadline=5.0)
+        assert request_fingerprint(a) == request_fingerprint(b)
+
+    def test_quantum_ignored_when_not_preemptive(self):
+        a = ScheduleRequest(cell=CELL, seed=3, quantum=1.0)
+        b = ScheduleRequest(cell=CELL, seed=3, quantum=2.0)
+        assert request_fingerprint(a) == request_fingerprint(b)
+        ap = ScheduleRequest(cell=CELL, seed=3, preemptive=True, quantum=1.0)
+        bp = ScheduleRequest(cell=CELL, seed=3, preemptive=True, quantum=2.0)
+        assert request_fingerprint(ap) != request_fingerprint(bp)
+
+    def test_kinds_never_collide(self):
+        sweep = SweepRequest(cell=CELL, algorithms=("mqb",), n_instances=1, seed=0)
+        stream = StreamRequest(cell=CELL, seed=0)
+        sched = ScheduleRequest(cell=CELL, seed=0)
+        prints = {request_fingerprint(r) for r in (sweep, stream, sched)}
+        assert len(prints) == 3
+
+
+class TestResponses:
+    def test_ok_shape(self):
+        body = ok_response("schedule", {"makespan": 3.0}, 0.01, source="cached")
+        assert body["status"] == "ok"
+        assert body["protocol"] == PROTOCOL_VERSION
+        assert body["source"] == "cached"
+        assert body["result"] == {"makespan": 3.0}
+
+    def test_error_shape(self):
+        body = error_response("queue_full", "full", retry_after=1.5)
+        assert body["status"] == "error"
+        assert body["error"]["code"] == "queue_full"
+        assert body["error"]["retry_after"] == 1.5
+
+    def test_protocol_error_body(self):
+        err = ProtocolError("rate_limited", "slow down", retry_after=2.0)
+        assert err.http_status == 429
+        assert err.to_body()["error"]["code"] == "rate_limited"
