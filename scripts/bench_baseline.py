@@ -102,16 +102,26 @@ def measure() -> dict[str, float]:
 
     spec = WORKLOAD_CELLS["medium-layered-ir"]
 
-    def sweep(workers: int) -> float:
+    def sweep(workers: int, engine: str = "scalar", n: int = SWEEP_INSTANCES) -> float:
         t0 = time.perf_counter()
         run_comparison(
-            spec, PAPER_ALGORITHMS, SWEEP_INSTANCES, SWEEP_SEED,
-            n_workers=workers,
+            spec, PAPER_ALGORITHMS, n, SWEEP_SEED,
+            n_workers=workers, engine=engine,
         )
         return time.perf_counter() - t0
 
     after["fig4_ir_sweep_16_serial"] = min(sweep(1) for _ in range(2))
     after["fig4_ir_sweep_16_workers8"] = min(sweep(8) for _ in range(2))
+
+    # Batched lockstep engine (src/repro/sim/batch.py): the same sweep
+    # with every supported (instance, scheduler) pair advanced through
+    # one vectorized event loop, bit-identical per instance to the
+    # scalar engine.  The 256-instance pair shows the scaling regime
+    # the engine is built for — per-round costs amortize across rows,
+    # so the batch advantage grows with the batch.
+    after["fig4_ir_sweep_16_batch"] = min(sweep(1, "batch") for _ in range(2))
+    after["fig4_ir_sweep_256_serial"] = sweep(1, "scalar", 256)
+    after["fig4_ir_sweep_256_batch"] = sweep(1, "batch", 256)
 
     # Result cache (src/repro/resultcache): the same sweep cold (every
     # instance computed and persisted) vs warm (pure lookups, engines
@@ -145,12 +155,24 @@ def main() -> int:
         / after["fig4_ir_sweep_16_warm_cache"],
         3,
     )
+    speedups["fig4_ir_sweep_16_batch_vs_scalar"] = round(
+        after["fig4_ir_sweep_16_serial"] / after["fig4_ir_sweep_16_batch"], 3
+    )
+    speedups["fig4_ir_sweep_256_batch_vs_scalar"] = round(
+        after["fig4_ir_sweep_256_serial"] / after["fig4_ir_sweep_256_batch"], 3
+    )
+    speedups["fig4_ir_sweep_16_batch_vs_seed_serial"] = round(
+        BASELINE["fig4_ir_sweep_16_serial"] / after["fig4_ir_sweep_16_batch"], 3
+    )
     payload = {
         "description": (
             "Engine/offline-pass hot-path timings, seconds (min over "
             "repeats). 'before' = seed commit 354fe77; 'after' = current "
             "tree. Sweep = run_comparison(medium-layered-ir, 6 paper "
-            "algorithms, 16 instances, seed 2011). The _telemetry "
+            "algorithms, 16 instances, seed 2011); the _batch variants "
+            "run the same sweep through the batched lockstep engine "
+            "(bit-identical per instance), at 16 and 256 instances, "
+            "cache off. The _telemetry "
             "variant runs the same instance under an enabled Telemetry "
             "(aggregates only, no event stream). The _cold_cache / "
             "_warm_cache pair times the same sweep against a fresh "

@@ -15,14 +15,22 @@ and (c) all three :class:`SeriesStats` results compare ``==`` —
 float-for-float, not approximately.  Exercised serial and with a
 2-worker pool.
 
+With ``--engine batch`` the cold and warm runs go through the batched
+lockstep engine while the ground truth stays scalar — and an extra
+cross-engine warm pass reads the cache back under the *other* engine.
+All of it must still be all-hits and float-identical, which proves the
+cache fingerprints are engine-mode-invariant: an entry written by one
+engine answers the other, because the engines are bit-identical.
+
 Run from the repo root (CI sets a throwaway ``REPRO_CACHE_DIR``)::
 
     PYTHONPATH=src REPRO_CACHE=1 REPRO_CACHE_DIR=/tmp/repro-ci-cache \
-        python scripts/check_cache_roundtrip.py
+        python scripts/check_cache_roundtrip.py [--engine batch]
 """
 
 from __future__ import annotations
 
+import argparse
 import os
 import sys
 import tempfile
@@ -37,6 +45,17 @@ ALGORITHMS = ("kgreedy", "mqb", "lspan")
 
 
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--engine",
+        choices=("scalar", "batch"),
+        default="scalar",
+        help="engine for the cold/warm runs (ground truth is always scalar)",
+    )
+    args = parser.parse_args()
+    engine = args.engine
+    other = "scalar" if engine == "batch" else "batch"
+
     if "REPRO_CACHE_DIR" not in os.environ:
         os.environ["REPRO_CACHE_DIR"] = tempfile.mkdtemp(prefix="repro-cache-")
     os.environ["REPRO_CACHE"] = "1"
@@ -59,16 +78,21 @@ def main() -> int:
             failures.append(label)
 
     for workers in (1, 2):
-        print(f"workers={workers}:")
+        print(f"workers={workers} engine={engine}:")
         cold_t = Telemetry()
         cold = run_comparison(
             spec, ALGORITHMS, N_INSTANCES, SEED,
-            n_workers=workers, telemetry=cold_t,
+            n_workers=workers, telemetry=cold_t, engine=engine,
         )
         warm_t = Telemetry()
         warm = run_comparison(
             spec, ALGORITHMS, N_INSTANCES, SEED,
-            n_workers=workers, telemetry=warm_t,
+            n_workers=workers, telemetry=warm_t, engine=engine,
+        )
+        cross_t = Telemetry()
+        cross = run_comparison(
+            spec, ALGORITHMS, N_INSTANCES, SEED,
+            n_workers=workers, telemetry=cross_t, engine=other,
         )
         check("cold run bit-identical to cache-disabled run", cold == truth)
         check("warm run bit-identical to cache-disabled run", warm == truth)
@@ -84,6 +108,17 @@ def main() -> int:
         check(
             "warm run never sampled an instance",
             "sweep.instances" not in warm_t.counters,
+        )
+        # Engine-mode-invariant fingerprints: reading the same cache
+        # back under the other engine is still pure hits and identical.
+        check(
+            f"cross-engine ({other}) warm run bit-identical",
+            cross == truth,
+        )
+        check(
+            f"cross-engine warm run is all hits ({N_INSTANCES}/{N_INSTANCES})",
+            cross_t.counters.get("cache.hits") == N_INSTANCES
+            and "cache.misses" not in cross_t.counters,
         )
         # Clear between worker counts so each pass is a true cold start.
         if workers == 1:

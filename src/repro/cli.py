@@ -83,6 +83,16 @@ def build_parser() -> argparse.ArgumentParser:
             "REPRO_WORKERS env var; results are identical for any count)"
         ),
     )
+    run_p.add_argument(
+        "--engine",
+        choices=("scalar", "batch"),
+        default=None,
+        help=(
+            "simulation engine for non-preemptive sweeps (default: the "
+            "REPRO_ENGINE env var, else scalar); 'batch' simulates cache "
+            "misses in vectorized lockstep with bit-identical results"
+        ),
+    )
     run_p.add_argument("--out", default=None, help="directory for JSON results")
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress rendered tables"
@@ -196,6 +206,12 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     prof_p.add_argument(
+        "--engine",
+        choices=("scalar", "batch"),
+        default=None,
+        help="simulation engine (see `repro run --engine`)",
+    )
+    prof_p.add_argument(
         "--full",
         action="store_true",
         help="full observability report (decision costs, counters), "
@@ -248,6 +264,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             n_instances=args.instances,
             seed=args.seed,
             n_workers=args.workers,
+            engine=args.engine,
             **fault_kwargs,
         )
         elapsed = time.time() - t0
@@ -381,6 +398,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         n_workers=args.workers,
         telemetry=telemetry,
+        engine=args.engine,
     )
     elapsed = time.time() - t0
     snap = telemetry.snapshot()

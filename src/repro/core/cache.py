@@ -40,6 +40,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core import descendants as _desc
+from repro.core import properties as _props
 from repro.core.kdag import KDag
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "cached_remaining_span",
     "cached_different_child_distance",
     "cached_due_dates",
+    "cached_lower_bound",
     "clear_offline_cache",
     "offline_cache_info",
 ]
@@ -94,6 +96,18 @@ def cached_due_dates(job: KDag) -> np.ndarray:
     return _frozen(rs.max() - rs)
 
 
+@lru_cache(maxsize=_CACHE_SIZE)
+def cached_lower_bound(job: KDag, processors: tuple[int, ...]) -> float:
+    """Memoized :func:`repro.core.properties.lower_bound`.
+
+    A paired comparison computes the *same* ``L(J)`` once per
+    algorithm when turning makespans into completion-time ratios;
+    keying on (job content, processor counts) collapses those into a
+    single span sweep per instance.
+    """
+    return _props.lower_bound(job, processors)
+
+
 _ALL_CACHES = (
     cached_descendant_values,
     cached_one_step_descendant_values,
@@ -101,6 +115,7 @@ _ALL_CACHES = (
     cached_remaining_span,
     cached_different_child_distance,
     cached_due_dates,
+    cached_lower_bound,
 )
 
 
@@ -120,6 +135,7 @@ def offline_cache_info() -> dict[str, dict[str, int]]:
         "remaining_span",
         "different_child_distance",
         "due_dates",
+        "lower_bound",
     )
     for name, cache in zip(names, _ALL_CACHES):
         info = cache.cache_info()

@@ -30,10 +30,15 @@ __all__ = ["KDag", "csr_gather"]
 
 def _as_edge_array(edges: Iterable[tuple[int, int]]) -> np.ndarray:
     """Normalize an edge iterable to an ``(m, 2)`` int64 array."""
-    edge_list = list(edges)
-    if not edge_list:
+    if isinstance(edges, np.ndarray):
+        arr = edges.astype(np.int64, copy=False)
+    else:
+        edge_list = list(edges)
+        if not edge_list:
+            return np.empty((0, 2), dtype=np.int64)
+        arr = np.asarray(edge_list, dtype=np.int64)
+    if arr.size == 0:
         return np.empty((0, 2), dtype=np.int64)
-    arr = np.asarray(edge_list, dtype=np.int64)
     if arr.ndim != 2 or arr.shape[1] != 2:
         raise GraphError(f"edges must be (u, v) pairs, got array shape {arr.shape}")
     return arr
@@ -152,22 +157,31 @@ class KDag:
                 raise GraphError("edge endpoint out of range")
             if np.any(edge_arr[:, 0] == edge_arr[:, 1]):
                 raise GraphError("self loops are not allowed")
-            dedup = np.unique(edge_arr, axis=0)
-            if dedup.shape[0] != edge_arr.shape[0]:
+            # Dedup/sort via a packed (u * n + v) code: one int64 sort
+            # instead of a structured-view lexicographic unique, and
+            # the result is the same (u, v)-lexicographic edge order.
+            codes = np.unique(edge_arr[:, 0] * n + edge_arr[:, 1])
+            if codes.shape[0] != edge_arr.shape[0]:
                 raise GraphError("duplicate edges are not allowed")
-            edge_arr = dedup
+            edge_arr = np.stack([codes // n, codes % n], axis=1)
 
         self._n = n
         self._k = k
         self._types = types_arr
         self._work = work_arr
         self._edges = edge_arr
-        self._child_ptr, self._child_idx = _build_csr(
-            n, edge_arr[:, 0], edge_arr[:, 1]
-        )
-        self._parent_ptr, self._parent_idx = _build_csr(
-            n, edge_arr[:, 1], edge_arr[:, 0]
-        )
+        # Edges are (u, v)-sorted, so the child CSR needs no sort; the
+        # parent CSR sorts once by the transposed (v * n + u) code.
+        src, dst = edge_arr[:, 0], edge_arr[:, 1]
+        child_counts = np.bincount(src, minlength=n)
+        self._child_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(child_counts, out=self._child_ptr[1:])
+        self._child_idx = np.ascontiguousarray(dst)
+        parent_order = np.argsort(dst * n + src, kind="stable")
+        parent_counts = np.bincount(dst, minlength=n)
+        self._parent_ptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(parent_counts, out=self._parent_ptr[1:])
+        self._parent_idx = src[parent_order]
         self._topo, self._depth = self._topological_order()
         self._levels: tuple[np.ndarray, np.ndarray] | None = None
         self._hash: int | None = None
@@ -189,27 +203,45 @@ class KDag:
     # construction helpers
     # ------------------------------------------------------------------
     def _topological_order(self) -> tuple[np.ndarray, np.ndarray]:
-        """Kahn's algorithm; returns (topo order, depth per node).
+        """Level-order Kahn's algorithm; returns (topo order, depth per node).
 
         Depth is the edge-count distance from the farthest source, i.e.
-        the layer index used by layered workload inspection.
+        the layer index used by layered workload inspection.  The peel
+        is level batched: a node joins the frontier exactly when its
+        last parent has been peeled, so its peel round *is* the longest
+        edge-count path from a source, and each round is a handful of
+        whole-frontier array ops instead of a per-node Python loop.
         """
         n = self._n
-        indeg = np.diff(self._parent_ptr).astype(np.int64)
+        indeg = np.diff(self._parent_ptr)
         depth = np.zeros(n, dtype=np.int64)
         order = np.empty(n, dtype=np.int64)
-        frontier = np.flatnonzero(indeg == 0).tolist()
+        child_ptr, child_idx = self._child_ptr, self._child_idx
+        frontier = np.flatnonzero(indeg == 0)
+        indeg = indeg.copy()
         pos = 0
-        while frontier:
-            v = frontier.pop()
-            order[pos] = v
-            pos += 1
-            for u in self._child_idx[self._child_ptr[v] : self._child_ptr[v + 1]]:
-                indeg[u] -= 1
-                if depth[u] < depth[v] + 1:
-                    depth[u] = depth[v] + 1
-                if indeg[u] == 0:
-                    frontier.append(int(u))
+        level = 0
+        while frontier.size:
+            order[pos : pos + frontier.size] = frontier
+            depth[frontier] = level
+            pos += frontier.size
+            counts = child_ptr[frontier + 1] - child_ptr[frontier]
+            fat = frontier[counts > 0]
+            if fat.size == 0:
+                break
+            counts = counts[counts > 0]
+            # Flat gather of all children of this level's nodes.
+            offsets = np.arange(int(counts.sum()), dtype=np.int64)
+            offsets += np.repeat(
+                child_ptr[fat] - np.concatenate(
+                    ([0], np.cumsum(counts[:-1]))
+                ),
+                counts,
+            )
+            children = child_idx[offsets]
+            indeg -= np.bincount(children, minlength=n)
+            frontier = np.unique(children[indeg[children] == 0])
+            level += 1
         if pos != n:
             raise CycleError(
                 f"edge set contains a cycle ({n - pos} tasks unreachable)"

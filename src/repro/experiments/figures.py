@@ -85,6 +85,7 @@ def run_fig4(
     seed: int = 2011,
     n_workers: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Fig. 4: the six algorithms on the six workload cells."""
     n = n_instances or DEFAULT_INSTANCES["fig4"]
@@ -92,7 +93,7 @@ def run_fig4(
     for cell, label in _FIG4_PANELS:
         stats = run_comparison(
             WORKLOAD_CELLS[cell], PAPER_ALGORITHMS, n, seed, n_workers=n_workers,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=engine,
         )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
@@ -112,6 +113,7 @@ def run_fig5(
     seed: int = 2012,
     n_workers: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Fig. 5: varying the number of resource types K from 1 to 6."""
     n = n_instances or DEFAULT_INSTANCES["fig5"]
@@ -123,7 +125,7 @@ def run_fig5(
             spec = WORKLOAD_CELLS[cell].with_num_types(k)
             for s in run_comparison(
                 spec, PAPER_ALGORITHMS, n, seed + k, n_workers=n_workers,
-                telemetry=telemetry,
+                telemetry=telemetry, engine=engine,
             ):
                 series[s.key].append(s.mean)
         panels.append(
@@ -150,6 +152,7 @@ def run_fig6(
     seed: int = 2013,
     n_workers: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Fig. 6: skewed load — type 0's processors cut to one fifth."""
     n = n_instances or DEFAULT_INSTANCES["fig6"]
@@ -161,7 +164,7 @@ def run_fig6(
         spec = WORKLOAD_CELLS[cell].with_skew(5)
         stats = run_comparison(
             spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=engine,
         )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
@@ -181,6 +184,7 @@ def run_fig7(
     seed: int = 2014,
     n_workers: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Fig. 7: non-preemptive vs preemptive scheduling."""
     n = n_instances or DEFAULT_INSTANCES["fig7"]
@@ -189,11 +193,11 @@ def run_fig7(
         spec = WORKLOAD_CELLS[cell]
         np_stats = run_comparison(
             spec, PAPER_ALGORITHMS, n, seed, n_workers=n_workers,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=engine,
         )
         p_stats = run_comparison(
             spec, PAPER_ALGORITHMS, n, seed, preemptive=True, n_workers=n_workers,
-            telemetry=telemetry,
+            telemetry=telemetry, engine=engine,
         )
         series = [s.to_dict() for s in np_stats] + [s.to_dict() for s in p_stats]
         panels.append({"name": cell, "label": label, "series": series})
@@ -212,6 +216,7 @@ def run_fig8(
     seed: int = 2015,
     n_workers: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Fig. 8: MQB with partial / imprecise descendant information."""
     n = n_instances or DEFAULT_INSTANCES["fig8"]
@@ -219,7 +224,7 @@ def run_fig8(
     for cell, label in _LAYERED_PANELS:
         stats = run_comparison(
             WORKLOAD_CELLS[cell], APPROX_INFO_ALGORITHMS, n, seed,
-            n_workers=n_workers, telemetry=telemetry,
+            n_workers=n_workers, telemetry=telemetry, engine=engine,
         )
         panels.append(
             {"name": cell, "label": label, "series": [s.to_dict() for s in stats]}
@@ -339,6 +344,7 @@ def run_experiment(
     mttr: float | None = None,
     fault_seed: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> dict:
     """Run one experiment by id (``fig4`` ... ``robustness``).
 
@@ -346,7 +352,8 @@ def run_experiment(
     sense for experiments that inject failures; passing one to any
     other experiment is a configuration error.  Likewise ``telemetry``
     (profiling) only applies to simulation sweeps — the theory
-    experiments (``lemma1``, ``thm2``) reject it.
+    experiments (``lemma1``, ``thm2``) reject it — and ``engine``
+    (``scalar``/``batch``) only to the paired-comparison figures.
     """
     try:
         fn = EXPERIMENTS[name]
@@ -369,6 +376,8 @@ def run_experiment(
         kwargs["fault_seed"] = fault_seed
     if telemetry is not None:
         kwargs["telemetry"] = telemetry
+    if engine is not None:
+        kwargs["engine"] = engine
     try:
         return fn(**kwargs)
     except TypeError as exc:
@@ -377,6 +386,10 @@ def run_experiment(
         if "telemetry" in str(exc):
             raise ConfigurationError(
                 f"experiment {name!r} does not support profiling"
+            ) from None
+        if "'engine'" in str(exc):
+            raise ConfigurationError(
+                f"experiment {name!r} does not support engine selection"
             ) from None
         raise ConfigurationError(
             f"experiment {name!r} does not accept fault parameters "

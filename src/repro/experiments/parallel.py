@@ -341,6 +341,7 @@ def run_comparison_parallel(
     n_workers: int | None = None,
     chunk_size: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> list[SeriesStats]:
     """Parallel :func:`~repro.experiments.runner.run_comparison`.
 
@@ -348,6 +349,13 @@ def run_comparison_parallel(
     ``chunk_size``; see the module docstring for why.  Falls back to
     the serial loop when one worker (or one instance) makes a pool
     pointless.
+
+    When ``engine`` (or ``REPRO_ENGINE``) selects the batch engine and
+    the sweep is non-preemptive, the whole miss segment is simulated
+    in-process by the vectorized lockstep engine — no process pool is
+    created at all: forking workers to each run a slice of a grid the
+    batch engine handles in one engine would cost more in process
+    startup and per-worker offline-cache warmup than it could save.
 
     With ``telemetry`` enabled each chunk profiles under its own
     :class:`~repro.obs.telemetry.Telemetry` and the snapshots are
@@ -367,13 +375,22 @@ def run_comparison_parallel(
     if chunk_size is not None and chunk_size < 1:
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
 
-    if workers == 1 or n_instances == 1:
-        from repro.experiments.runner import run_comparison
+    from repro.experiments.runner import resolve_engine, run_comparison
 
+    if resolve_engine(engine) == "batch" and not preemptive:
+        # The batch engine simulates the whole miss grid in-process;
+        # never build a pool for it.
         return run_comparison(
             spec, algorithms, n_instances, seed,
             preemptive=preemptive, quantum=quantum, n_workers=1,
-            telemetry=telemetry,
+            telemetry=telemetry, engine="batch",
+        )
+
+    if workers == 1 or n_instances == 1:
+        return run_comparison(
+            spec, algorithms, n_instances, seed,
+            preemptive=preemptive, quantum=quantum, n_workers=1,
+            telemetry=telemetry, engine="scalar",
         )
 
     algorithms = tuple(algorithms)

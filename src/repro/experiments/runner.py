@@ -29,6 +29,7 @@ fully resets per-run state (guaranteed by
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -43,7 +44,31 @@ from repro.sim.preemptive import simulate_preemptive
 from repro.workloads.generator import sample_instance
 from repro.workloads.params import WorkloadSpec
 
-__all__ = ["SeriesStats", "run_comparison"]
+__all__ = ["SeriesStats", "resolve_engine", "run_comparison"]
+
+#: Instances per batch-engine writeback chunk: large enough to
+#: amortize the lockstep rounds over many rows, small enough that an
+#: interrupted cold sweep resumes from a recent chunk and the offline
+#: LRU cache (default 128 jobs) still covers a chunk's worth of jobs.
+_BATCH_CHUNK = 128
+
+
+def resolve_engine(engine: str | None = None) -> str:
+    """Effective simulation engine: explicit argument, else ``REPRO_ENGINE``.
+
+    ``REPRO_ENGINE`` accepts ``scalar`` (the per-instance event loop,
+    the default) or ``batch`` (the vectorized lockstep engine of
+    :mod:`repro.sim.batch`, bit-identical results).  Unset or empty
+    means scalar.
+    """
+    if engine is None:
+        engine = os.environ.get("REPRO_ENGINE", "").strip().lower() or "scalar"
+    engine = str(engine).strip().lower()
+    if engine not in ("scalar", "batch"):
+        raise ConfigurationError(
+            f"engine must be 'scalar' or 'batch', got {engine!r}"
+        )
+    return engine
 
 
 @dataclass(frozen=True)
@@ -109,6 +134,95 @@ def _instance_ratios(
         out[a] = result.completion_time_ratio()
 
 
+def _batch_instance_ratios(
+    spec: WorkloadSpec,
+    schedulers: Sequence[Scheduler],
+    indices: Sequence[int],
+    seed: int,
+    out: np.ndarray,
+    telemetry: Telemetry | None = None,
+) -> None:
+    """Run all algorithms on ``indices`` via the lockstep batch engine.
+
+    Samples each instance with exactly the randomness the scalar path
+    derives from ``SeedSequence([seed, i])`` — same spawn layout, same
+    per-algorithm generators — then hands the whole (algorithm ×
+    instance) grid to :func:`repro.sim.batch.simulate_batch_grid`,
+    which simulates every supported pair in lockstep and is
+    bit-identical to the scalar engine per pair.  ``out`` receives the
+    ``(n_algorithms, len(indices))`` ratio block.
+    """
+    from repro.sim.batch import simulate_batch_grid
+
+    obs = telemetry if (telemetry is not None and telemetry.enabled) else None
+    instances = []
+    rng_grid: list[list[np.random.Generator | None]] = [
+        [None] * len(indices) for _ in schedulers
+    ]
+    for j, i in enumerate(indices):
+        ss = np.random.SeedSequence([seed, int(i)])
+        inst_rng, *alg_seeds = ss.spawn(1 + len(schedulers))
+        if obs is None:
+            instances.append(sample_instance(spec, np.random.default_rng(inst_rng)))
+        else:
+            with obs.timer("phase.sample_instance"):
+                instances.append(
+                    sample_instance(spec, np.random.default_rng(inst_rng))
+                )
+            obs.inc("sweep.instances")
+        for a in range(len(schedulers)):
+            rng_grid[a][j] = np.random.default_rng(alg_seeds[a])
+    grid = simulate_batch_grid(
+        instances, schedulers, rngs=rng_grid, telemetry=telemetry
+    )
+    for a in range(len(schedulers)):
+        for j in range(len(indices)):
+            out[a, j] = grid[a][j].completion_time_ratio()
+
+
+def _run_comparison_batch(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    n_instances: int,
+    seed: int,
+    quantum: float,
+    telemetry: Telemetry | None = None,
+) -> list[SeriesStats]:
+    """The batch-engine sweep: cache-miss instances simulated in lockstep.
+
+    Cache keys are engine-mode-invariant (no engine field): a batch
+    sweep reads columns a scalar sweep wrote and vice versa, which is
+    sound *because* the batch engine is bit-identical per instance.
+    Misses are computed in writeback chunks so an interrupted cold
+    sweep still resumes from its last persisted chunk.
+    """
+    from repro.resultcache.integrate import open_sweep_cache
+    from repro.resultcache.keys import comparison_fingerprint
+
+    cache = open_sweep_cache(
+        comparison_fingerprint(spec, algorithms, seed, False, quantum),
+        len(algorithms),
+        telemetry=telemetry,
+    )
+    schedulers = [make_scheduler(name) for name in algorithms]
+    ratios = np.empty((len(algorithms), n_instances), dtype=np.float64)
+    if cache is not None:
+        misses = cache.fill_hits(ratios)
+    else:
+        misses = list(range(n_instances))
+    for c in range(0, len(misses), _BATCH_CHUNK):
+        chunk = misses[c : c + _BATCH_CHUNK]
+        block = np.empty((len(algorithms), len(chunk)), dtype=np.float64)
+        _batch_instance_ratios(
+            spec, schedulers, chunk, seed, block, telemetry=telemetry
+        )
+        for j, i in enumerate(chunk):
+            ratios[:, i] = block[:, j]
+            if cache is not None:
+                cache.write_instance(i, block[:, j])
+    return _stats_from_ratios(algorithms, ratios, False)
+
+
 def _stats_from_ratios(
     algorithms: Sequence[str], ratios: np.ndarray, preemptive: bool
 ) -> list[SeriesStats]:
@@ -141,12 +255,22 @@ def run_comparison(
     quantum: float = 1.0,
     n_workers: int | None = None,
     telemetry: Telemetry | None = None,
+    engine: str | None = None,
 ) -> list[SeriesStats]:
     """Run ``algorithms`` over ``n_instances`` shared instances of ``spec``.
 
     Returns one :class:`SeriesStats` per algorithm, in input order.
-    ``preemptive`` selects the engine; keys are suffixed with ``" (P)"``
-    in that case so mixed comparisons stay unambiguous.
+    ``preemptive`` selects the preemptive event engine; keys are
+    suffixed with ``" (P)"`` in that case so mixed comparisons stay
+    unambiguous.
+
+    ``engine`` selects how non-preemptive instances are simulated
+    (``None`` defers to ``REPRO_ENGINE``, defaulting to ``scalar``):
+    ``"batch"`` routes cache-miss instances through the vectorized
+    lockstep engine (:mod:`repro.sim.batch`), which simulates the
+    whole (algorithm × instance) grid in-process — no worker pool —
+    with bit-identical results and identical cache keys.  Preemptive
+    comparisons always use the scalar preemptive engine.
 
     ``n_workers`` selects how many worker processes shard the instance
     loop (``None`` defers to ``REPRO_WORKERS``, defaulting to serial).
@@ -174,6 +298,11 @@ def run_comparison(
     from repro.experiments.parallel import resolve_workers, run_comparison_parallel
     from repro.resultcache.integrate import open_sweep_cache
     from repro.resultcache.keys import comparison_fingerprint
+
+    if resolve_engine(engine) == "batch" and not preemptive:
+        return _run_comparison_batch(
+            spec, algorithms, n_instances, seed, quantum, telemetry=telemetry
+        )
 
     if resolve_workers(n_workers) > 1 and n_instances > 1:
         return run_comparison_parallel(

@@ -71,6 +71,25 @@ def render_cache_line(snapshot: TelemetrySnapshot) -> str | None:
     )
 
 
+def render_batch_line(snapshot: TelemetrySnapshot) -> str | None:
+    """One-line batch-engine summary, or ``None`` if it never ran.
+
+    Reads the ``batch.*`` counters :mod:`repro.sim.batch` maintains —
+    rows simulated in lockstep, vectorized event rounds, and rows that
+    fell back to the scalar engine — so ``repro profile`` shows how
+    much of a sweep the batch engine actually carried.
+    """
+    instances = snapshot.counters.get("batch.instances", 0)
+    fallback = snapshot.counters.get("batch.fallback", 0)
+    if instances + fallback == 0:
+        return None
+    return (
+        f"batch engine: {instances} rows in lockstep, "
+        f"{snapshot.counters.get('batch.rounds', 0)} rounds, "
+        f"{fallback} scalar fallbacks"
+    )
+
+
 def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
     """Text table of all timers in ``snapshot``, sorted by total time."""
     rows = sorted(
@@ -78,6 +97,9 @@ def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
         key=lambda row: -row[1],
     )
     cache_line = render_cache_line(snapshot)
+    batch_line = render_batch_line(snapshot)
+    if batch_line:
+        cache_line = f"{cache_line}\n{batch_line}" if cache_line else batch_line
     if not rows:
         return cache_line if cache_line else "(no timers recorded)"
     lines = [f"{'timer':<32s} {'calls':>10s} {'total':>12s} {'mean':>12s}"]

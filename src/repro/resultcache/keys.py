@@ -57,7 +57,9 @@ __all__ = [
 #: Version of the simulation semantics the cached results embody.
 #: Bump whenever a change alters any simulated number for a fixed
 #: (spec, algorithms, seed) — see the module docstring and DESIGN.md.
-ENGINE_REV = 1
+#: Rev 2: vectorized IR workload sampling draws a different (equally
+#: distributed) random stream, so IR instances differ from rev 1.
+ENGINE_REV = 2
 
 #: Generator streams are stable within a numpy major version only.
 NUMPY_MAJOR = int(np.__version__.split(".")[0])

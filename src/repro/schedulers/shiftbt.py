@@ -29,7 +29,7 @@ import heapq
 import numpy as np
 
 from repro.core.cache import cached_due_dates
-from repro.core.kdag import KDag
+from repro.core.kdag import KDag, csr_gather
 from repro.schedulers.base import QueueScheduler
 
 __all__ = ["ShiftBT", "edd_max_lateness_schedule", "top_levels"]
@@ -40,15 +40,18 @@ def top_levels(job: KDag) -> np.ndarray:
 
     ``release(v) = max over parents p of (release(p) + work(p))``, zero
     for sources: the earliest moment ``v`` could start if every
-    resource type had unbounded processors.
+    resource type had unbounded processors.  Computed level by level
+    (every parent sits on a strictly lower level, see
+    :meth:`KDag.levels`), so each level is one gather + segmented max.
     """
     release = np.zeros(job.n_tasks, dtype=np.float64)
-    for v in job.topological_order:
-        vi = int(v)
-        for p in job.parents(vi):
-            cand = release[p] + job.work[p]
-            if cand > release[vi]:
-                release[vi] = cand
+    order, level_ptr = job.levels()
+    work = job.work
+    parent_ptr, parent_idx = job.parent_ptr, job.parent_idx
+    for li in range(1, len(level_ptr) - 1):
+        nodes = order[level_ptr[li] : level_ptr[li + 1]]
+        flat, seg_starts = csr_gather(parent_ptr, parent_idx, nodes)
+        release[nodes] = np.maximum.reduceat(release[flat] + work[flat], seg_starts)
     return release
 
 
@@ -71,34 +74,43 @@ def edd_max_lateness_schedule(
         raise ValueError(f"n_machines must be >= 1, got {n_machines}")
     if len(tasks) == 0:
         return [], float("-inf")
-    order = sorted(
-        (int(t) for t in tasks), key=lambda t: (release[t], due[t], t)
-    )
+    # Admission order by (release, due, task), computed vectorized;
+    # the hot dispatch loop below then runs on plain Python floats —
+    # extracting numpy scalars element-by-element costs several times
+    # the heap operations themselves.
+    tasks = np.asarray(tasks)
+    order = tasks[np.lexsort((tasks, due[tasks], release[tasks]))]
+    rel_l = release[order].tolist()
+    due_l = due[order].tolist()
+    work_l = work[order].tolist()
+    task_l = order.tolist()
     machines = [0.0] * n_machines
     heapq.heapify(machines)
-    released: list[tuple[float, float, int]] = []  # (due, release, task)
+    released: list[tuple[float, float, int, float]] = []  # (due, rel, task, work)
     sequence: list[int] = []
-    max_lateness = -np.inf
+    max_lateness = -float("inf")
     i = 0
-    n = len(order)
-    while len(sequence) < n:
-        t_free = heapq.heappop(machines)
+    n = len(task_l)
+    done = 0
+    heappop, heappush = heapq.heappop, heapq.heappush
+    while done < n:
+        t_free = heappop(machines)
         # Admit everything released by the machine-free instant; if the
         # pool is empty, fast-forward to the next release.
-        if not released and i < n and release[order[i]] > t_free:
-            t_free = float(release[order[i]])
-        while i < n and release[order[i]] <= t_free:
-            t = order[i]
-            heapq.heappush(released, (float(due[t]), float(release[t]), t))
+        if not released and i < n and rel_l[i] > t_free:
+            t_free = rel_l[i]
+        while i < n and rel_l[i] <= t_free:
+            heappush(released, (due_l[i], rel_l[i], task_l[i], work_l[i]))
             i += 1
-        _, rel, task = heapq.heappop(released)
-        start = max(t_free, rel)
-        completion = start + float(work[task])
-        lateness = completion - float(due[task])
+        d, rel, task, w = heappop(released)
+        start = t_free if t_free > rel else rel
+        completion = start + w
+        lateness = completion - d
         if lateness > max_lateness:
             max_lateness = lateness
         sequence.append(task)
-        heapq.heappush(machines, completion)
+        done += 1
+        heappush(machines, completion)
     return sequence, float(max_lateness)
 
 
@@ -118,27 +130,26 @@ class ShiftBT(QueueScheduler):
         release = top_levels(job)
         counts = self.resources.as_array()
         position = np.zeros(job.n_tasks, dtype=np.float64)
-        self.bottleneck_order = []
 
-        remaining = list(range(job.num_types))
-        while remaining:
-            lateness: dict[int, float] = {}
-            sequences: dict[int, list[int]] = {}
-            for alpha in remaining:
-                tasks = job.tasks_of_type(alpha)
-                if tasks.size == 0:
-                    sequences[alpha] = []
-                    lateness[alpha] = -np.inf
-                    continue
-                seq, ml = edd_max_lateness_schedule(
-                    tasks, release, due, job.work, int(counts[alpha])
-                )
-                sequences[alpha] = seq
-                lateness[alpha] = ml
-            # Freeze the worst bottleneck among the remaining types.
-            bottleneck = max(remaining, key=lambda a: (lateness[a], -a))
-            for pos, task in enumerate(sequences[bottleneck]):
-                position[task] = pos
-            self.bottleneck_order.append(bottleneck)
-            remaining.remove(bottleneck)
+        # The subproblem inputs (release, due, work, counts) never
+        # change while types are frozen, so every freeze round would
+        # re-derive byte-identical sequences and latenesses.  Solve
+        # each type once; the freeze order is then just the types
+        # sorted by (lateness, -alpha) descending — the same sequence
+        # of arg-maxes the round-by-round procedure takes — and the
+        # frozen positions are each type's own sequence positions.
+        lateness: dict[int, float] = {}
+        for alpha in range(job.num_types):
+            tasks = job.tasks_of_type(alpha)
+            if tasks.size == 0:
+                lateness[alpha] = -np.inf
+                continue
+            seq, ml = edd_max_lateness_schedule(
+                tasks, release, due, job.work, int(counts[alpha])
+            )
+            lateness[alpha] = ml
+            position[seq] = np.arange(len(seq), dtype=np.float64)
+        self.bottleneck_order = sorted(
+            range(job.num_types), key=lambda a: (lateness[a], -a), reverse=True
+        )
         return position

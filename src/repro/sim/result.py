@@ -4,8 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.cache import cached_lower_bound
 from repro.core.kdag import KDag
-from repro.core.properties import lower_bound
 from repro.sim.trace import ScheduleTrace
 from repro.system.resources import ResourceConfig
 
@@ -43,7 +43,9 @@ class ScheduleResult:
 
     def lower_bound(self) -> float:
         """The paper's makespan lower bound ``L(J)`` for this job/system."""
-        return lower_bound(self.job, self.resources.as_array())
+        return cached_lower_bound(
+            self.job, tuple(int(c) for c in self.resources.as_array())
+        )
 
     def completion_time_ratio(self) -> float:
         """``T(J) / L(J)`` — the paper's headline metric (>= 1 - eps)."""

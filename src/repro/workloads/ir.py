@@ -41,65 +41,102 @@ def generate_ir(
     structure: str,
     rng: np.random.Generator,
 ) -> KDag:
-    """Sample one IR job (see module docstring)."""
+    """Sample one IR job (see module docstring).
+
+    All draws within one iteration are vectorized: map parents come
+    from a uniform distinct-pair draw and reduce fan-ins from
+    Efraimidis–Spirakis exponential keys (``log(u)/w`` top-k), which
+    is distributionally equivalent to successive weighted sampling
+    without replacement — the sampled *law* matches the per-task
+    formulation while the work is a handful of array ops per phase.
+    """
     n_iter = int(
         rng.integers(params.iterations_range[0], params.iterations_range[1] + 1)
     )
-    phase_types: list[int] = []  # type of each phase, filled lazily
-    task_phase: list[int] = []
+    n_maps_arr = rng.integers(
+        params.maps_range[0], params.maps_range[1] + 1, size=n_iter
+    )
+    n_reduces_arr = rng.integers(
+        params.reduces_range[0], params.reduces_range[1] + 1, size=n_iter
+    )
+    # Phase 2i is iteration i's map phase, phase 2i+1 its reduce phase.
+    phase_types = rng.integers(0, num_types, size=2 * n_iter)
 
-    def new_phase() -> int:
-        phase_types.append(int(rng.integers(0, num_types)))
-        return len(phase_types) - 1
+    # Contiguous task ids per iteration: maps block then reduces block.
+    per_iter = n_maps_arr + n_reduces_arr
+    iter_start = np.zeros(n_iter + 1, dtype=np.int64)
+    np.cumsum(per_iter, out=iter_start[1:])
+    n = int(iter_start[-1])
+    task_phase = np.repeat(
+        np.arange(2 * n_iter, dtype=np.int64),
+        np.stack([n_maps_arr, n_reduces_arr], axis=1).reshape(-1),
+    )
 
-    def new_task(phase: int) -> int:
-        task_phase.append(phase)
-        return len(task_phase) - 1
+    fanin_lo, fanin_hi = params.fanin_range
+    src_parts: list[np.ndarray] = []
+    dst_parts: list[np.ndarray] = []
+    for i in range(n_iter):
+        n_maps = int(n_maps_arr[i])
+        n_reduces = int(n_reduces_arr[i])
+        map0 = int(iter_start[i])
+        maps = np.arange(map0, map0 + n_maps, dtype=np.int64)
+        reduce0 = map0 + n_maps
+        reduces = np.arange(reduce0, reduce0 + n_reduces, dtype=np.int64)
 
-    edges: list[tuple[int, int]] = []
-    prev_reduces: list[int] = []
-    for _ in range(n_iter):
-        n_maps = int(rng.integers(params.maps_range[0], params.maps_range[1] + 1))
-        n_reduces = int(
-            rng.integers(params.reduces_range[0], params.reduces_range[1] + 1)
-        )
-
-        map_phase = new_phase()
-        maps = [new_task(map_phase) for _ in range(n_maps)]
-        # Each next-round map reads 1-2 previous-round reduces.
-        if prev_reduces:
-            for t in maps:
-                k_par = int(rng.integers(1, min(2, len(prev_reduces)) + 1))
-                parents = rng.choice(len(prev_reduces), size=k_par, replace=False)
-                for pi in parents:
-                    edges.append((prev_reduces[int(pi)], t))
-
-        reduce_phase = new_phase()
-        reduces = [new_task(reduce_phase) for _ in range(n_reduces)]
+        # Each next-round map reads 1-2 previous-round reduces: a
+        # uniform first parent plus, with k_par == 2, a uniform second
+        # parent drawn from the remainder (the shift keeps the pair
+        # distinct — same law as choice(replace=False)).
+        if i > 0:
+            r_prev = int(n_reduces_arr[i - 1])
+            prev0 = int(iter_start[i]) - r_prev
+            k_par = rng.integers(1, min(2, r_prev) + 1, size=n_maps)
+            first = rng.integers(0, r_prev, size=n_maps)
+            src_parts.append(prev0 + first)
+            dst_parts.append(maps)
+            two = k_par == 2
+            if np.any(two):
+                second = rng.integers(0, r_prev - 1, size=int(two.sum()))
+                second += second >= first[two]
+                src_parts.append(prev0 + second)
+                dst_parts.append(maps[two])
 
         # Heavy-tailed map fanout weights: a few hot maps gate most
         # reduces.  Pareto(1) + 1 gives a long tail with finite draws.
         weights = 1.0 + rng.pareto(1.0, size=n_maps)
-        probs = weights / weights.sum()
-        fed = np.zeros(n_maps, dtype=bool)
-        fanin_lo, fanin_hi = params.fanin_range
-        for r in reduces:
-            k_par = int(rng.integers(fanin_lo, min(fanin_hi, n_maps) + 1))
-            parents = rng.choice(n_maps, size=k_par, replace=False, p=probs)
-            for mi in parents:
-                edges.append((maps[int(mi)], r))
-                fed[int(mi)] = True
+        k_max = min(fanin_hi, n_maps)
+        k_par = rng.integers(fanin_lo, k_max + 1, size=n_reduces)
+        # Top-k_par Efraimidis–Spirakis keys per reduce ~ weighted
+        # sampling without replacement with p proportional to weights.
+        keys = np.log(rng.random((n_reduces, n_maps))) / weights
+        if k_max < n_maps:
+            top = np.argpartition(keys, n_maps - k_max, axis=1)[:, n_maps - k_max:]
+            top_keys = np.take_along_axis(keys, top, axis=1)
+            order = np.take_along_axis(
+                top, np.argsort(-top_keys, axis=1), axis=1
+            )
+        else:
+            order = np.argsort(-keys, axis=1)
+        pick = np.arange(order.shape[1]) < k_par[:, None]
+        parent_rows = order[pick]
+        src_parts.append(map0 + parent_rows)
+        dst_parts.append(np.repeat(reduces, k_par))
+
         # Every map feeds at least one reduce.
-        for mi in np.flatnonzero(~fed):
-            r = reduces[int(rng.integers(0, n_reduces))]
-            edges.append((maps[int(mi)], r))
+        fed = np.zeros(n_maps, dtype=bool)
+        fed[parent_rows] = True
+        unfed = np.flatnonzero(~fed)
+        if unfed.size:
+            src_parts.append(map0 + unfed)
+            dst_parts.append(
+                reduce0 + rng.integers(0, n_reduces, size=unfed.size)
+            )
 
-        prev_reduces = reduces
-
-    n = len(task_phase)
+    edges = np.stack(
+        [np.concatenate(src_parts), np.concatenate(dst_parts)], axis=1
+    )
     if structure == "layered":
-        ptypes = np.asarray(phase_types, dtype=np.int64)
-        types = ptypes[np.asarray(task_phase, dtype=np.int64)]
+        types = phase_types[task_phase]
     else:
         types = rng.integers(0, num_types, size=n)
     work = rng.integers(
