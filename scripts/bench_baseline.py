@@ -123,6 +123,27 @@ def measure() -> dict[str, float]:
     after["fig4_ir_sweep_256_serial"] = sweep(1, "scalar", 256)
     after["fig4_ir_sweep_256_batch"] = sweep(1, "batch", 256)
 
+    # Decentralized work-stealing engine (src/repro/decentral): one
+    # DKGreedy run under the default steal policy on the overhead
+    # sweep's own workload (EP, 2P chains) at growing system sizes —
+    # the per-decision cost of the steal protocol as P scales is the
+    # number the decentral experiment's wall-time budget rests on.
+    from repro.decentral.engine import simulate_decentralized
+    from repro.experiments.decentral import decentral_spec
+    from repro.system.resources import ResourceConfig
+
+    for p in (64, 256, 1024):
+        d_spec = decentral_spec(p)
+        d_job = sample_instance(d_spec, np.random.default_rng(42))[0]
+        d_system = ResourceConfig((p,) * d_spec.num_types)
+        after[f"decentral_p{p}"] = _best_of(
+            lambda: simulate_decentralized(
+                d_job, d_system, make_scheduler("dkgreedy"),
+                rng=np.random.default_rng(0),
+            ),
+            repeat=3,
+        )
+
     # Result cache (src/repro/resultcache): the same sweep cold (every
     # instance computed and persisted) vs warm (pure lookups, engines
     # never run).  Uses a throwaway cache dir so the numbers are honest
@@ -177,7 +198,10 @@ def main() -> int:
             "(aggregates only, no event stream). The _cold_cache / "
             "_warm_cache pair times the same sweep against a fresh "
             "result cache (first run computes+persists, second run is "
-            "pure lookups); their ratio is the warm_vs_cold speedup."
+            "pure lookups); their ratio is the warm_vs_cold speedup. "
+            "The decentral_p{64,256,1024} entries time one DKGreedy "
+            "work-stealing run (default steal policy) on the decentral "
+            "experiment's EP workload at P processors per type."
         ),
         "host": {
             "platform": platform.platform(),

@@ -303,11 +303,22 @@ def _cmd_cells() -> int:
     return 0
 
 
+def _reject_preemptive_decentral(scheduler, preemptive: bool) -> None:
+    from repro.decentral.schedulers import DecentralScheduler
+    from repro.errors import ConfigurationError
+
+    if preemptive and isinstance(scheduler, DecentralScheduler):
+        raise ConfigurationError(
+            f"{scheduler.name}: decentralized schedulers do not support "
+            f"the preemptive engine"
+        )
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import numpy as np
 
+    from repro.decentral.engine import dispatch_simulate
     from repro.schedulers.registry import make_scheduler
-    from repro.sim.engine import simulate
     from repro.sim.gantt import render_gantt
     from repro.sim.metrics import average_utilization
     from repro.sim.preemptive import simulate_preemptive
@@ -315,9 +326,11 @@ def _cmd_demo(args: argparse.Namespace) -> int:
 
     spec = workload_cell(args.cell)
     job, system = sample_instance(spec, np.random.default_rng(args.seed))
-    engine = simulate_preemptive if args.preemptive else simulate
+    scheduler = make_scheduler(args.scheduler)
+    _reject_preemptive_decentral(scheduler, args.preemptive)
+    engine = simulate_preemptive if args.preemptive else dispatch_simulate
     result = engine(
-        job, system, make_scheduler(args.scheduler),
+        job, system, scheduler,
         rng=np.random.default_rng(args.seed), record_trace=True,
     )
     print(
@@ -346,18 +359,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         write_chrome_trace,
         write_events_jsonl,
     )
+    from repro.decentral.engine import dispatch_simulate
     from repro.obs.telemetry import Telemetry
     from repro.schedulers.registry import make_scheduler
-    from repro.sim.engine import simulate
     from repro.sim.preemptive import simulate_preemptive
     from repro.workloads.generator import sample_instance, workload_cell
 
     spec = workload_cell(args.cell)
     job, system = sample_instance(spec, np.random.default_rng(args.seed))
     telemetry = Telemetry(events=EventStream(capacity=args.capacity))
-    engine = simulate_preemptive if args.preemptive else simulate
+    scheduler = make_scheduler(args.scheduler)
+    _reject_preemptive_decentral(scheduler, args.preemptive)
+    engine = simulate_preemptive if args.preemptive else dispatch_simulate
     result = engine(
-        job, system, make_scheduler(args.scheduler),
+        job, system, scheduler,
         rng=np.random.default_rng(args.seed), telemetry=telemetry,
     )
     print(

@@ -1,0 +1,27 @@
+"""Decentralized work-stealing scheduling subsystem.
+
+Per-processor deques of typed tasks, random-victim stealing, and
+decentralized variants of the paper's schedulers (DKGreedy, DMQB).  See
+:mod:`repro.decentral.engine` for the execution model and the
+degenerate-limit identity that anchors correctness.
+"""
+
+from repro.decentral.engine import dispatch_simulate, simulate_decentralized
+from repro.decentral.policies import StealPolicy, parse_steal_options
+from repro.decentral.schedulers import (
+    DKGreedy,
+    DMQB,
+    DecentralScheduler,
+    make_decentral_scheduler,
+)
+
+__all__ = [
+    "simulate_decentralized",
+    "dispatch_simulate",
+    "StealPolicy",
+    "parse_steal_options",
+    "DecentralScheduler",
+    "DKGreedy",
+    "DMQB",
+    "make_decentral_scheduler",
+]

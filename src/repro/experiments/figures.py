@@ -45,6 +45,7 @@ from repro.theory.lemma1 import (
 )
 from repro.workloads.adversarial import adversarial_job, adversarial_optimal_makespan
 from repro.workloads.generator import WORKLOAD_CELLS
+from repro.experiments.decentral import run_decentral
 from repro.experiments.robustness import run_robustness
 from repro.experiments.runner import run_comparison
 from repro.experiments.stream import run_stream
@@ -62,6 +63,7 @@ DEFAULT_INSTANCES = {
     "thm2": 60,
     "robustness": 40,
     "stream": 10,
+    "decentral": 8,
 }
 
 _FIG4_PANELS = [
@@ -332,6 +334,7 @@ EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "thm2": run_thm2,
     "robustness": run_robustness,
     "stream": run_stream,
+    "decentral": run_decentral,
 }
 
 

@@ -35,6 +35,8 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.decentral.engine import simulate_decentralized
+from repro.decentral.schedulers import DecentralScheduler
 from repro.errors import ConfigurationError
 from repro.obs.telemetry import Telemetry
 from repro.schedulers.base import Scheduler
@@ -122,7 +124,16 @@ def _instance_ratios(
         telemetry.inc("sweep.instances")
     for a, scheduler in enumerate(schedulers):
         alg_rng = np.random.default_rng(alg_seeds[a])
-        if preemptive:
+        if isinstance(scheduler, DecentralScheduler):
+            if preemptive:
+                raise ConfigurationError(
+                    f"{scheduler.name}: decentralized schedulers do not "
+                    f"support the preemptive engine"
+                )
+            result = simulate_decentralized(
+                job, system, scheduler, rng=alg_rng, telemetry=telemetry
+            )
+        elif preemptive:
             result = simulate_preemptive(
                 job, system, scheduler, rng=alg_rng, quantum=quantum,
                 telemetry=telemetry,

@@ -26,6 +26,9 @@ Event taxonomy (``kind`` / payload fields):
                ``alpha``, ``proc``, ``start``, ``lost`` (wasted work)
 ``arrival``    stream engine: job ``jid`` arrived
 ``job_done``   stream engine: job ``jid`` fully completed
+``steal``      decentralized engine: one steal attempt resolved —
+               ``alpha``, ``thief``, ``victim`` (processor ids),
+               ``n`` tasks moved (0 on a miss), ``ok`` (bool)
 =============  ==========================================================
 """
 
@@ -50,6 +53,7 @@ __all__ = [
     "KILL",
     "ARRIVAL",
     "JOB_DONE",
+    "STEAL",
     "EVENT_KINDS",
 ]
 
@@ -63,6 +67,7 @@ REPAIR = "repair"
 KILL = "kill"
 ARRIVAL = "arrival"
 JOB_DONE = "job_done"
+STEAL = "steal"
 
 #: Every kind an engine may emit (exporters accept unknown kinds too).
 EVENT_KINDS = (
@@ -76,6 +81,7 @@ EVENT_KINDS = (
     KILL,
     ARRIVAL,
     JOB_DONE,
+    STEAL,
 )
 
 

@@ -42,6 +42,7 @@ from repro.obs.events import (
     REPAIR,
     SAMPLE,
     SLICE,
+    STEAL,
 )
 from repro.obs.telemetry import TelemetrySnapshot
 
@@ -210,6 +211,25 @@ def chrome_trace(
                     "ts": ts,
                     "pid": int(data["alpha"]),
                     "tid": _slice_lane(data),
+                    "args": dict(data),
+                }
+            )
+        elif e.kind == STEAL:
+            # An instant on the thief's lane: a steal storm shows up as
+            # a burst of marks across a type's processors.
+            hit = data.get("ok", bool(data.get("n", 0)))
+            body.append(
+                {
+                    "ph": "i",
+                    "s": "t",
+                    "name": (
+                        f"steal +{data.get('n', 0)} from p{data.get('victim', '?')}"
+                        if hit else f"steal miss p{data.get('victim', '?')}"
+                    ),
+                    "cat": "steal",
+                    "ts": ts,
+                    "pid": int(data["alpha"]),
+                    "tid": int(data.get("thief", 0)),
                     "args": dict(data),
                 }
             )

@@ -22,7 +22,12 @@ from typing import Iterator
 
 from repro.obs.telemetry import Telemetry, TelemetrySnapshot
 
-__all__ = ["PhaseProfiler", "render_cache_line", "render_profile"]
+__all__ = [
+    "PhaseProfiler",
+    "render_cache_line",
+    "render_steal_line",
+    "render_profile",
+]
 
 
 class PhaseProfiler:
@@ -90,6 +95,27 @@ def render_batch_line(snapshot: TelemetrySnapshot) -> str | None:
     )
 
 
+def render_steal_line(snapshot: TelemetrySnapshot) -> str | None:
+    """One-line work-stealing summary, or ``None`` without steal traffic.
+
+    Reads the ``steal.*`` counters the decentralized engine
+    (:mod:`repro.decentral.engine`) maintains — attempts, successful
+    steals, empty-victim misses and tasks moved — so
+    ``repro profile decentral`` surfaces the steal protocol's hit rate
+    without needing the full ``--full`` report.
+    """
+    attempts = snapshot.counters.get("steal.attempts", 0)
+    if attempts == 0:
+        return None
+    hits = snapshot.counters.get("steal.successes", 0)
+    return (
+        f"work stealing: {hits}/{attempts} steals hit "
+        f"({hits / attempts:.0%}), "
+        f"{snapshot.counters.get('steal.failed_empty', 0)} empty victims, "
+        f"{snapshot.counters.get('steal.tasks_moved', 0)} tasks moved"
+    )
+
+
 def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
     """Text table of all timers in ``snapshot``, sorted by total time."""
     rows = sorted(
@@ -97,9 +123,9 @@ def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
         key=lambda row: -row[1],
     )
     cache_line = render_cache_line(snapshot)
-    batch_line = render_batch_line(snapshot)
-    if batch_line:
-        cache_line = f"{cache_line}\n{batch_line}" if cache_line else batch_line
+    for extra in (render_batch_line(snapshot), render_steal_line(snapshot)):
+        if extra:
+            cache_line = f"{cache_line}\n{extra}" if cache_line else extra
     if not rows:
         return cache_line if cache_line else "(no timers recorded)"
     lines = [f"{'timer':<32s} {'calls':>10s} {'total':>12s} {'mean':>12s}"]

@@ -51,6 +51,7 @@ __all__ = [
     "workload_fingerprint",
     "comparison_fingerprint",
     "robustness_fingerprint",
+    "decentral_fingerprint",
     "instance_key",
 ]
 
@@ -142,6 +143,35 @@ def robustness_fingerprint(
         "mttr_factor": float(mttr_factor),
         "horizon_factor": float(horizon_factor),
         "policy": str(policy),
+    }
+
+
+def decentral_fingerprint(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    p_per_type: int,
+    seed: int,
+    steal: dict,
+) -> dict:
+    """Sweep-level fields of a decentral-overhead cache key.
+
+    ``p_per_type`` pins the explicit system size (the decentral sweep
+    overrides the cell's sampled system with ``(P,)*K``), and ``steal``
+    is the :meth:`~repro.decentral.policies.StealPolicy.fingerprint`
+    dict of the policy shared by the decentralized algorithms in the
+    sweep.  Scheduler-level policy variations are additionally covered
+    by the algorithm names (the bracket suffix is part of the name),
+    so cache keys stay sound for any combination of knobs.
+    """
+    return {
+        "kind": "decentral",
+        **_base_fields(spec, algorithms, seed),
+        "p_per_type": int(p_per_type),
+        "steal": {
+            "victims": str(steal["victims"]),
+            "amount": str(steal["amount"]),
+            "cost": float(steal["cost"]),
+        },
     }
 
 

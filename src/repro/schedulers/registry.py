@@ -19,7 +19,16 @@ module maps those names to fresh scheduler instances.  Names:
 ``mqb+1step+noise``       one-step lookahead, mult+add noise
 ``mqb[min]``/``mqb[sum]`` balance-metric ablations
 ``mqb[nocarry]``          no intra-round projection ablation
+``dkgreedy``              decentralized KGreedy (per-proc deques + stealing)
+``dmqb``                  decentralized MQB (local-deque scoring + stealing)
 ========================  =====================================================
+
+The decentralized names accept a bracket-option suffix selecting the
+steal policy — ``dkgreedy[half]``, ``dmqb[global]``,
+``dkgreedy[half,cost=0.25]`` — parsed by
+:func:`repro.decentral.policies.parse_steal_options`.  They run under
+:func:`repro.decentral.engine.simulate_decentralized`; the sweep
+runner, batch router, service and CLI dispatch on the scheduler type.
 """
 
 from __future__ import annotations
@@ -90,6 +99,12 @@ def make_scheduler(name: str) -> Scheduler:
     key = name.strip().lower()
     if key in _FACTORIES:
         return _FACTORIES[key]()
+    if key.startswith(("dkgreedy", "dmqb")):
+        # Imported lazily: repro.decentral pulls in the sim package,
+        # whose batch module imports this registry at module load.
+        from repro.decentral.schedulers import make_decentral_scheduler
+
+        return make_decentral_scheduler(key)
     if key.startswith("mqb+"):
         parts = key.split("+")
         if len(parts) == 3 and parts[1] in ("all", "1step") and parts[2] in _INFO_FACTORIES:
@@ -107,4 +122,8 @@ def available_schedulers() -> list[str]:
     for scope in ("all", "1step"):
         for info in _INFO_FACTORIES:
             names.add(f"mqb+{scope}+{info}")
+    for base in ("dkgreedy", "dmqb"):
+        names.add(base)
+        names.add(f"{base}[half]")
+        names.add(f"{base}[global]")
     return sorted(names)

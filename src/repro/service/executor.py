@@ -44,6 +44,8 @@ from typing import Callable
 
 import numpy as np
 
+from repro.decentral.engine import dispatch_simulate
+from repro.decentral.schedulers import DecentralScheduler
 from repro.errors import ConfigurationError
 from repro.experiments.parallel import (
     _CHUNKS_PER_WORKER,
@@ -68,7 +70,6 @@ from repro.service.protocol import (
     parse_request,
     request_fingerprint,
 )
-from repro.sim.engine import simulate
 from repro.sim.preemptive import simulate_preemptive
 from repro.workloads.generator import sample_instance, sample_system, workload_cell
 
@@ -94,12 +95,18 @@ def run_schedule_request(payload: dict) -> dict:
     job, system = sample_instance(spec, np.random.default_rng(request.seed))
     scheduler = make_scheduler(request.scheduler)
     if request.preemptive:
+        if isinstance(scheduler, DecentralScheduler):
+            raise ProtocolError(
+                "bad_request",
+                f"{scheduler.name}: decentralized schedulers do not "
+                f"support preemptive scheduling",
+            )
         result = simulate_preemptive(
             job, system, scheduler,
             rng=np.random.default_rng(request.seed), quantum=request.quantum,
         )
     else:
-        result = simulate(
+        result = dispatch_simulate(
             job, system, scheduler, rng=np.random.default_rng(request.seed)
         )
     return {

@@ -788,7 +788,18 @@ class _MQBLockstep(_LockstepBase):
 # ----------------------------------------------------------------------
 # public API
 # ----------------------------------------------------------------------
+def _is_decentral(scheduler: Scheduler) -> bool:
+    # Lazy import: repro.decentral imports this package at load time.
+    from repro.decentral.schedulers import DecentralScheduler
+
+    return isinstance(scheduler, DecentralScheduler)
+
+
 def _is_static(scheduler: Scheduler) -> bool:
+    # DKGreedy subclasses KGreedy but must not stack into the static
+    # lockstep rows — it runs under the decentralized engine.
+    if _is_decentral(scheduler):
+        return False
     return isinstance(scheduler, (QueueScheduler, KGreedy))
 
 
@@ -803,6 +814,8 @@ def batch_supported(scheduler: Scheduler, job: KDag) -> bool:
     per-decision draws are inherently sequential — falls back to the
     scalar engine.
     """
+    if _is_decentral(scheduler):
+        return False
     if _is_static(scheduler):
         return True
     if isinstance(scheduler, MQB):
@@ -927,9 +940,13 @@ def simulate_batch_grid(
                 fallback_pairs.append((a, i))
 
     def _run_fallback(pairs: list[tuple[int, int]]) -> None:
+        # dispatch_simulate routes decentralized schedulers to their
+        # engine; everything else goes to the scalar engine as before.
+        from repro.decentral.engine import dispatch_simulate
+
         for a, i in pairs:
             job, resources = instances[i]
-            results[a][i] = simulate(
+            results[a][i] = dispatch_simulate(
                 job,
                 resources,
                 sch_list[a],

@@ -1,0 +1,99 @@
+"""StealPolicy construction, validation, naming and parsing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.decentral.policies import StealPolicy, parse_steal_options
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults(self):
+        p = StealPolicy()
+        assert (p.victims, p.amount, p.cost) == ("random", "one", 0.0)
+        assert not p.is_degenerate
+
+    def test_global_is_degenerate(self):
+        assert StealPolicy(victims="global").is_degenerate
+
+    def test_bad_victims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StealPolicy(victims="nearest")
+
+    def test_bad_amount_rejected(self):
+        with pytest.raises(ConfigurationError):
+            StealPolicy(amount="all")
+
+    @pytest.mark.parametrize("cost", [-1.0, float("nan"), float("inf")])
+    def test_bad_cost_rejected(self, cost):
+        with pytest.raises(ConfigurationError):
+            StealPolicy(cost=cost)
+
+    def test_global_with_cost_rejected(self):
+        # The degenerate limit is "one shared pool per type"; a steal
+        # cost would break the bit-identity anchor, so it is an error.
+        with pytest.raises(ConfigurationError):
+            StealPolicy(victims="global", cost=0.5)
+
+    def test_cost_coerced_to_float(self):
+        assert StealPolicy(cost=1).cost == 1.0
+        assert isinstance(StealPolicy(cost=1).cost, float)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            StealPolicy().victims = "global"  # type: ignore[misc]
+
+
+class TestSuffix:
+    def test_default_policy_has_empty_suffix(self):
+        assert StealPolicy().suffix() == ""
+
+    @pytest.mark.parametrize(
+        ("policy", "suffix"),
+        [
+            (StealPolicy(amount="half"), "[half]"),
+            (StealPolicy(victims="global"), "[global]"),
+            (StealPolicy(cost=0.5), "[cost=0.5]"),
+            (StealPolicy(amount="half", cost=0.25), "[half,cost=0.25]"),
+        ],
+    )
+    def test_non_default_knobs_appear(self, policy, suffix):
+        assert policy.suffix() == suffix
+
+    def test_fingerprint_covers_every_knob(self):
+        fp = StealPolicy(amount="half", cost=2.0).fingerprint()
+        assert fp == {"victims": "random", "amount": "half", "cost": 2.0}
+
+
+class TestParse:
+    @pytest.mark.parametrize(
+        ("text", "expected"),
+        [
+            ("", StealPolicy()),
+            ("half", StealPolicy(amount="half")),
+            ("global", StealPolicy(victims="global")),
+            ("cost=0.5", StealPolicy(cost=0.5)),
+            ("half,cost=0.25", StealPolicy(amount="half", cost=0.25)),
+            ("random,one", StealPolicy()),
+        ],
+    )
+    def test_roundtrip(self, text, expected):
+        assert parse_steal_options(text) == expected
+
+    def test_suffix_parses_back_to_the_policy(self):
+        for policy in (
+            StealPolicy(),
+            StealPolicy(amount="half"),
+            StealPolicy(victims="global"),
+            StealPolicy(amount="half", cost=1.5),
+        ):
+            assert parse_steal_options(policy.suffix().strip("[]")) == policy
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_steal_options("steal-everything")
+
+    def test_bad_cost_value_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parse_steal_options("cost=lots")

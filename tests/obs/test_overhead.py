@@ -80,6 +80,32 @@ class TestBitIdentity:
         assert runs[0] == runs[1] == runs[2]
 
 
+@pytest.mark.parametrize("cell", CELLS)
+@pytest.mark.parametrize(
+    "name", ["dkgreedy", "dmqb", "dkgreedy[half]", "dmqb[global]"]
+)
+class TestDecentralBitIdentity:
+    def test_decentral_engine(self, name, cell):
+        # The stealing loop draws victims from the caller's rng; the
+        # draws (and so the whole schedule) must not depend on whether
+        # anyone is watching.  Disabled telemetry must also record
+        # nothing at all — zero cost means zero stored state.
+        from repro.decentral import simulate_decentralized
+
+        job, system = _instance(cell)
+        runs = []
+        for telemetry in (None, NULL_TELEMETRY, Telemetry(events=EventStream())):
+            res = simulate_decentralized(
+                job, system, make_scheduler(name),
+                rng=np.random.default_rng(1), telemetry=telemetry,
+            )
+            runs.append(_fingerprint(res))
+        assert runs[0] == runs[1] == runs[2]
+        assert not NULL_TELEMETRY.counters
+        assert not NULL_TELEMETRY.timers
+        assert not NULL_TELEMETRY.histograms
+
+
 class TestStreamBitIdentity:
     def test_stream_engine(self):
         from repro.multijob.arrival import poisson_stream

@@ -13,6 +13,7 @@ import pytest
 import repro.resultcache.keys as keys
 from repro.resultcache.keys import (
     comparison_fingerprint,
+    decentral_fingerprint,
     instance_key,
     robustness_fingerprint,
     workload_fingerprint,
@@ -135,3 +136,44 @@ class TestRobustnessKeyInvalidation:
     def test_kind_separates_comparison_and_robustness(self):
         # Same cell/algorithms/seed, different sweep kind: never shared.
         assert self.rb_key() != base_key()
+
+
+class TestDecentralKeyInvalidation:
+    def dc_key(self, **overrides) -> str:
+        fields = dict(
+            spec=SPEC,
+            algorithms=("kgreedy", "mqb", "dkgreedy", "dmqb"),
+            p_per_type=16,
+            seed=7,
+            steal={"victims": "random", "amount": "one", "cost": 0.0},
+        )
+        fields.update(overrides)
+        instance = fields.pop("instance", 0)
+        return instance_key(decentral_fingerprint(**fields), instance)
+
+    def test_stable(self):
+        assert self.dc_key() == self.dc_key()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"p_per_type": 64},
+            {"seed": 8},
+            {"instance": 3},
+            {"steal": {"victims": "global", "amount": "one", "cost": 0.0}},
+            {"steal": {"victims": "random", "amount": "half", "cost": 0.0}},
+            {"steal": {"victims": "random", "amount": "one", "cost": 0.5}},
+            {"algorithms": ("kgreedy", "mqb", "dkgreedy[half]", "dmqb[half]")},
+        ],
+        ids=[
+            "p_per_type", "seed", "instance", "victims", "amount", "cost",
+            "algorithm_names",
+        ],
+    )
+    def test_field_flip_misses(self, override):
+        assert self.dc_key(**override) != self.dc_key()
+
+    def test_kind_separates_decentral_from_comparison(self):
+        # Same cell/seed; the decentral sweep overrides the system with
+        # an explicit (P,)*K, so sharing entries would be unsound.
+        assert self.dc_key(algorithms=ALGS) != base_key()

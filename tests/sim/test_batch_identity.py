@@ -60,16 +60,21 @@ def _assert_identical(scalar_res, batch_res, job, resources):
 @pytest.mark.parametrize("cell", CELLS)
 @pytest.mark.parametrize("name", available_schedulers())
 def test_every_scheduler_bit_identical(name: str, cell: str):
-    """Per-instance equality with simulate() for each registered scheduler.
+    """Per-instance equality with the scalar path for each scheduler.
 
     Covers both engine paths: natively batched schedulers exercise the
     lockstep loop, unsupported ones exercise the scalar fallback — the
-    result must be indistinguishable either way.
+    result must be indistinguishable either way.  The scalar reference
+    is ``dispatch_simulate``: ``simulate()`` for centralized schedulers
+    and the work-stealing engine for the decentral ones, mirroring the
+    batch engine's own fallback routing.
     """
+    from repro.decentral import dispatch_simulate
+
     instances = _instances(cell)
     scalar_rngs, batch_rngs = zip(*(_rng_pair(i) for i in range(len(instances))))
     scalar = [
-        simulate(job, res, make_scheduler(name), rng=rng, record_trace=True)
+        dispatch_simulate(job, res, make_scheduler(name), rng=rng, record_trace=True)
         for (job, res), rng in zip(instances, scalar_rngs)
     ]
     batch = simulate_batch(
