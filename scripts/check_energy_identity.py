@@ -1,0 +1,99 @@
+#!/usr/bin/env python
+"""CI guard: energy knobs at zero ARE the base schedulers.
+
+``emqb[w=0]`` multiplies MQB's x-utilizations by weights that are
+exactly ``1.0`` (as does any uniform power model, via an explicit
+short-circuit rather than float cancellation), and
+``kgreedy-consolidate[r=1]`` caps per-type concurrency at ``P_alpha``,
+which never binds.  Both must therefore reproduce their base
+schedulers **bit-identically** — the same makespan, the same decision
+count, and the same trace segment for every task.  This is the anchor
+that keeps the energy subsystem honest: any drift in the replicated
+MQB arithmetic or the consolidation bookkeeping shows up here as a
+hard failure, not as a plausible-looking Pareto point.
+
+Checks over several workload cells x seeds, with telemetry both off
+and on (observability must not perturb the schedule).  Exits nonzero
+on the first-summarized mismatch.
+
+Run from the repo root (no cache involvement — results are computed
+fresh on both sides)::
+
+    PYTHONPATH=src python scripts/check_energy_identity.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+import numpy as np
+
+SEED = 7
+INSTANCES_PER_CELL = 3
+PAIRS = (
+    ("emqb[w=0]", "mqb"),
+    ("emqb[w=0.7,power=baseline]", "mqb"),  # uniform-power short-circuit
+    ("kgreedy-consolidate[r=1]", "kgreedy"),
+)
+CELLS = ("small-layered-ep", "small-random-ep", "medium-layered-ir")
+
+
+def main() -> int:
+    from repro.obs.telemetry import Telemetry
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.engine import simulate
+    from repro.workloads.generator import WORKLOAD_CELLS, sample_instance
+
+    failures: list[str] = []
+
+    def check(label: str, condition: bool) -> None:
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    for cell in CELLS:
+        spec = WORKLOAD_CELLS[cell]
+        print(f"{cell}:")
+        for i in range(INSTANCES_PER_CELL):
+            ss = np.random.SeedSequence([SEED, i])
+            inst_ss, base_ss, var_ss = ss.spawn(3)
+            job, system = sample_instance(spec, np.random.default_rng(inst_ss))
+            for var_name, base_name in PAIRS:
+                base = simulate(
+                    job, system, make_scheduler(base_name),
+                    rng=np.random.default_rng(base_ss), record_trace=True,
+                )
+                for telemetry in (None, Telemetry()):
+                    var = simulate(
+                        job, system, make_scheduler(var_name),
+                        rng=np.random.default_rng(var_ss),
+                        record_trace=True, telemetry=telemetry,
+                    )
+                    obs = "obs" if telemetry is not None else "bare"
+                    tag = f"i={i} {var_name} == {base_name} [{obs}]"
+                    check(
+                        f"{tag}: makespan {var.makespan} == {base.makespan}",
+                        var.makespan == base.makespan,
+                    )
+                    check(
+                        f"{tag}: decisions {var.decisions} == {base.decisions}",
+                        var.decisions == base.decisions,
+                    )
+                    check(
+                        f"{tag}: trace segments identical",
+                        var.trace.segments == base.trace.segments,
+                    )
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nenergy-off identity ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -157,6 +157,14 @@ def build_parser() -> argparse.ArgumentParser:
     demo_p.add_argument(
         "--preemptive", action="store_true", help="use the preemptive engine"
     )
+    demo_p.add_argument(
+        "--power",
+        default=None,
+        help=(
+            "power config name for an energy breakdown of the schedule "
+            "(baseline, idle-heavy, hetero, shutdown; see repro.energy)"
+        ),
+    )
 
     trace_p = sub.add_parser(
         "trace",
@@ -314,6 +322,19 @@ def _reject_preemptive_decentral(scheduler, preemptive: bool) -> None:
         )
 
 
+def _reject_power_decentral(scheduler) -> None:
+    from repro.decentral.schedulers import DecentralScheduler
+    from repro.errors import ConfigurationError
+
+    if isinstance(scheduler, DecentralScheduler):
+        raise ConfigurationError(
+            f"{scheduler.name}: energy accounting is not supported for "
+            f"decentralized schedulers — steal costs occupy processors "
+            f"outside the recorded trace segments, so idle energy would "
+            f"silently be wrong"
+        )
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     import numpy as np
 
@@ -328,6 +349,8 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     job, system = sample_instance(spec, np.random.default_rng(args.seed))
     scheduler = make_scheduler(args.scheduler)
     _reject_preemptive_decentral(scheduler, args.preemptive)
+    if args.power is not None:
+        _reject_power_decentral(scheduler)
     engine = simulate_preemptive if args.preemptive else dispatch_simulate
     result = engine(
         job, system, scheduler,
@@ -347,6 +370,20 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     util = average_utilization(result.trace, system, result.makespan)
     print("\nper-type utilization: "
           + "  ".join(f"t{a}={u:.0%}" for a, u in enumerate(util)))
+    if args.power is not None:
+        from repro.energy.metrics import energy_breakdown
+        from repro.energy.models import power_config
+
+        power = power_config(args.power, system.num_types)
+        bd = energy_breakdown(result.trace, system, power, result.makespan)
+        busy_floor = bd["busy"]
+        norm = f" ({bd['total'] / busy_floor:.3f}x busy floor)" if busy_floor else ""
+        print(
+            f"\nenergy [{power.name}]: total {bd['total']:.1f}{norm} — "
+            f"busy {bd['busy']:.1f}, idle {bd['idle']:.1f}, "
+            f"sleep {bd['sleep']:.1f}, wake {bd['wake']:.1f} "
+            f"({bd['n_shutdowns']}/{bd['n_gaps']} idle gaps slept)"
+        )
     return 0
 
 

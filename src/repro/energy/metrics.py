@@ -1,0 +1,313 @@
+"""Vectorized energy / busy-time / profit metrics over schedule traces.
+
+Everything here is pure accounting over a recorded
+:class:`~repro.sim.trace.ScheduleTrace` and a
+:class:`~repro.energy.models.PowerModel` — no metric alters a schedule,
+so w=0 scheduler variants stay bit-identical to their bases no matter
+which power model is applied afterwards.
+
+The computations reuse the columnar idioms of :mod:`repro.sim.metrics`:
+per-type busy time is one ``np.add.at`` scatter, idle gaps come from a
+single ``np.lexsort`` over (processor, start) plus adjacent
+differences, and per-processor active intervals are
+``np.minimum.at``/``np.maximum.at`` scatters — no per-segment Python
+loop anywhere.
+
+Metrics:
+
+* :func:`idle_gaps` — the per-processor idle-gap decomposition of the
+  horizon (leading, between-segment, trailing and whole-horizon gaps),
+  the substrate for shutdown accounting;
+* :func:`energy_breakdown` / :func:`total_energy` — energy split into
+  busy/idle/sleep/wake parts under the model's shutdown-window
+  semantics (see :mod:`repro.energy.models`);
+* :func:`energy_delay_product` — ``energy * makespan``;
+* :func:`active_interval_time` — per-type sum of per-processor
+  ``last_end - first_start`` spans: the busy-time objective on typed
+  machines ("Analysis of Busy-Time Scheduling on Heterogeneous
+  Machines", arXiv:2105.06287), where a machine costs for the whole
+  interval it must be powered on;
+* :func:`task_completion_times` / :func:`schedule_profit` — profit
+  under per-task values with deadlines minus priced energy ("A
+  Task-Type-Based Algorithm for the Energy-Aware Profit Maximizing
+  Scheduling Problem", arXiv:1501.05414).
+
+Killed segments (fault-aware traces) count as busy time — they occupied
+the processor even though their work was lost — matching
+:func:`repro.sim.metrics.type_busy_time`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.energy.models import PowerModel
+from repro.errors import ValidationError
+from repro.sim.metrics import type_busy_time
+from repro.sim.trace import ScheduleTrace
+from repro.system.resources import ResourceConfig
+
+__all__ = [
+    "idle_gaps",
+    "energy_breakdown",
+    "total_energy",
+    "energy_delay_product",
+    "active_interval_time",
+    "task_completion_times",
+    "schedule_profit",
+    "type_busy_time",
+]
+
+
+def _resolve_horizon(trace: ScheduleTrace, makespan: float | None) -> float:
+    horizon = trace.makespan() if makespan is None else float(makespan)
+    if horizon < 0.0:
+        raise ValidationError(f"makespan must be >= 0, got {horizon}")
+    return horizon
+
+
+def idle_gaps(
+    trace: ScheduleTrace,
+    resources: ResourceConfig,
+    makespan: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Idle-gap decomposition of ``[0, makespan]`` per processor.
+
+    Returns ``(lengths, types)``: one entry per idle gap on any
+    processor — the interval before its first segment, the intervals
+    between consecutive segments, the interval after its last segment,
+    and the whole horizon for processors that never ran anything.
+    Zero-length gaps are dropped.  The gap lengths of each type sum to
+    ``P_alpha * makespan - busy_alpha`` exactly (the invariant the
+    energy tests pin).
+    """
+    horizon = _resolve_horizon(trace, makespan)
+    counts = resources.as_array()
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    total = int(offsets[-1])
+    pid_type = np.repeat(
+        np.arange(resources.num_types, dtype=np.int64), counts
+    )
+
+    cols = trace.as_columns()
+    alpha, proc = cols["alpha"], cols["proc"]
+    start, end = cols["start"], cols["end"]
+    if len(alpha):
+        bad = (alpha < 0) | (alpha >= resources.num_types)
+        if bad.any():
+            offender = int(alpha[np.argmax(bad)])
+            raise ValidationError(
+                f"segment type {offender} out of range for K={resources.num_types}"
+            )
+        bad = (proc < 0) | (proc >= counts[alpha])
+        if bad.any():
+            offender = int(np.argmax(bad))
+            raise ValidationError(
+                f"segment processor {int(proc[offender])} out of range for "
+                f"type {int(alpha[offender])}"
+            )
+        if end.max() > horizon + 1e-9:
+            raise ValidationError(
+                f"segment ends at {end.max()} beyond makespan {horizon}"
+            )
+
+    if not len(alpha):
+        if horizon <= 0.0:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+            )
+        return np.full(total, horizon, dtype=np.float64), pid_type
+
+    pid = offsets[alpha] + proc
+    order = np.lexsort((start, pid))
+    ps, pe, pp = start[order], end[order], pid[order]
+
+    # Per-processor first start / last end (never-used stay at the
+    # sentinels and are handled as whole-horizon gaps below).
+    first = np.full(total, np.inf, dtype=np.float64)
+    last = np.zeros(total, dtype=np.float64)
+    np.minimum.at(first, pid, start)
+    np.maximum.at(last, pid, end)
+    used = np.isfinite(first)
+
+    # Gaps between consecutive segments of the same processor.  The
+    # engines never overlap segments on one processor; the clip guards
+    # against float fuzz only.
+    same = pp[1:] == pp[:-1]
+    mid_len = np.clip(ps[1:] - pe[:-1], 0.0, None)[same]
+    mid_type = pid_type[pp[1:][same]]
+
+    lead_len = first[used]
+    lead_type = pid_type[used]
+    trail_len = np.clip(horizon - last[used], 0.0, None)
+    unused_len = np.full(int((~used).sum()), horizon, dtype=np.float64)
+    unused_type = pid_type[~used]
+
+    lengths = np.concatenate([lead_len, mid_len, trail_len, unused_len])
+    types = np.concatenate([lead_type, mid_type, lead_type, unused_type])
+    keep = lengths > 0.0
+    return lengths[keep], types[keep]
+
+
+def energy_breakdown(
+    trace: ScheduleTrace,
+    resources: ResourceConfig,
+    power: PowerModel,
+    makespan: float | None = None,
+) -> dict:
+    """Integrate ``power`` over the trace; return the full energy split.
+
+    Returns a dict with scalar ``busy`` / ``idle`` / ``sleep`` /
+    ``wake`` / ``total`` energies, per-type ``busy_time`` and
+    ``busy_energy`` arrays, and the gap statistics ``n_gaps`` /
+    ``n_shutdowns`` (idle gaps long enough to engage the shutdown
+    window) the experiment surfaces as ``energy.*`` telemetry.
+
+    A gap of length ``g`` on a type with shutdown window ``W`` and
+    wake latency ``w`` sleeps iff ``g >= W + w``; its energy is then
+    ``W * idle + (g - W - w) * sleep + w * busy``, otherwise
+    ``g * idle`` (see :mod:`repro.energy.models`).
+    """
+    power.check_types(resources.num_types)
+    horizon = _resolve_horizon(trace, makespan)
+    busy_time = type_busy_time(trace, resources.num_types)
+    busy_arr = power.busy_array()
+    idle_arr = power.idle_array()
+    busy_energy = busy_arr * busy_time
+
+    lengths, types = idle_gaps(trace, resources, horizon)
+    n_gaps = int(len(lengths))
+    if n_gaps:
+        window = power.window_array()[types]
+        wake = power.wake_array()[types]
+        threshold = window + wake
+        sleeps = lengths >= threshold
+        idle_part = np.where(sleeps, window, lengths)
+        sleep_part = np.where(sleeps, lengths - threshold, 0.0)
+        wake_part = np.where(sleeps, wake, 0.0)
+        idle_energy = float(np.sum(idle_arr[types] * idle_part))
+        sleep_energy = float(np.sum(power.sleep_array()[types] * sleep_part))
+        wake_energy = float(np.sum(busy_arr[types] * wake_part))
+        n_shutdowns = int(sleeps.sum())
+    else:
+        idle_energy = sleep_energy = wake_energy = 0.0
+        n_shutdowns = 0
+
+    busy_total = float(busy_energy.sum())
+    return {
+        "busy": busy_total,
+        "idle": idle_energy,
+        "sleep": sleep_energy,
+        "wake": wake_energy,
+        "total": busy_total + idle_energy + sleep_energy + wake_energy,
+        "busy_time": busy_time,
+        "busy_energy": busy_energy,
+        "makespan": horizon,
+        "n_gaps": n_gaps,
+        "n_shutdowns": n_shutdowns,
+    }
+
+
+def total_energy(
+    trace: ScheduleTrace,
+    resources: ResourceConfig,
+    power: PowerModel,
+    makespan: float | None = None,
+) -> float:
+    """Total energy of the schedule under ``power``."""
+    return energy_breakdown(trace, resources, power, makespan)["total"]
+
+
+def energy_delay_product(
+    trace: ScheduleTrace,
+    resources: ResourceConfig,
+    power: PowerModel,
+    makespan: float | None = None,
+) -> float:
+    """``total_energy * makespan`` — the classic EDP trade-off scalar."""
+    breakdown = energy_breakdown(trace, resources, power, makespan)
+    return breakdown["total"] * breakdown["makespan"]
+
+
+def active_interval_time(
+    trace: ScheduleTrace,
+    resources: ResourceConfig,
+) -> np.ndarray:
+    """Per-type busy-time cost: sum of per-processor active intervals.
+
+    The busy-time objective of arXiv:2105.06287 on typed machines: a
+    processor must be powered on from its first segment start to its
+    last segment end, so its cost is that whole span (idle holes
+    included); never-used processors cost nothing.  Shape ``(K,)``.
+    """
+    counts = resources.as_array()
+    offsets = np.concatenate(([0], np.cumsum(counts)))
+    total = int(offsets[-1])
+    cols = trace.as_columns()
+    alpha, proc = cols["alpha"], cols["proc"]
+    out = np.zeros(resources.num_types, dtype=np.float64)
+    if not len(alpha):
+        return out
+    bad = (alpha < 0) | (alpha >= resources.num_types)
+    if bad.any():
+        offender = int(alpha[np.argmax(bad)])
+        raise ValidationError(
+            f"segment type {offender} out of range for K={resources.num_types}"
+        )
+    pid = offsets[alpha] + proc
+    first = np.full(total, np.inf, dtype=np.float64)
+    last = np.full(total, -np.inf, dtype=np.float64)
+    np.minimum.at(first, pid, cols["start"])
+    np.maximum.at(last, pid, cols["end"])
+    used = np.isfinite(first)
+    pid_type = np.repeat(np.arange(resources.num_types, dtype=np.int64), counts)
+    np.add.at(out, pid_type[used], last[used] - first[used])
+    return out
+
+
+def task_completion_times(trace: ScheduleTrace, n_tasks: int) -> np.ndarray:
+    """Per-task latest segment end, ``+inf`` for tasks that never ran.
+
+    ``+inf`` (rather than an error) lets profit accounting treat tasks
+    a fault-aware run never finished as missed deadlines.
+    """
+    cols = trace.as_columns()
+    task = cols["task"]
+    if len(task):
+        bad = (task < 0) | (task >= n_tasks)
+        if bad.any():
+            offender = int(task[np.argmax(bad)])
+            raise ValidationError(f"trace references unknown task {offender}")
+    out = np.full(n_tasks, np.inf, dtype=np.float64)
+    np.minimum.at(out, task, 0.0)  # mark executed tasks finite
+    out[np.isfinite(out)] = 0.0
+    np.maximum.at(out, task, cols["end"])
+    return out
+
+
+def schedule_profit(
+    trace: ScheduleTrace,
+    values: np.ndarray,
+    deadlines: np.ndarray,
+    energy: float,
+    energy_price: float = 0.0,
+) -> float:
+    """Revenue of deadline-met tasks minus priced energy.
+
+    The energy-aware profit objective of arXiv:1501.05414: each task
+    ``v`` earns ``values[v]`` iff it completes by ``deadlines[v]``;
+    the schedule pays ``energy_price`` per unit of energy.  ``values``
+    and ``deadlines`` are per-task arrays (broadcast against each
+    other); pass a scalar deadline via ``np.full``/broadcasting.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    deadlines = np.asarray(deadlines, dtype=np.float64)
+    values, deadlines = np.broadcast_arrays(values, deadlines)
+    if float(energy_price) < 0.0:
+        raise ValidationError(
+            f"energy price must be >= 0, got {energy_price}"
+        )
+    completion = task_completion_times(trace, len(values))
+    revenue = float(values[completion <= deadlines].sum())
+    return revenue - float(energy_price) * float(energy)

@@ -1,0 +1,261 @@
+"""Power models for functionally heterogeneous systems.
+
+A :class:`PowerModel` attaches per-type electrical behaviour to a
+:class:`~repro.system.resources.ResourceConfig`: each resource type has
+a busy draw (while executing a task), an idle draw (powered on but not
+executing), a sleep draw (shut down), and an optional *idle-shutdown
+window* with a wake latency.  The model is pure accounting — it never
+alters a schedule; the energy metrics (:mod:`repro.energy.metrics`)
+integrate it over a recorded :class:`~repro.sim.trace.ScheduleTrace`.
+
+Shutdown semantics (the contract the metrics and tests pin):
+
+* A processor sleeps through an idle gap only when the gap is at least
+  ``shutdown_window + wake_latency`` long.  The first
+  ``shutdown_window`` units are charged at **idle** power (the
+  processor waits out the window before powering down), the middle
+  ``gap - shutdown_window - wake_latency`` units at **sleep** power,
+  and the final ``wake_latency`` units at **busy** power (the wake
+  cost).  ``shutdown_window=None`` means the type never shuts down and
+  every gap is charged at idle power.
+* Draws are ordered ``busy >= idle >= sleep >= 0`` per type, so total
+  energy is monotone in busy time and bounded below by the busy-only
+  floor (asserted by the property tests).
+
+Models are frozen, hashable, and serialize to a canonical fingerprint
+dict (:meth:`PowerModel.fingerprint`) covering **every** field that can
+change an energy number, so cached energy sweeps can never serve stale
+results (the key-flip matrix in ``tests/resultcache/test_keys.py``).
+
+:func:`power_config` resolves the named configurations the energy
+experiment sweeps — uniform draws, heterogeneous per-type idle draws
+(the regime where the energy-weighted EMQB rescoring differs from
+plain MQB), and a shutdown-window config.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "TypePower",
+    "PowerModel",
+    "POWER_CONFIGS",
+    "power_config",
+    "available_power_configs",
+]
+
+
+@dataclass(frozen=True)
+class TypePower:
+    """Electrical behaviour of one resource type's processors.
+
+    Attributes
+    ----------
+    busy:
+        Draw while executing a task (also charged during wake-up).
+    idle:
+        Draw while powered on with no task.
+    sleep:
+        Draw while shut down (usually ~0).
+    shutdown_window:
+        Idle time a processor waits before powering down; ``None``
+        disables shutdown for the type.
+    wake_latency:
+        Time (charged at busy draw) to power back up.
+    """
+
+    busy: float = 1.0
+    idle: float = 0.3
+    sleep: float = 0.0
+    shutdown_window: float | None = None
+    wake_latency: float = 0.0
+
+    def __post_init__(self) -> None:
+        busy, idle, sleep = float(self.busy), float(self.idle), float(self.sleep)
+        wake = float(self.wake_latency)
+        for label, value in (("busy", busy), ("idle", idle), ("sleep", sleep)):
+            if not math.isfinite(value) or value < 0.0:
+                raise ConfigurationError(
+                    f"{label} power must be finite and >= 0, got {value!r}"
+                )
+        if not busy >= idle >= sleep:
+            raise ConfigurationError(
+                f"power draws must satisfy busy >= idle >= sleep, got "
+                f"busy={busy}, idle={idle}, sleep={sleep}"
+            )
+        if not math.isfinite(wake) or wake < 0.0:
+            raise ConfigurationError(
+                f"wake latency must be finite and >= 0, got {self.wake_latency!r}"
+            )
+        window = self.shutdown_window
+        if window is not None:
+            window = float(window)
+            if not math.isfinite(window) or window < 0.0:
+                raise ConfigurationError(
+                    f"shutdown window must be finite and >= 0 (or None), "
+                    f"got {self.shutdown_window!r}"
+                )
+        object.__setattr__(self, "busy", busy)
+        object.__setattr__(self, "idle", idle)
+        object.__setattr__(self, "sleep", sleep)
+        object.__setattr__(self, "shutdown_window", window)
+        object.__setattr__(self, "wake_latency", wake)
+
+    def fingerprint(self) -> dict:
+        """Canonical dict for result-cache keys (every field)."""
+        return {
+            "busy": self.busy,
+            "idle": self.idle,
+            "sleep": self.sleep,
+            "shutdown_window": self.shutdown_window,
+            "wake_latency": self.wake_latency,
+        }
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-type power declaration for a K-type system.
+
+    ``types[alpha]`` is the :class:`TypePower` of every type-``alpha``
+    processor; ``name`` labels the model in reports and the service
+    response (it is presentation only and deliberately *not* part of
+    the fingerprint — two models with identical physics share cache
+    entries soundly).
+    """
+
+    types: tuple[TypePower, ...]
+    name: str = "custom"
+
+    def __post_init__(self) -> None:
+        if not self.types:
+            raise ConfigurationError("a power model needs at least one type")
+        object.__setattr__(self, "types", tuple(self.types))
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    @classmethod
+    def uniform(
+        cls,
+        num_types: int,
+        busy: float = 1.0,
+        idle: float = 0.3,
+        sleep: float = 0.0,
+        shutdown_window: float | None = None,
+        wake_latency: float = 0.0,
+        name: str = "custom",
+    ) -> "PowerModel":
+        """One shared :class:`TypePower` across all ``num_types`` types."""
+        if num_types < 1:
+            raise ConfigurationError(f"num_types must be >= 1, got {num_types}")
+        tp = TypePower(busy, idle, sleep, shutdown_window, wake_latency)
+        return cls(types=(tp,) * num_types, name=name)
+
+    def check_types(self, num_types: int) -> "PowerModel":
+        """Validate the model against a system's K; returns self."""
+        if self.num_types != num_types:
+            raise ConfigurationError(
+                f"power model {self.name!r} declares {self.num_types} types "
+                f"but the system has K={num_types}"
+            )
+        return self
+
+    # -- vectorized views (metrics hot path) ---------------------------
+    def busy_array(self) -> np.ndarray:
+        return np.array([t.busy for t in self.types], dtype=np.float64)
+
+    def idle_array(self) -> np.ndarray:
+        return np.array([t.idle for t in self.types], dtype=np.float64)
+
+    def sleep_array(self) -> np.ndarray:
+        return np.array([t.sleep for t in self.types], dtype=np.float64)
+
+    def window_array(self) -> np.ndarray:
+        """Shutdown windows with ``None`` mapped to ``+inf`` (never sleeps)."""
+        return np.array(
+            [
+                np.inf if t.shutdown_window is None else t.shutdown_window
+                for t in self.types
+            ],
+            dtype=np.float64,
+        )
+
+    def wake_array(self) -> np.ndarray:
+        return np.array([t.wake_latency for t in self.types], dtype=np.float64)
+
+    def fingerprint(self) -> dict:
+        """Canonical dict for result-cache keys.
+
+        Covers every :class:`TypePower` field of every type; the
+        presentation ``name`` is excluded (identical physics must share
+        cache entries).
+        """
+        return {"types": [t.fingerprint() for t in self.types]}
+
+
+# ----------------------------------------------------------------------
+# named configurations (the energy experiment's power sweep)
+# ----------------------------------------------------------------------
+#: Idle draws cycled across types by the ``hetero`` config — spread wide
+#: enough that idle-power-weighted utilization balancing (EMQB) orders
+#: types differently from plain utilization balancing.
+_HETERO_IDLE = (0.55, 0.15, 0.4, 0.25, 0.5, 0.2)
+
+
+def _baseline(k: int) -> PowerModel:
+    return PowerModel.uniform(k, busy=1.0, idle=0.3, name="baseline")
+
+
+def _idle_heavy(k: int) -> PowerModel:
+    return PowerModel.uniform(k, busy=1.0, idle=0.6, name="idle-heavy")
+
+
+def _hetero(k: int) -> PowerModel:
+    return PowerModel(
+        types=tuple(
+            TypePower(busy=1.0, idle=_HETERO_IDLE[a % len(_HETERO_IDLE)])
+            for a in range(k)
+        ),
+        name="hetero",
+    )
+
+
+def _shutdown(k: int) -> PowerModel:
+    return PowerModel.uniform(
+        k, busy=1.0, idle=0.3, sleep=0.02, shutdown_window=4.0,
+        wake_latency=1.0, name="shutdown",
+    )
+
+
+#: Named power configurations, resolvable for any K.
+POWER_CONFIGS: dict[str, object] = {
+    "baseline": _baseline,
+    "idle-heavy": _idle_heavy,
+    "hetero": _hetero,
+    "shutdown": _shutdown,
+}
+
+
+def power_config(name: str, num_types: int) -> PowerModel:
+    """Resolve a named power configuration for a K-type system."""
+    key = str(name).strip().lower()
+    factory = POWER_CONFIGS.get(key)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown power config {name!r}; known: {available_power_configs()}"
+        )
+    if num_types < 1:
+        raise ConfigurationError(f"num_types must be >= 1, got {num_types}")
+    return factory(num_types)  # type: ignore[operator]
+
+
+def available_power_configs() -> list[str]:
+    """All names accepted by :func:`power_config`."""
+    return sorted(POWER_CONFIGS)

@@ -46,6 +46,7 @@ from repro.theory.lemma1 import (
 from repro.workloads.adversarial import adversarial_job, adversarial_optimal_makespan
 from repro.workloads.generator import WORKLOAD_CELLS
 from repro.experiments.decentral import run_decentral
+from repro.experiments.energy import run_energy
 from repro.experiments.robustness import run_robustness
 from repro.experiments.runner import run_comparison
 from repro.experiments.stream import run_stream
@@ -64,6 +65,7 @@ DEFAULT_INSTANCES = {
     "robustness": 40,
     "stream": 10,
     "decentral": 8,
+    "energy": 12,
 }
 
 _FIG4_PANELS = [
@@ -335,6 +337,7 @@ EXPERIMENTS: dict[str, Callable[..., dict]] = {
     "robustness": run_robustness,
     "stream": run_stream,
     "decentral": run_decentral,
+    "energy": run_energy,
 }
 
 

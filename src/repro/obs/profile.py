@@ -26,6 +26,7 @@ __all__ = [
     "PhaseProfiler",
     "render_cache_line",
     "render_steal_line",
+    "render_energy_line",
     "render_profile",
 ]
 
@@ -116,6 +117,34 @@ def render_steal_line(snapshot: TelemetrySnapshot) -> str | None:
     )
 
 
+def render_energy_line(snapshot: TelemetrySnapshot) -> str | None:
+    """One-line energy-accounting summary, or ``None`` without traffic.
+
+    Reads the ``energy.*`` counters the energy sweep
+    (:mod:`repro.experiments.energy`) maintains — traced runs
+    accounted, idle gaps decomposed, gaps long enough to engage a
+    shutdown window, and rejected configurations — so
+    ``repro profile energy`` surfaces how much shutdown actually
+    happened without the full ``--full`` report.
+    """
+    runs = snapshot.counters.get("energy.runs", 0)
+    rejected = snapshot.counters.get(
+        "energy.rejected.engine", 0
+    ) + snapshot.counters.get("energy.rejected.decentral", 0)
+    if runs + rejected == 0:
+        return None
+    gaps = snapshot.counters.get("energy.gaps", 0)
+    slept = snapshot.counters.get("energy.shutdowns", 0)
+    frac = f" ({slept / gaps:.0%} slept)" if gaps else ""
+    line = (
+        f"energy accounting: {runs} runs, {gaps} idle gaps, "
+        f"{slept} shutdowns{frac}"
+    )
+    if rejected:
+        line += f", {rejected} rejected requests"
+    return line
+
+
 def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
     """Text table of all timers in ``snapshot``, sorted by total time."""
     rows = sorted(
@@ -123,7 +152,11 @@ def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
         key=lambda row: -row[1],
     )
     cache_line = render_cache_line(snapshot)
-    for extra in (render_batch_line(snapshot), render_steal_line(snapshot)):
+    for extra in (
+        render_batch_line(snapshot),
+        render_steal_line(snapshot),
+        render_energy_line(snapshot),
+    ):
         if extra:
             cache_line = f"{cache_line}\n{extra}" if cache_line else extra
     if not rows:

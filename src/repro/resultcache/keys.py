@@ -52,6 +52,7 @@ __all__ = [
     "comparison_fingerprint",
     "robustness_fingerprint",
     "decentral_fingerprint",
+    "energy_fingerprint",
     "instance_key",
 ]
 
@@ -172,6 +173,50 @@ def decentral_fingerprint(
             "amount": str(steal["amount"]),
             "cost": float(steal["cost"]),
         },
+    }
+
+
+def energy_fingerprint(
+    spec: WorkloadSpec,
+    algorithms: Sequence[str],
+    seed: int,
+    power: dict,
+    deadline_factor: float,
+    energy_price_factor: float,
+) -> dict:
+    """Sweep-level fields of an energy-sweep cache key.
+
+    ``power`` is the :meth:`~repro.energy.models.PowerModel.fingerprint`
+    dict — every :class:`~repro.energy.models.TypePower` field of every
+    type is coerced field-by-field, so a flip of any busy/idle/sleep
+    draw, shutdown window, or wake latency misses the cache (the
+    key-flip matrix in ``tests/resultcache/test_keys.py``).  The
+    presentation ``name`` of a power config is deliberately absent:
+    identical physics share entries.  ``deadline_factor`` and
+    ``energy_price_factor`` pin the profit objective's derived
+    per-task deadlines and energy price.
+    """
+    return {
+        "kind": "energy",
+        **_base_fields(spec, algorithms, seed),
+        "power": {
+            "types": [
+                {
+                    "busy": float(t["busy"]),
+                    "idle": float(t["idle"]),
+                    "sleep": float(t["sleep"]),
+                    "shutdown_window": (
+                        None
+                        if t["shutdown_window"] is None
+                        else float(t["shutdown_window"])
+                    ),
+                    "wake_latency": float(t["wake_latency"]),
+                }
+                for t in power["types"]
+            ],
+        },
+        "deadline_factor": float(deadline_factor),
+        "energy_price_factor": float(energy_price_factor),
     }
 
 

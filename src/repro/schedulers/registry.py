@@ -21,6 +21,8 @@ module maps those names to fresh scheduler instances.  Names:
 ``mqb[nocarry]``          no intra-round projection ablation
 ``dkgreedy``              decentralized KGreedy (per-proc deques + stealing)
 ``dmqb``                  decentralized MQB (local-deque scoring + stealing)
+``emqb``                  energy-weighted MQB (idle-power-weighted balancing)
+``kgreedy-consolidate``   KGreedy capped at ``ceil(r * P_alpha)`` per type
 ========================  =====================================================
 
 The decentralized names accept a bracket-option suffix selecting the
@@ -105,6 +107,12 @@ def make_scheduler(name: str) -> Scheduler:
         from repro.decentral.schedulers import make_decentral_scheduler
 
         return make_decentral_scheduler(key)
+    if key.startswith(("emqb", "kgreedy-consolidate")):
+        # Lazy for the same reason: the energy schedulers subclass MQB
+        # and KGreedy from this package.
+        from repro.energy.schedulers import make_energy_scheduler
+
+        return make_energy_scheduler(key)
     if key.startswith("mqb+"):
         parts = key.split("+")
         if len(parts) == 3 and parts[1] in ("all", "1step") and parts[2] in _INFO_FACTORIES:
@@ -126,4 +134,8 @@ def available_schedulers() -> list[str]:
         names.add(base)
         names.add(f"{base}[half]")
         names.add(f"{base}[global]")
+    names.add("emqb")
+    names.add("emqb[w=0.5]")
+    names.add("kgreedy-consolidate")
+    names.add("kgreedy-consolidate[r=0.5]")
     return sorted(names)

@@ -107,6 +107,11 @@ def add_service_parsers(sub: argparse._SubParsersAction) -> None:
         help="preemptive quantum (default 1.0)",
     )
     submit_p.add_argument(
+        "--power", default=None,
+        help="schedule: named power config for an energy breakdown "
+             "(baseline/idle-heavy/hetero/shutdown)",
+    )
+    submit_p.add_argument(
         "--deadline", type=float, default=None,
         help="per-request deadline in seconds (504 when exceeded)",
     )
@@ -155,6 +160,7 @@ def cmd_submit(args: argparse.Namespace) -> int:
                     seed=args.seed if args.seed is not None else 0,
                     preemptive=args.preemptive,
                     quantum=args.quantum,
+                    power=args.power,
                     deadline=args.deadline,
                 )
             elif args.kind == "sweep":

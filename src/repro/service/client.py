@@ -158,6 +158,7 @@ class ServiceClient:
         seed: int = 0,
         preemptive: bool = False,
         quantum: float = 1.0,
+        power: str | None = None,
         deadline: float | None = None,
     ) -> dict:
         """Submit a ``schedule`` request; return the full ok-body."""
@@ -168,6 +169,8 @@ class ServiceClient:
             "preemptive": preemptive,
             "quantum": quantum,
         }
+        if power is not None:
+            payload["power"] = power
         if deadline is not None:
             payload["deadline"] = deadline
         return self._checked(self.post("schedule", payload))

@@ -46,6 +46,8 @@ import numpy as np
 
 from repro.decentral.engine import dispatch_simulate
 from repro.decentral.schedulers import DecentralScheduler
+from repro.energy.metrics import energy_breakdown
+from repro.energy.models import power_config
 from repro.errors import ConfigurationError
 from repro.experiments.parallel import (
     _CHUNKS_PER_WORKER,
@@ -94,6 +96,16 @@ def run_schedule_request(payload: dict) -> dict:
     spec = workload_cell(request.cell)
     job, system = sample_instance(spec, np.random.default_rng(request.seed))
     scheduler = make_scheduler(request.scheduler)
+    want_energy = request.power is not None
+    if want_energy and isinstance(scheduler, DecentralScheduler):
+        # Steal costs are paid outside trace segments, so a trace-based
+        # energy account would undercount decentralized busy time.
+        # Reject explicitly rather than report wrong joules.
+        raise ProtocolError(
+            "bad_request",
+            f"{scheduler.name}: decentralized schedulers do not "
+            f"support energy accounting",
+        )
     if request.preemptive:
         if isinstance(scheduler, DecentralScheduler):
             raise ProtocolError(
@@ -104,11 +116,27 @@ def run_schedule_request(payload: dict) -> dict:
         result = simulate_preemptive(
             job, system, scheduler,
             rng=np.random.default_rng(request.seed), quantum=request.quantum,
+            record_trace=want_energy,
         )
     else:
         result = dispatch_simulate(
-            job, system, scheduler, rng=np.random.default_rng(request.seed)
+            job, system, scheduler, rng=np.random.default_rng(request.seed),
+            record_trace=want_energy,
         )
+    energy: dict | None = None
+    if want_energy:
+        power = power_config(request.power, system.num_types)
+        bd = energy_breakdown(result.trace, system, power)
+        energy = {
+            "power": request.power,
+            "total": bd["total"],
+            "busy": bd["busy"],
+            "idle": bd["idle"],
+            "sleep": bd["sleep"],
+            "wake": bd["wake"],
+            "n_gaps": bd["n_gaps"],
+            "n_shutdowns": bd["n_shutdowns"],
+        }
     return {
         "cell": request.cell,
         "scheduler": result.scheduler,
@@ -121,6 +149,7 @@ def run_schedule_request(payload: dict) -> dict:
         "lower_bound": result.lower_bound(),
         "ratio": result.completion_time_ratio(),
         "decisions": int(result.decisions),
+        **({"energy": energy} if energy is not None else {}),
     }
 
 

@@ -45,6 +45,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping
 
+from repro.energy.models import available_power_configs
 from repro.errors import ReproError
 from repro.multijob.schedulers import available_stream_policies
 from repro.resultcache.keys import ENGINE_REV, NUMPY_MAJOR, fingerprint_digest
@@ -89,6 +90,7 @@ HTTP_STATUS: dict[str, int] = {
     "unknown_cell": 400,
     "unknown_scheduler": 400,
     "unknown_policy": 400,
+    "unknown_power": 400,
     "not_found": 404,
     "method_not_allowed": 405,
     "payload_too_large": 413,
@@ -134,6 +136,7 @@ class ScheduleRequest:
     seed: int = 0
     preemptive: bool = False
     quantum: float = 1.0
+    power: str | None = None
     deadline: float | None = None
 
     kind = "schedule"
@@ -149,6 +152,8 @@ class ScheduleRequest:
             "preemptive": self.preemptive,
             "quantum": self.quantum,
         }
+        if self.power is not None:
+            payload["power"] = self.power
         if self.deadline is not None:
             payload["deadline"] = self.deadline
         return payload
@@ -163,6 +168,10 @@ class ScheduleRequest:
             # As in the sweep cache keys: the non-preemptive engine
             # never reads the quantum, so it must not split the cache.
             "quantum": self.quantum if self.preemptive else None,
+            # A power config changes the response body (energy fields)
+            # but never the simulated schedule, so it is part of the
+            # response identity like any other requested computation.
+            "power": self.power,
         }
 
 
@@ -273,6 +282,22 @@ class _Fields:
             )
         return value
 
+    def take_opt_str(self, name: str) -> str | None:
+        """An optional string field: absent (or ``null``) means ``None``.
+
+        :meth:`take_str` cannot express this — its ``default=None``
+        spelling marks a *required* field — so optional strings get
+        their own helper instead of a sentinel default.
+        """
+        value = self._pop(name, None, False)
+        if value is None:
+            return None
+        if not isinstance(value, str) or not value:
+            raise ProtocolError(
+                "bad_request", f"field {name!r} must be a non-empty string"
+            )
+        return value
+
     def take_int(
         self, name: str, default: int, lo: int | None = None, hi: int | None = None
     ) -> int:
@@ -356,6 +381,19 @@ def _check_policy(name: str) -> str:
     return name.strip().lower()
 
 
+def _check_power(name: str | None) -> str | None:
+    if name is None:
+        return None
+    key = name.strip().lower()
+    if key not in available_power_configs():
+        raise ProtocolError(
+            "unknown_power",
+            f"unknown power config {name!r}; "
+            f"known: {available_power_configs()}",
+        )
+    return key
+
+
 def parse_request(
     payload: Any, expected_kind: str | None = None
 ) -> Request:
@@ -396,6 +434,7 @@ def parse_request(
             seed=fields.take_int("seed", 0),
             preemptive=fields.take_bool("preemptive", False),
             quantum=fields.take_float("quantum", 1.0, lo=1e-9),
+            power=_check_power(fields.take_opt_str("power")),
             deadline=deadline,
         )
     elif kind == "sweep":

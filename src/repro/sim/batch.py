@@ -795,10 +795,20 @@ def _is_decentral(scheduler: Scheduler) -> bool:
     return isinstance(scheduler, DecentralScheduler)
 
 
+def _is_energy(scheduler: Scheduler) -> bool:
+    # Lazy import: repro.energy.schedulers imports the scheduler
+    # package, whose registry this module imports at load time.
+    from repro.energy.schedulers import is_energy_scheduler
+
+    return is_energy_scheduler(scheduler)
+
+
 def _is_static(scheduler: Scheduler) -> bool:
     # DKGreedy subclasses KGreedy but must not stack into the static
-    # lockstep rows — it runs under the decentralized engine.
-    if _is_decentral(scheduler):
+    # lockstep rows — it runs under the decentralized engine.  The
+    # energy variants subclass KGreedy/MQB but override assignment, so
+    # lockstep rows would silently run their bases.
+    if _is_decentral(scheduler) or _is_energy(scheduler):
         return False
     return isinstance(scheduler, (QueueScheduler, KGreedy))
 
@@ -811,10 +821,11 @@ def batch_supported(scheduler: Scheduler, job: KDag) -> bool:
     the MQB family qualifies on integral work amounts (every library
     workload), where the balance bookkeeping is exact in any
     summation order.  Everything else — e.g. the random control, whose
-    per-decision draws are inherently sequential — falls back to the
-    scalar engine.
+    per-decision draws are inherently sequential, or the energy
+    variants, whose assignment differs from their base classes — falls
+    back to the scalar engine.
     """
-    if _is_decentral(scheduler):
+    if _is_decentral(scheduler) or _is_energy(scheduler):
         return False
     if _is_static(scheduler):
         return True

@@ -1,0 +1,213 @@
+"""Energy metrics: hand-computed cases, invariants, and property tests.
+
+The hand-computed fixture is small enough to integrate by eye::
+
+    type 0 (P=2, busy 1.0, idle 0.5): proc 0 runs task 0 on [0,3) and
+        task 1 on [5,8); proc 1 never runs anything.
+    type 1 (P=1, busy 2.0, idle 0.25): proc 0 runs task 2 on [1,9).
+
+Makespan 9; busy time (6, 8); idle gaps 2, 1 and a whole-horizon 9 on
+type 0, a leading 1 on type 1.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.metrics import (
+    active_interval_time,
+    energy_breakdown,
+    energy_delay_product,
+    idle_gaps,
+    schedule_profit,
+    task_completion_times,
+    total_energy,
+)
+from repro.energy.models import PowerModel, TypePower, power_config
+from repro.errors import ValidationError
+from repro.schedulers.registry import make_scheduler
+from repro.sim.engine import simulate
+from repro.sim.trace import ScheduleTrace
+from repro.system.resources import ResourceConfig
+from repro.workloads.generator import WORKLOAD_CELLS, sample_instance
+
+RES = ResourceConfig(counts=(2, 1))
+POWER = PowerModel(
+    types=(TypePower(busy=1.0, idle=0.5), TypePower(busy=2.0, idle=0.25))
+)
+SHUTDOWN_POWER = PowerModel(
+    types=(
+        TypePower(busy=1.0, idle=0.5, sleep=0.1, shutdown_window=3.0,
+                  wake_latency=1.0),
+        TypePower(busy=2.0, idle=0.25),
+    )
+)
+
+
+def hand_trace() -> ScheduleTrace:
+    trace = ScheduleTrace()
+    trace.add(0, 0, 0, 0.0, 3.0)
+    trace.add(1, 0, 0, 5.0, 8.0)
+    trace.add(2, 1, 0, 1.0, 9.0)
+    return trace
+
+
+class TestIdleGaps:
+    def test_hand_computed_gaps(self):
+        lengths, types = idle_gaps(hand_trace(), RES)
+        got = sorted(zip(types.tolist(), lengths.tolist()))
+        assert got == [(0, 1.0), (0, 2.0), (0, 9.0), (1, 1.0)]
+
+    def test_gap_invariant(self):
+        # Per type: gap lengths sum to P * makespan - busy time.
+        lengths, types = idle_gaps(hand_trace(), RES)
+        sums = np.zeros(2)
+        np.add.at(sums, types, lengths)
+        np.testing.assert_allclose(sums, [2 * 9 - 6, 1 * 9 - 8])
+
+    def test_empty_trace_is_all_horizon_gaps(self):
+        lengths, types = idle_gaps(ScheduleTrace(), RES, makespan=5.0)
+        assert lengths.tolist() == [5.0, 5.0, 5.0]
+        assert types.tolist() == [0, 0, 1]
+
+    def test_empty_trace_zero_horizon_has_no_gaps(self):
+        lengths, types = idle_gaps(ScheduleTrace(), RES)
+        assert len(lengths) == 0 and len(types) == 0
+
+    def test_rejects_type_out_of_range(self):
+        trace = ScheduleTrace()
+        trace.add(0, 2, 0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            idle_gaps(trace, RES)
+
+    def test_rejects_proc_out_of_range(self):
+        trace = ScheduleTrace()
+        trace.add(0, 1, 1, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            idle_gaps(trace, RES)
+
+    def test_rejects_segment_beyond_makespan(self):
+        with pytest.raises(ValidationError):
+            idle_gaps(hand_trace(), RES, makespan=5.0)
+
+    def test_rejects_negative_makespan(self):
+        with pytest.raises(ValidationError):
+            idle_gaps(ScheduleTrace(), RES, makespan=-1.0)
+
+
+class TestEnergyBreakdown:
+    def test_hand_computed_no_shutdown(self):
+        bd = energy_breakdown(hand_trace(), RES, POWER)
+        # busy: 1.0 * 6 + 2.0 * 8; idle: 0.5 * (2+1+9) + 0.25 * 1.
+        assert bd["busy"] == pytest.approx(22.0)
+        assert bd["idle"] == pytest.approx(6.25)
+        assert bd["sleep"] == 0.0 and bd["wake"] == 0.0
+        assert bd["total"] == pytest.approx(28.25)
+        np.testing.assert_allclose(bd["busy_time"], [6.0, 8.0])
+        np.testing.assert_allclose(bd["busy_energy"], [6.0, 16.0])
+        assert bd["makespan"] == 9.0
+        assert bd["n_gaps"] == 4 and bd["n_shutdowns"] == 0
+
+    def test_hand_computed_shutdown(self):
+        # Only the whole-horizon gap of 9 reaches window + wake = 4:
+        # 3 units idle (0.5), 5 units sleep (0.1), 1 unit wake (busy 1.0).
+        bd = energy_breakdown(hand_trace(), RES, SHUTDOWN_POWER)
+        assert bd["idle"] == pytest.approx(0.5 * (2 + 1 + 3) + 0.25 * 1)
+        assert bd["sleep"] == pytest.approx(0.1 * 5)
+        assert bd["wake"] == pytest.approx(1.0 * 1)
+        assert bd["total"] == pytest.approx(22.0 + 3.25 + 0.5 + 1.0)
+        assert bd["n_shutdowns"] == 1
+
+    def test_gap_exactly_at_threshold_sleeps(self):
+        power = PowerModel(
+            types=(TypePower(1.0, 0.5, 0.0, shutdown_window=1.0,
+                             wake_latency=1.0),)
+        )
+        trace = ScheduleTrace()
+        trace.add(0, 0, 0, 0.0, 1.0)
+        trace.add(1, 0, 0, 3.0, 4.0)  # gap of exactly window + wake
+        bd = energy_breakdown(trace, ResourceConfig(counts=(1,)), power)
+        assert bd["n_shutdowns"] == 1
+        assert bd["sleep"] == 0.0  # nothing left between window and wake
+
+    def test_total_energy_and_edp(self):
+        total = total_energy(hand_trace(), RES, POWER)
+        assert total == pytest.approx(28.25)
+        assert energy_delay_product(hand_trace(), RES, POWER) == pytest.approx(
+            28.25 * 9.0
+        )
+
+    def test_rejects_k_mismatch(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            energy_breakdown(hand_trace(), RES, PowerModel.uniform(3))
+
+
+class TestActiveIntervalTime:
+    def test_hand_computed_spans(self):
+        # type 0 proc 0 spans [0, 8); proc 1 unused; type 1 spans [1, 9).
+        np.testing.assert_allclose(
+            active_interval_time(hand_trace(), RES), [8.0, 8.0]
+        )
+
+    def test_empty_trace_is_zero(self):
+        np.testing.assert_array_equal(
+            active_interval_time(ScheduleTrace(), RES), [0.0, 0.0]
+        )
+
+
+class TestProfit:
+    def test_completion_times(self):
+        out = task_completion_times(hand_trace(), 4)
+        assert out[:3].tolist() == [3.0, 8.0, 9.0]
+        assert np.isinf(out[3])  # never ran
+
+    def test_rejects_unknown_task(self):
+        with pytest.raises(ValidationError):
+            task_completion_times(hand_trace(), 2)
+
+    def test_hand_computed_profit(self):
+        values = np.array([10.0, 20.0, 30.0, 40.0])
+        deadlines = np.array([5.0, 8.0, 8.0, 100.0])
+        # Tasks 0 and 1 meet their deadlines; 2 is late, 3 never ran.
+        profit = schedule_profit(
+            hand_trace(), values, deadlines, energy=26.75, energy_price=0.1
+        )
+        assert profit == pytest.approx(30.0 - 2.675)
+
+    def test_scalar_deadline_broadcasts(self):
+        values = np.array([10.0, 20.0, 30.0])
+        profit = schedule_profit(hand_trace(), values, 9.0, energy=0.0)
+        assert profit == pytest.approx(60.0)
+
+    def test_rejects_negative_price(self):
+        with pytest.raises(ValidationError):
+            schedule_profit(hand_trace(), np.ones(3), 9.0, 1.0, -0.1)
+
+
+@pytest.mark.parametrize("cell", ["small-layered-ep", "small-random-ep"])
+@pytest.mark.parametrize("name", ["kgreedy", "mqb", "kgreedy-consolidate[r=0.5]"])
+class TestProperties:
+    def test_energy_floor_and_gap_invariant(self, cell, name):
+        job, system = sample_instance(
+            WORKLOAD_CELLS[cell], np.random.default_rng(3)
+        )
+        res = simulate(
+            job, system, make_scheduler(name),
+            rng=np.random.default_rng(3), record_trace=True,
+        )
+        for power_name in ("baseline", "hetero", "shutdown"):
+            power = power_config(power_name, system.num_types)
+            bd = energy_breakdown(res.trace, system, power, res.makespan)
+            # Energy is bounded below by the busy-only floor (draws are
+            # ordered busy >= idle >= sleep >= 0).
+            assert bd["total"] >= bd["busy"] - 1e-9
+            assert bd["idle"] >= 0 and bd["sleep"] >= 0 and bd["wake"] >= 0
+            # Idle-gap decomposition tiles the horizon exactly.
+            lengths, types = idle_gaps(res.trace, system, res.makespan)
+            sums = np.zeros(system.num_types)
+            np.add.at(sums, types, lengths)
+            expected = system.as_array() * res.makespan - bd["busy_time"]
+            np.testing.assert_allclose(sums, expected, atol=1e-6)

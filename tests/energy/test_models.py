@@ -1,0 +1,144 @@
+"""Power-model validation, fingerprints and named configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.energy.models import (
+    POWER_CONFIGS,
+    PowerModel,
+    TypePower,
+    available_power_configs,
+    power_config,
+)
+from repro.errors import ConfigurationError
+
+
+class TestTypePower:
+    def test_defaults_are_valid(self):
+        tp = TypePower()
+        assert tp.busy == 1.0
+        assert tp.idle == 0.3
+        assert tp.sleep == 0.0
+        assert tp.shutdown_window is None
+        assert tp.wake_latency == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"busy": -1.0},
+            {"idle": -0.1},
+            {"sleep": -0.1},
+            {"busy": float("nan")},
+            {"idle": float("inf")},
+            {"wake_latency": -1.0},
+            {"wake_latency": float("nan")},
+            {"shutdown_window": -1.0},
+            {"shutdown_window": float("inf")},
+        ],
+        ids=[
+            "neg_busy", "neg_idle", "neg_sleep", "nan_busy", "inf_idle",
+            "neg_wake", "nan_wake", "neg_window", "inf_window",
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TypePower(**kwargs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"busy": 0.2, "idle": 0.3},          # idle > busy
+            {"idle": 0.1, "sleep": 0.2},         # sleep > idle
+        ],
+        ids=["idle_above_busy", "sleep_above_idle"],
+    )
+    def test_rejects_unordered_draws(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            TypePower(**kwargs)
+
+    def test_fingerprint_covers_every_field(self):
+        tp = TypePower(1.0, 0.3, 0.02, 4.0, 1.0)
+        assert tp.fingerprint() == {
+            "busy": 1.0,
+            "idle": 0.3,
+            "sleep": 0.02,
+            "shutdown_window": 4.0,
+            "wake_latency": 1.0,
+        }
+
+    def test_none_window_survives_fingerprint(self):
+        assert TypePower().fingerprint()["shutdown_window"] is None
+
+
+class TestPowerModel:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            PowerModel(types=())
+
+    def test_uniform_shares_one_type_power(self):
+        model = PowerModel.uniform(3, idle=0.4)
+        assert model.num_types == 3
+        assert all(t.idle == 0.4 for t in model.types)
+
+    def test_check_types_mismatch(self):
+        model = PowerModel.uniform(2)
+        assert model.check_types(2) is model
+        with pytest.raises(ConfigurationError):
+            model.check_types(3)
+
+    def test_arrays_match_declarations(self):
+        model = PowerModel(
+            types=(TypePower(1.0, 0.5), TypePower(2.0, 0.1, 0.05, 3.0, 0.5))
+        )
+        np.testing.assert_array_equal(model.busy_array(), [1.0, 2.0])
+        np.testing.assert_array_equal(model.idle_array(), [0.5, 0.1])
+        np.testing.assert_array_equal(model.sleep_array(), [0.0, 0.05])
+        np.testing.assert_array_equal(model.window_array(), [np.inf, 3.0])
+        np.testing.assert_array_equal(model.wake_array(), [0.0, 0.5])
+
+    def test_name_excluded_from_fingerprint(self):
+        # Identical physics must share cache entries regardless of the
+        # presentation name.
+        a = PowerModel.uniform(2, name="a")
+        b = PowerModel.uniform(2, name="b")
+        assert a.fingerprint() == b.fingerprint()
+
+    def test_fingerprint_is_per_type(self):
+        a = PowerModel(types=(TypePower(idle=0.1), TypePower(idle=0.5)))
+        b = PowerModel(types=(TypePower(idle=0.5), TypePower(idle=0.1)))
+        assert a.fingerprint() != b.fingerprint()
+
+
+class TestNamedConfigs:
+    def test_available_names(self):
+        assert available_power_configs() == sorted(POWER_CONFIGS)
+        assert {"baseline", "idle-heavy", "hetero", "shutdown"} <= set(
+            available_power_configs()
+        )
+
+    @pytest.mark.parametrize("name", sorted(POWER_CONFIGS))
+    @pytest.mark.parametrize("k", [1, 2, 6, 9])
+    def test_every_config_resolves_for_any_k(self, name, k):
+        model = power_config(name, k)
+        assert model.num_types == k
+        assert model.name == name
+
+    def test_hetero_idle_draws_differ_across_types(self):
+        model = power_config("hetero", 3)
+        idles = {t.idle for t in model.types}
+        assert len(idles) == 3
+
+    def test_shutdown_config_has_window(self):
+        model = power_config("shutdown", 2)
+        assert all(t.shutdown_window is not None for t in model.types)
+        assert all(t.wake_latency > 0 for t in model.types)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power_config("nuclear", 2)
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ConfigurationError):
+            power_config("baseline", 0)

@@ -106,6 +106,32 @@ class TestDecentralBitIdentity:
         assert not NULL_TELEMETRY.histograms
 
 
+@pytest.mark.parametrize("cell", CELLS)
+@pytest.mark.parametrize(
+    "name",
+    ["emqb[w=0.5]", "emqb[w=1]", "kgreedy-consolidate[r=0.5]",
+     "kgreedy-consolidate[r=0.25]"],
+)
+class TestEnergyBitIdentity:
+    def test_energy_variants(self, name, cell):
+        # The energy variants thread extra state (weights, running
+        # counts) through the scalar engine; none of it may depend on
+        # whether anyone is watching, and disabled telemetry must
+        # record nothing at all.
+        job, system = _instance(cell)
+        runs = []
+        for telemetry in (None, NULL_TELEMETRY, Telemetry(events=EventStream())):
+            res = simulate(
+                job, system, make_scheduler(name),
+                rng=np.random.default_rng(1), telemetry=telemetry,
+            )
+            runs.append(_fingerprint(res))
+        assert runs[0] == runs[1] == runs[2]
+        assert not NULL_TELEMETRY.counters
+        assert not NULL_TELEMETRY.timers
+        assert not NULL_TELEMETRY.histograms
+
+
 class TestStreamBitIdentity:
     def test_stream_engine(self):
         from repro.multijob.arrival import poisson_stream

@@ -14,6 +14,7 @@ import repro.resultcache.keys as keys
 from repro.resultcache.keys import (
     comparison_fingerprint,
     decentral_fingerprint,
+    energy_fingerprint,
     instance_key,
     robustness_fingerprint,
     workload_fingerprint,
@@ -177,3 +178,78 @@ class TestDecentralKeyInvalidation:
         # Same cell/seed; the decentral sweep overrides the system with
         # an explicit (P,)*K, so sharing entries would be unsound.
         assert self.dc_key(algorithms=ALGS) != base_key()
+
+
+def _power_types(**overrides) -> list[dict]:
+    """Two-type power fingerprint with one field of one type overridden."""
+    base = {
+        "busy": 1.0, "idle": 0.3, "sleep": 0.0,
+        "shutdown_window": None, "wake_latency": 0.0,
+    }
+    return [dict(base), {**base, **overrides}]
+
+
+class TestEnergyKeyInvalidation:
+    def en_key(self, **overrides) -> str:
+        fields = dict(
+            spec=SPEC,
+            algorithms=("kgreedy", "mqb", "emqb[w=0.5]"),
+            seed=7,
+            power={"types": _power_types()},
+            deadline_factor=1.5,
+            energy_price_factor=0.1,
+        )
+        fields.update(overrides)
+        instance = fields.pop("instance", 0)
+        return instance_key(energy_fingerprint(**fields), instance)
+
+    def test_stable(self):
+        assert self.en_key() == self.en_key()
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"seed": 8},
+            {"instance": 3},
+            {"algorithms": ("kgreedy", "mqb", "emqb[w=1]")},
+            {"algorithms": ("mqb", "kgreedy", "emqb[w=0.5]")},
+            {"deadline_factor": 2.0},
+            {"energy_price_factor": 0.2},
+        ],
+        ids=[
+            "seed", "instance", "algorithm_names", "algorithm_order",
+            "deadline_factor", "energy_price_factor",
+        ],
+    )
+    def test_field_flip_misses(self, override):
+        assert self.en_key(**override) != self.en_key()
+
+    @pytest.mark.parametrize(
+        "types_override",
+        [
+            {"busy": 2.0},
+            {"idle": 0.2},
+            {"sleep": 0.1, "idle": 0.3},
+            {"shutdown_window": 4.0},
+            {"shutdown_window": 0.0},       # 0.0 is not None
+            {"wake_latency": 1.0},
+        ],
+        ids=[
+            "busy", "idle", "sleep", "window_none_to_value",
+            "window_none_to_zero", "wake_latency",
+        ],
+    )
+    def test_every_power_field_flip_misses(self, types_override):
+        # The power model is fingerprinted field-by-field per type: a
+        # flip of any TypePower field of any single type must miss.
+        changed = {"types": _power_types(**types_override)}
+        assert self.en_key(power=changed) != self.en_key()
+
+    def test_power_type_order_matters(self):
+        a = {"types": _power_types(idle=0.6)}
+        b = {"types": list(reversed(_power_types(idle=0.6)))}
+        assert self.en_key(power=a) != self.en_key(power=b)
+
+    def test_kind_separates_energy_from_comparison(self):
+        # Same cell/algorithms/seed, different sweep kind: never shared.
+        assert self.en_key(algorithms=ALGS) != base_key(algorithms=ALGS)

@@ -172,6 +172,45 @@ class TestRealWork:
         assert a["makespan"] > 0
         assert a["ratio"] >= 1.0
 
+    def test_power_adds_energy_fields_without_changing_the_schedule(self):
+        base = run_schedule_request(
+            ScheduleRequest(cell=CELL, scheduler="kgreedy", seed=9).to_payload()
+        )
+        powered = run_schedule_request(
+            ScheduleRequest(
+                cell=CELL, scheduler="kgreedy", seed=9, power="shutdown"
+            ).to_payload()
+        )
+        assert "energy" not in base
+        assert powered["makespan"] == base["makespan"]
+        assert powered["decisions"] == base["decisions"]
+        energy = powered["energy"]
+        assert energy["power"] == "shutdown"
+        assert energy["total"] >= energy["busy"] > 0
+        assert energy["total"] == pytest.approx(
+            energy["busy"] + energy["idle"] + energy["sleep"] + energy["wake"]
+        )
+        assert energy["n_gaps"] >= energy["n_shutdowns"] >= 0
+
+    def test_power_works_preemptively(self):
+        result = run_schedule_request(
+            ScheduleRequest(
+                cell=CELL, scheduler="mqb", seed=2, preemptive=True,
+                power="baseline",
+            ).to_payload()
+        )
+        assert result["energy"]["total"] > 0
+
+    def test_power_with_decentral_scheduler_is_bad_request(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            run_schedule_request(
+                ScheduleRequest(
+                    cell=CELL, scheduler="dkgreedy", power="baseline"
+                ).to_payload()
+            )
+        assert excinfo.value.code == "bad_request"
+        assert "energy" in excinfo.value.message
+
     def test_sweep_runs_through_shared_pool_path(self):
         """The built-in sweep path (no injected work fn) shards itself."""
         telemetry = Telemetry()

@@ -145,6 +145,54 @@ class TestRejection:
             error_response("no_such_code", "x")
 
 
+class TestPowerField:
+    def test_round_trip(self):
+        req = ScheduleRequest(cell=CELL, scheduler="kgreedy", power="shutdown")
+        assert parse_request(req.to_payload()) == req
+
+    def test_absent_means_none(self):
+        req = parse_request({"kind": "schedule", "cell": CELL})
+        assert req.power is None
+        assert "power" not in req.to_payload()
+
+    def test_name_normalized(self):
+        req = parse_request(
+            {"kind": "schedule", "cell": CELL, "power": "  Baseline "}
+        )
+        assert req.power == "baseline"
+
+    def test_unknown_power(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "power": "nope"})
+        assert err.code == "unknown_power"
+        assert err.http_status == 400
+
+    def test_empty_power_rejected(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "power": ""})
+        assert err.code == "bad_request"
+
+    def test_non_string_power_rejected(self):
+        err = parse_error({"kind": "schedule", "cell": CELL, "power": 3})
+        assert err.code == "bad_request"
+
+    def test_sweep_does_not_accept_power(self):
+        err = parse_error(
+            {
+                "kind": "sweep", "cell": CELL, "algorithms": ["mqb"],
+                "power": "baseline",
+            }
+        )
+        assert err.code == "bad_request"
+
+    def test_power_splits_the_fingerprint(self):
+        # Power never changes the schedule, but it changes the response
+        # body (energy fields), so it is part of the response identity.
+        a = ScheduleRequest(cell=CELL, seed=3)
+        b = ScheduleRequest(cell=CELL, seed=3, power="baseline")
+        c = ScheduleRequest(cell=CELL, seed=3, power="shutdown")
+        prints = {request_fingerprint(r) for r in (a, b, c)}
+        assert len(prints) == 3
+
+
 class TestFingerprint:
     def test_deterministic(self):
         a = ScheduleRequest(cell=CELL, scheduler="mqb", seed=3)
