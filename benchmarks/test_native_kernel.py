@@ -1,0 +1,84 @@
+"""Microbenchmarks: native MQB selection kernel vs the numpy path.
+
+One pick over a pool of ``m`` ready candidates — the unit of work the
+compiled kernel (:mod:`repro.native`) replaces — timed for both
+backends at small/medium/large pool sizes, so a regression in either
+path is visible in isolation rather than only through the end-to-end
+engine numbers in BENCH_engine.json.
+
+The native side mutates its buffers (pick + pop-swap + load updates),
+so it runs under ``benchmark.pedantic`` with an untimed per-round
+setup that restores fresh copies; the numpy ``_pick_best`` is scoring
+only and benchmarks directly.  Marked slow like the other experiment-
+scale benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import KDag, ResourceConfig, make_scheduler
+from repro import native
+
+pytestmark = pytest.mark.slow
+
+K = 4
+POOL_SIZES = (8, 64, 512)
+
+
+def _prepared_mqb(m: int):
+    """An MQB scheduler with ``m`` ready type-0 candidates pooled."""
+    rng = np.random.default_rng(m)
+    n = m + K
+    types = rng.integers(0, K, size=n)
+    types[:m] = 0
+    work = rng.integers(1, 7, size=n).astype(float)
+    job = KDag(types=types, work=work, edges=[], num_types=K)
+    sch = make_scheduler("mqb")
+    sch.prepare(job, ResourceConfig((2,) * K))
+    for t in range(n):
+        sch.task_ready(t, 0.0, float(work[t]))
+    assert len(sch._ptasks[0]) >= m
+    return sch
+
+
+@pytest.fixture
+def kernel():
+    k = native.load_kernel()
+    if k is None:
+        pytest.skip(f"native kernel unavailable: {native.native_status()['error']}")
+    return k
+
+
+@pytest.mark.parametrize("m", POOL_SIZES)
+def test_pick_numpy(benchmark, m, monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE", "0")
+    sch = _prepared_mqb(m)
+    extra = np.zeros(K, dtype=np.float64)
+    benchmark(lambda: sch._pick_best(0, extra))
+
+
+@pytest.mark.parametrize("m", POOL_SIZES)
+def test_pick_native(benchmark, kernel, m, monkeypatch):
+    monkeypatch.setenv("REPRO_NATIVE", "0")  # build pools via numpy path
+    sch = _prepared_mqb(m)
+    mm = len(sch._ptasks[0])
+    dpool, wpool, spool = sch._dpool[0], sch._wpool[0], sch._spool[0]
+    parr = sch._parr
+    extra = np.zeros(K, dtype=np.float64)
+
+    def setup():
+        return (
+            dpool.copy(), wpool.copy(), spool.copy(),
+            sch._l.copy(), extra.copy(),
+        ), {}
+
+    def run(d, w, s, l, e):
+        return kernel.pick_pop(
+            d.ctypes.data, w.ctypes.data, s.ctypes.data, mm, K, 0,
+            l.ctypes.data, e.ctypes.data, parr.ctypes.data,
+            native.MODE_CODES["lex"], 1,
+        )
+
+    benchmark.pedantic(run, setup=setup, rounds=300, warmup_rounds=10)

@@ -70,8 +70,12 @@ def _best_of(fn, repeat: int = 5, number: int = 1) -> float:
 
 def measure() -> dict[str, float]:
     # The engine/sweep timings below measure real computation; pin the
-    # result cache off so a warm user cache can't shortcut them.
+    # result cache off so a warm user cache can't shortcut them.  The
+    # un-suffixed entries pin the native MQB kernel OFF so they stay
+    # comparable with the recorded history (which predates the kernel);
+    # the paired _native entries measure the same work with it on.
     os.environ["REPRO_CACHE"] = "0"
+    os.environ["REPRO_NATIVE"] = "0"
     job, system = sample_instance(
         WORKLOAD_CELLS["medium-layered-ir"], np.random.default_rng(42)
     )
@@ -82,6 +86,19 @@ def measure() -> dict[str, float]:
     after["engine_mqb_ir"] = _best_of(
         lambda: simulate(job, system, make_scheduler("mqb"), rng=rng), repeat=10
     )
+    # Native compiled selection kernel (src/repro/native): the same
+    # run with MQB's pick loop in C — bit-identical results, guarded
+    # by scripts/check_native_identity.py.  Skipped (entry absent)
+    # when no kernel can be built on this host.
+    from repro import native as _native
+
+    os.environ["REPRO_NATIVE"] = "1"
+    if _native.load_kernel() is not None:
+        after["engine_mqb_ir_native"] = _best_of(
+            lambda: simulate(job, system, make_scheduler("mqb"), rng=rng),
+            repeat=10,
+        )
+    os.environ["REPRO_NATIVE"] = "0"
     after["engine_kgreedy_ir"] = _best_of(
         lambda: simulate(job, system, make_scheduler("kgreedy")), repeat=10
     )
@@ -122,6 +139,17 @@ def measure() -> dict[str, float]:
     after["fig4_ir_sweep_16_batch"] = min(sweep(1, "batch") for _ in range(2))
     after["fig4_ir_sweep_256_serial"] = sweep(1, "scalar", 256)
     after["fig4_ir_sweep_256_batch"] = sweep(1, "batch", 256)
+
+    # The same batch sweeps with the native MQB kernel carrying the
+    # selection picks — the headline fig4 numbers move only as much as
+    # MQB selection dominates the sweep, so record both honestly.
+    os.environ["REPRO_NATIVE"] = "1"
+    if _native.load_kernel() is not None:
+        after["fig4_ir_sweep_16_batch_native"] = min(
+            sweep(1, "batch") for _ in range(2)
+        )
+        after["fig4_ir_sweep_256_batch_native"] = sweep(1, "batch", 256)
+    os.environ["REPRO_NATIVE"] = "0"
 
     # Decentralized work-stealing engine (src/repro/decentral): one
     # DKGreedy run under the default steal policy on the overhead
@@ -185,6 +213,29 @@ def main() -> int:
     speedups["fig4_ir_sweep_16_batch_vs_seed_serial"] = round(
         BASELINE["fig4_ir_sweep_16_serial"] / after["fig4_ir_sweep_16_batch"], 3
     )
+    if "engine_mqb_ir_native" in after:
+        speedups["engine_mqb_ir_native_vs_numpy"] = round(
+            after["engine_mqb_ir"] / after["engine_mqb_ir_native"], 3
+        )
+        speedups["engine_mqb_ir_native_vs_seed"] = round(
+            BASELINE["engine_mqb_ir"] / after["engine_mqb_ir_native"], 3
+        )
+    if "fig4_ir_sweep_16_batch_native" in after:
+        speedups["fig4_ir_sweep_16_batch_native_vs_numpy_batch"] = round(
+            after["fig4_ir_sweep_16_batch"]
+            / after["fig4_ir_sweep_16_batch_native"],
+            3,
+        )
+        speedups["fig4_ir_sweep_16_batch_native_vs_seed_serial"] = round(
+            BASELINE["fig4_ir_sweep_16_serial"]
+            / after["fig4_ir_sweep_16_batch_native"],
+            3,
+        )
+        speedups["fig4_ir_sweep_256_batch_native_vs_numpy_batch"] = round(
+            after["fig4_ir_sweep_256_batch"]
+            / after["fig4_ir_sweep_256_batch_native"],
+            3,
+        )
     payload = {
         "description": (
             "Engine/offline-pass hot-path timings, seconds (min over "
@@ -193,7 +244,11 @@ def main() -> int:
             "algorithms, 16 instances, seed 2011); the _batch variants "
             "run the same sweep through the batched lockstep engine "
             "(bit-identical per instance), at 16 and 256 instances, "
-            "cache off. The _telemetry "
+            "cache off. Un-suffixed entries pin REPRO_NATIVE=0; the "
+            "paired _native entries rerun the same work with the "
+            "compiled MQB selection kernel (src/repro/native, "
+            "bit-identical picks) and are absent on hosts without a "
+            "C toolchain. The _telemetry "
             "variant runs the same instance under an enabled Telemetry "
             "(aggregates only, no event stream). The _cold_cache / "
             "_warm_cache pair times the same sweep against a fresh "

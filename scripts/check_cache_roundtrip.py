@@ -22,6 +22,11 @@ All of it must still be all-hits and float-identical, which proves the
 cache fingerprints are engine-mode-invariant: an entry written by one
 engine answers the other, because the engines are bit-identical.
 
+A final cross-backend pass flips ``REPRO_NATIVE`` (numpy vs the
+compiled MQB kernel, :mod:`repro.native`) and reads the same cache
+back: fingerprints must be native-invariant too, so a cache written
+with one selection backend answers the other.
+
 Run from the repo root (CI sets a throwaway ``REPRO_CACHE_DIR``)::
 
     PYTHONPATH=src REPRO_CACHE=1 REPRO_CACHE_DIR=/tmp/repro-ci-cache \
@@ -119,6 +124,33 @@ def main() -> int:
             f"cross-engine warm run is all hits ({N_INSTANCES}/{N_INSTANCES})",
             cross_t.counters.get("cache.hits") == N_INSTANCES
             and "cache.misses" not in cross_t.counters,
+        )
+        # Native-backend-invariant fingerprints: flip the MQB selection
+        # backend (numpy <-> compiled kernel) and read the cache back.
+        from repro import native
+
+        flip = "0" if native.requested() and native.load_kernel() else "1"
+        prev = os.environ.get("REPRO_NATIVE")
+        os.environ["REPRO_NATIVE"] = flip
+        try:
+            nat_t = Telemetry()
+            nat = run_comparison(
+                spec, ALGORITHMS, N_INSTANCES, SEED,
+                n_workers=workers, telemetry=nat_t, engine=engine,
+            )
+        finally:
+            if prev is None:
+                os.environ.pop("REPRO_NATIVE", None)
+            else:
+                os.environ["REPRO_NATIVE"] = prev
+        check(
+            f"cross-backend (REPRO_NATIVE={flip}) warm run bit-identical",
+            nat == truth,
+        )
+        check(
+            f"cross-backend warm run is all hits ({N_INSTANCES}/{N_INSTANCES})",
+            nat_t.counters.get("cache.hits") == N_INSTANCES
+            and "cache.misses" not in nat_t.counters,
         )
         # Clear between worker counts so each pass is a true cold start.
         if workers == 1:

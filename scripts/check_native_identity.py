@@ -1,0 +1,156 @@
+#!/usr/bin/env python
+"""CI guard: the native MQB kernel IS the numpy path, bit for bit.
+
+The compiled selection kernel (:mod:`repro.native`) promises the
+identical IEEE-double arithmetic in the identical order as the numpy
+``MQB._pick_best`` / batch ``_MQBLockstep`` formulations, so winners —
+and therefore makespans, decision counts, and every trace segment
+(task, type, processor id, start, end) — must match **exactly** under
+both backends.  This is the anchor that keeps the kernel honest: any
+drift in scoring order, comparison semantics or pool bookkeeping shows
+up here as a hard failure, not as a plausible-looking speedup.
+
+Matrix: 3 workload cells x 3 instances x the MQB balance/carry
+variants (lex, min, sum, nocarry) x telemetry off/on x both engines
+(scalar ``simulate`` and ``simulate_batch``).  The numpy reference is
+produced with ``REPRO_NATIVE=0``; the native runs use
+``REPRO_NATIVE=1`` and additionally assert (via telemetry counters)
+that the kernel actually carried the picks — a silently-fallen-back
+run comparing numpy against numpy would be a vacuous pass.
+
+The kernel must be loadable: CI compiles it in an explicit step before
+running this guard, and a missing kernel exits nonzero here.
+
+Run from the repo root (no cache involvement — results are computed
+fresh on both sides)::
+
+    PYTHONPATH=src python scripts/check_native_identity.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+os.environ["REPRO_CACHE"] = "0"
+
+import numpy as np
+
+SEED = 7
+INSTANCES_PER_CELL = 3
+VARIANTS = ("mqb", "mqb[min]", "mqb[sum]", "mqb[nocarry]")
+CELLS = (
+    ("small-layered-ep", 4),
+    ("small-random-ep", 16),
+    ("medium-layered-ir", 8),
+)
+
+
+def main() -> int:
+    from repro import native
+    from repro.obs.telemetry import Telemetry
+    from repro.schedulers.registry import make_scheduler
+    from repro.sim.batch import simulate_batch
+    from repro.sim.engine import simulate
+    from repro.system.resources import ResourceConfig
+    from repro.workloads.generator import WORKLOAD_CELLS, sample_job
+
+    os.environ["REPRO_NATIVE"] = "1"
+    if native.load_kernel() is None:
+        print(
+            "FAIL: native kernel unavailable "
+            f"({native.native_status()['error']}) — compile it first "
+            "(python setup.py build_ext --inplace)",
+            file=sys.stderr,
+        )
+        return 1
+
+    failures: list[str] = []
+
+    def check(label: str, condition: bool) -> None:
+        print(f"  {'ok' if condition else 'FAIL'}: {label}")
+        if not condition:
+            failures.append(label)
+
+    for cell, p_per_type in CELLS:
+        spec = WORKLOAD_CELLS[cell]
+        system = ResourceConfig((p_per_type,) * spec.num_types)
+        print(f"{cell} P={p_per_type}:")
+        jobs = [
+            sample_job(
+                spec, np.random.default_rng(np.random.SeedSequence([SEED, i]))
+            )
+            for i in range(INSTANCES_PER_CELL)
+        ]
+        instances = [(job, system) for job in jobs]
+        for name in VARIANTS:
+            os.environ["REPRO_NATIVE"] = "0"
+            ref_scalar = [
+                simulate(job, system, make_scheduler(name), record_trace=True)
+                for job in jobs
+            ]
+            ref_batch = simulate_batch(instances, name, record_trace=True)
+            for telemetry in (None, Telemetry()):
+                os.environ["REPRO_NATIVE"] = "1"
+                obs = "obs" if telemetry is not None else "bare"
+                nat_scalar = [
+                    simulate(
+                        job, system, make_scheduler(name),
+                        record_trace=True, telemetry=telemetry,
+                    )
+                    for job in jobs
+                ]
+                nat_batch = simulate_batch(
+                    instances, name, record_trace=True, telemetry=telemetry
+                )
+                for i, (ref, nat) in enumerate(zip(ref_scalar, nat_scalar)):
+                    tag = f"i={i} {name} scalar [{obs}]"
+                    check(
+                        f"{tag}: makespan {nat.makespan} == {ref.makespan}",
+                        nat.makespan == ref.makespan,
+                    )
+                    check(
+                        f"{tag}: decisions {nat.decisions} == {ref.decisions}",
+                        nat.decisions == ref.decisions,
+                    )
+                    check(
+                        f"{tag}: trace segments identical",
+                        nat.trace.segments == ref.trace.segments,
+                    )
+                for i, (ref, nat) in enumerate(zip(ref_batch, nat_batch)):
+                    tag = f"i={i} {name} batch [{obs}]"
+                    check(
+                        f"{tag}: makespan {nat.makespan} == {ref.makespan}",
+                        nat.makespan == ref.makespan,
+                    )
+                    check(
+                        f"{tag}: decisions {nat.decisions} == {ref.decisions}",
+                        nat.decisions == ref.decisions,
+                    )
+                    check(
+                        f"{tag}: trace segments identical",
+                        nat.trace.segments == ref.trace.segments,
+                    )
+            # The telemetry runs must show the kernel actually ran.
+            snap = telemetry.snapshot()
+            check(
+                f"{name}: native kernel carried picks "
+                f"(calls={snap.counters.get('native.calls', 0)}, "
+                f"fallbacks={snap.counters.get('native.fallbacks', 0)})",
+                snap.counters.get("native.calls", 0) > 0
+                and snap.counters.get("native.fallbacks", 0) == 0,
+            )
+
+    if failures:
+        print(f"\n{len(failures)} check(s) failed", file=sys.stderr)
+        return 1
+    print("\nnative-backend identity ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

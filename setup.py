@@ -1,10 +1,55 @@
-"""Setuptools shim.
+"""Setuptools shim plus the optional native MQB kernel extension.
 
 The project metadata lives in pyproject.toml; this file exists so that
 ``pip install -e .`` works in offline environments whose setuptools
-lacks the ``wheel`` package required by PEP 660 editable builds.
+lacks the ``wheel`` package required by PEP 660 editable builds — and
+so installs with a C toolchain ship ``repro.native._mqbkernel``
+prebuilt (its symbols are consumed via ctypes; see
+``src/repro/native/__init__.py``).
+
+The kernel is strictly an optimization: a build failure (no compiler,
+no Python headers) must never fail the install.  The numpy path is
+bit-identical, and ``repro.native`` can also lazily compile the kernel
+at first use when a plain ``cc`` is available.
 """
 
-from setuptools import setup
+import warnings
 
-setup()
+from setuptools import Extension, setup
+from setuptools.command.build_ext import build_ext
+
+
+class OptionalBuildExt(build_ext):
+    """Swallow native build failures; the numpy fallback covers them."""
+
+    def run(self):
+        try:
+            super().run()
+        except Exception as exc:  # pragma: no cover - host dependent
+            self._skip(exc)
+
+    def build_extension(self, ext):
+        try:
+            super().build_extension(ext)
+        except Exception as exc:  # pragma: no cover - host dependent
+            self._skip(exc)
+
+    @staticmethod
+    def _skip(exc):
+        warnings.warn(
+            f"repro: skipping the native MQB kernel build ({exc}); the "
+            "pure-numpy fallback will be used (bit-identical, slower)",
+            RuntimeWarning,
+        )
+
+
+setup(
+    ext_modules=[
+        Extension(
+            "repro.native._mqbkernel",
+            sources=["src/repro/native/_mqbkernel.c"],
+            optional=True,
+        )
+    ],
+    cmdclass={"build_ext": OptionalBuildExt},
+)

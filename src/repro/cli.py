@@ -93,6 +93,17 @@ def build_parser() -> argparse.ArgumentParser:
             "misses in vectorized lockstep with bit-identical results"
         ),
     )
+    run_p.add_argument(
+        "--native",
+        choices=("auto", "on", "off"),
+        default=None,
+        help=(
+            "compiled MQB selection kernel (default: the REPRO_NATIVE env "
+            "var, else auto); 'on' warns if the kernel cannot be loaded, "
+            "'off' forces the pure-numpy path — results are bit-identical "
+            "either way"
+        ),
+    )
     run_p.add_argument("--out", default=None, help="directory for JSON results")
     run_p.add_argument(
         "--quiet", action="store_true", help="suppress rendered tables"
@@ -220,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="simulation engine (see `repro run --engine`)",
     )
     prof_p.add_argument(
+        "--native",
+        choices=("auto", "on", "off"),
+        default=None,
+        help="compiled MQB selection kernel (see `repro run --native`)",
+    )
+    prof_p.add_argument(
         "--full",
         action="store_true",
         help="full observability report (decision costs, counters), "
@@ -255,8 +272,20 @@ def _apply_no_cache(args: argparse.Namespace) -> None:
         os.environ["REPRO_CACHE"] = "0"
 
 
+def _apply_native(args: argparse.Namespace) -> None:
+    """``--native`` is sugar for REPRO_NATIVE (inherited by workers)."""
+    choice = getattr(args, "native", None)
+    if choice is not None:
+        import os
+
+        os.environ["REPRO_NATIVE"] = {"auto": "auto", "on": "1", "off": "0"}[
+            choice
+        ]
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     _apply_no_cache(args)
+    _apply_native(args)
     names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     for name in names:
         t0 = time.time()
@@ -442,6 +471,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from repro.obs.telemetry import Telemetry
 
     _apply_no_cache(args)
+    _apply_native(args)
     telemetry = Telemetry()
     t0 = time.time()
     run_experiment(

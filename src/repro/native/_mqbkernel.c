@@ -1,0 +1,270 @@
+/* Native MQB selection kernel.
+ *
+ * Implements the hot inner loop of MQB scheduling — score every ready
+ * candidate of one type, pick the lexicographically best balance
+ * vector, and swap-remove the winner from the ready-pool buffers —
+ * for the scalar scheduler (repro.schedulers.mqb.MQB) and the batched
+ * lockstep engine (repro.sim.batch._MQBLockstep).
+ *
+ * Bit-identity contract: every floating-point operation here replays
+ * the numpy formulation in the same order on the same operands —
+ *
+ *   s[j]     = l[j] + extra[j]                (one add, then broadcast)
+ *   r[j]     = d[v][j] + s[j]
+ *   r[alpha] = r[alpha] - w[v]                (own work leaves its queue)
+ *   r[j]     = r[j] / parr[j]
+ *
+ * followed by a comparison-only selection: "lex" sorts each candidate's
+ * vector ascending and compares element-wise (index 0 most
+ * significant), "min" compares the row minima, "sum" compares the
+ * left-to-right row sums (callers must gate sum mode to K < 8, where
+ * numpy's pairwise summation degenerates to the same sequential loop).
+ * Ties between equal score vectors break on the *smallest* FIFO ready
+ * sequence, exactly like the numpy lexsort's trailing -seq key.  Seqs
+ * are unique within a pool, so the winner is a strict maximum and
+ * independent of scan order.
+ *
+ * The file doubles as a CPython extension (so `pip install -e .` with
+ * a toolchain ships a prebuilt .so) and as a plain shared library for
+ * the lazy `cc -shared -DREPRO_NO_PYTHON` ctypes build path; the
+ * symbols are always consumed through ctypes, never through the
+ * (empty) Python module.
+ */
+
+#include <stddef.h>
+
+#define REPRO_NATIVE_ABI 1
+#define MODE_LEX 0
+#define MODE_MIN 1
+#define MODE_SUM 2
+
+/* Keys live in fixed stack buffers; loaders must gate K <= this. */
+#define REPRO_NATIVE_MAX_K 1024
+
+typedef long long i64;
+
+#if defined(_WIN32)
+#define EXPORT __declspec(dllexport)
+#else
+#define EXPORT __attribute__((visibility("default")))
+#endif
+
+EXPORT i64 repro_native_abi(void) { return REPRO_NATIVE_ABI; }
+
+static void insertion_sort(double *a, i64 n) {
+    for (i64 i = 1; i < n; i++) {
+        double v = a[i];
+        i64 j = i - 1;
+        while (j >= 0 && a[j] > v) {
+            a[j + 1] = a[j];
+            j--;
+        }
+        a[j + 1] = v;
+    }
+}
+
+/* Lexicographic "is the candidate better than the incumbent": greater
+ * key wins; on a full tie the smaller FIFO seq wins (the numpy path's
+ * trailing -seq lexsort key). */
+static int key_better(const double *cand, i64 cand_seq,
+                      const double *best, i64 best_seq, i64 klen) {
+    for (i64 j = 0; j < klen; j++) {
+        if (cand[j] > best[j]) return 1;
+        if (cand[j] < best[j]) return 0;
+    }
+    return cand_seq < best_seq;
+}
+
+/* Score candidate `drow` (its descendant-value row) into key[0..klen):
+ * klen = K for lex (sorted vector), 1 for min/sum. */
+static i64 score_candidate(const double *drow, double own_work,
+                           const double *s, const double *parr,
+                           i64 K, i64 alpha, i64 mode, double *key) {
+    if (mode == MODE_LEX) {
+        for (i64 j = 0; j < K; j++) {
+            double v = drow[j] + s[j];
+            if (j == alpha) v -= own_work;
+            key[j] = v / parr[j];
+        }
+        insertion_sort(key, K);
+        return K;
+    }
+    if (mode == MODE_MIN) {
+        double best = 0.0;
+        for (i64 j = 0; j < K; j++) {
+            double v = drow[j] + s[j];
+            if (j == alpha) v -= own_work;
+            v /= parr[j];
+            if (j == 0 || v < best) best = v;
+        }
+        key[0] = best;
+        return 1;
+    }
+    /* MODE_SUM: numpy's pairwise summation over n < 8 elements is the
+     * plain sequential loop below; callers gate K < 8. */
+    double acc = 0.0;
+    for (i64 j = 0; j < K; j++) {
+        double v = drow[j] + s[j];
+        if (j == alpha) v -= own_work;
+        acc += v / parr[j];
+    }
+    key[0] = acc;
+    return 1;
+}
+
+/* Scalar MQB pick + pop over the per-type pool buffers.
+ *
+ * dpool: m x K candidate descendant rows (row-major), wpool: m own
+ * works, spool: m FIFO seqs.  Picks the best candidate, updates
+ * l[alpha] -= w[win] (and extra += d[win] when carry), swap-removes
+ * row `win` (last row moves into its slot), and returns the winner's
+ * original slot so the caller can mirror the swap in its task
+ * list/position dict.  Returns -1 on invalid arguments.
+ */
+EXPORT i64 repro_mqb_pick_pop(double *dpool, double *wpool, i64 *spool,
+                              i64 m, i64 K, i64 alpha,
+                              double *l, double *extra, const double *parr,
+                              i64 mode, i64 carry) {
+    double s[REPRO_NATIVE_MAX_K];
+    double key_a[REPRO_NATIVE_MAX_K], key_b[REPRO_NATIVE_MAX_K];
+    double saved[REPRO_NATIVE_MAX_K];
+
+    if (m <= 0 || K <= 0 || K > REPRO_NATIVE_MAX_K) return -1;
+    if (alpha < 0 || alpha >= K) return -1;
+    if (mode < MODE_LEX || mode > MODE_SUM) return -1;
+    if (mode == MODE_SUM && K >= 8) return -1;
+
+    for (i64 j = 0; j < K; j++) s[j] = l[j] + extra[j];
+
+    double *best_key = key_a, *cand_key = key_b;
+    i64 klen = score_candidate(dpool, wpool[0], s, parr, K, alpha, mode,
+                               best_key);
+    i64 best = 0;
+    i64 best_seq = spool[0];
+    for (i64 i = 1; i < m; i++) {
+        score_candidate(dpool + i * K, wpool[i], s, parr, K, alpha, mode,
+                        cand_key);
+        if (key_better(cand_key, spool[i], best_key, best_seq, klen)) {
+            best = i;
+            best_seq = spool[i];
+            double *tmp = best_key;
+            best_key = cand_key;
+            cand_key = tmp;
+        }
+    }
+
+    /* Commit: read the winner's row before the swap clobbers it. */
+    double w_win = wpool[best];
+    if (carry) {
+        for (i64 j = 0; j < K; j++) saved[j] = dpool[best * K + j];
+    }
+    l[alpha] -= w_win;
+    if (carry) {
+        for (i64 j = 0; j < K; j++) extra[j] += saved[j];
+    }
+    i64 last = m - 1;
+    if (best != last) {
+        for (i64 j = 0; j < K; j++) dpool[best * K + j] = dpool[last * K + j];
+        wpool[best] = wpool[last];
+        spool[best] = spool[last];
+    }
+    return best;
+}
+
+/* Batched lockstep pick + commit over n independent (row, alpha)
+ * pairs (each row appears at most once per call, so pairs never read
+ * each other's updates — exactly the vectorized _pick_multi contract).
+ *
+ * Pools are the engine's flat (R*K, M) buffers: pair p's candidates
+ * occupy slots [g*M, g*M + pool_len[g]) with g = rows[p]*K+alphas[p].
+ * For each pair: pick the best candidate (scored against that row's
+ * l + extra), update extra (when carry) and l, swap-remove the winner
+ * from its pool slice, decrement pool_len, and write the winning
+ * global task id to out_tasks[p].  Returns 0, or -1 on bad arguments.
+ */
+EXPORT i64 repro_mqb_pick_commit(const double *d_g, const double *work_g,
+                                 i64 *pool_task, i64 *pool_seq,
+                                 i64 *pool_len,
+                                 double *l, double *extra,
+                                 const double *parr,
+                                 const i64 *rows, const i64 *alphas,
+                                 i64 n, i64 K, i64 M,
+                                 i64 mode, i64 carry, i64 *out_tasks) {
+    double s[REPRO_NATIVE_MAX_K];
+    double key_a[REPRO_NATIVE_MAX_K], key_b[REPRO_NATIVE_MAX_K];
+
+    if (n <= 0 || K <= 0 || K > REPRO_NATIVE_MAX_K || M <= 0) return -1;
+    if (mode < MODE_LEX || mode > MODE_SUM) return -1;
+    if (mode == MODE_SUM && K >= 8) return -1;
+    /* Validate every pair before committing any, so a rejection is
+     * all-or-nothing and the caller can safely fall back to numpy. */
+    for (i64 p = 0; p < n; p++) {
+        i64 alpha = alphas[p];
+        if (alpha < 0 || alpha >= K) return -1;
+        if (pool_len[rows[p] * K + alpha] <= 0) return -1;
+    }
+
+    for (i64 p = 0; p < n; p++) {
+        i64 r = rows[p];
+        i64 alpha = alphas[p];
+        i64 g = r * K + alpha;
+        i64 b = pool_len[g];
+        i64 base = g * M;
+        const double *lrow = l + r * K;
+        double *erow = extra + r * K;
+        const double *prow = parr + r * K;
+        for (i64 j = 0; j < K; j++) s[j] = lrow[j] + erow[j];
+
+        double *best_key = key_a, *cand_key = key_b;
+        i64 t0 = pool_task[base];
+        i64 klen = score_candidate(d_g + t0 * K, work_g[t0], s, prow, K,
+                                   alpha, mode, best_key);
+        i64 best = 0;
+        i64 best_seq = pool_seq[base];
+        for (i64 i = 1; i < b; i++) {
+            i64 t = pool_task[base + i];
+            score_candidate(d_g + t * K, work_g[t], s, prow, K, alpha,
+                            mode, cand_key);
+            if (key_better(cand_key, pool_seq[base + i], best_key, best_seq,
+                           klen)) {
+                best = i;
+                best_seq = pool_seq[base + i];
+                double *tmp = best_key;
+                best_key = cand_key;
+                cand_key = tmp;
+            }
+        }
+
+        i64 wtask = pool_task[base + best];
+        if (carry) {
+            const double *drow = d_g + wtask * K;
+            for (i64 j = 0; j < K; j++) erow[j] += drow[j];
+        }
+        l[g] -= work_g[wtask];
+        i64 last = b - 1;
+        pool_task[base + best] = pool_task[base + last];
+        pool_seq[base + best] = pool_seq[base + last];
+        pool_len[g] = last;
+        out_tasks[p] = wtask;
+    }
+    return 0;
+}
+
+#ifndef REPRO_NO_PYTHON
+/* Minimal CPython module shell: importing it only locates the shared
+ * object (repro.native loads the symbols above through ctypes). */
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+
+static struct PyModuleDef mqbkernel_module = {
+    PyModuleDef_HEAD_INIT,
+    "_mqbkernel",
+    "Compiled MQB selection kernel; symbols are consumed via ctypes.",
+    -1,
+    NULL,
+};
+
+PyMODINIT_FUNC PyInit__mqbkernel(void) {
+    return PyModule_Create(&mqbkernel_module);
+}
+#endif

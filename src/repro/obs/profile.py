@@ -27,6 +27,7 @@ __all__ = [
     "render_cache_line",
     "render_steal_line",
     "render_energy_line",
+    "render_native_line",
     "render_profile",
 ]
 
@@ -145,6 +146,25 @@ def render_energy_line(snapshot: TelemetrySnapshot) -> str | None:
     return line
 
 
+def render_native_line(snapshot: TelemetrySnapshot) -> str | None:
+    """One-line native-kernel summary, or ``None`` without native traffic.
+
+    Reads the ``native.*`` counters the MQB schedulers and the batch
+    engine maintain — selection picks committed by the compiled kernel
+    (:mod:`repro.native`) and runs that requested the kernel but fell
+    back to numpy — so ``repro profile`` shows which backend actually
+    carried the MQB selection work.
+    """
+    calls = snapshot.counters.get("native.calls", 0)
+    fallbacks = snapshot.counters.get("native.fallbacks", 0)
+    if calls + fallbacks == 0:
+        return None
+    line = f"native kernel: {calls} picks in C"
+    if fallbacks:
+        line += f", {fallbacks} numpy fallbacks"
+    return line
+
+
 def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
     """Text table of all timers in ``snapshot``, sorted by total time."""
     rows = sorted(
@@ -154,6 +174,7 @@ def render_profile(snapshot: TelemetrySnapshot, top_n: int = 20) -> str:
     cache_line = render_cache_line(snapshot)
     for extra in (
         render_batch_line(snapshot),
+        render_native_line(snapshot),
         render_steal_line(snapshot),
         render_energy_line(snapshot),
     ):

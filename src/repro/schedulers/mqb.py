@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import native as _native
 from repro.core.kdag import KDag
 from repro.errors import ConfigurationError, SchedulingError
 from repro.schedulers.base import Scheduler
@@ -103,6 +104,14 @@ class MQB(Scheduler):
         self._wpool: list[np.ndarray] = []
         self._spool: list[np.ndarray] = []
         self._seq = 0
+        # Native-kernel dispatch state (set up in :meth:`prepare`):
+        # ``_kpick`` is the bound C entry point or ``None`` for the
+        # numpy path; the ``*_ptr`` ints and ``_pp`` per-type pointer
+        # triples cache ``ndarray.ctypes.data`` so the per-pick call
+        # carries no ctypes marshalling beyond plain integers.
+        self._kpick = None
+        self._pp: list[tuple[int, int, int]] = []
+        self._extra: np.ndarray | None = None
 
     @property
     def info(self) -> InformationModel:
@@ -137,6 +146,32 @@ class MQB(Scheduler):
         self._spool = [np.empty(8, dtype=np.int64) for _ in range(k)]
         self._seq = 0
         self._first_seq: dict[int, int] = {}
+        self._extra = np.zeros(k, dtype=np.float64)
+        self._kpick = None
+        # Native kernel dispatch: only the base scoring rule may be
+        # routed to C — subclasses that override ``_pick_best`` (e.g.
+        # the energy-weighted EMQB) keep the polymorphic numpy path.
+        if type(self)._pick_best is MQB._pick_best and _native.requested():
+            if _native.supported(self._balance_mode, k):
+                kernel = _native.load_kernel()
+                if kernel is None:
+                    _native.note_fallback(self._telemetry)
+                else:
+                    self._kpick = kernel.pick_pop
+                    self._k = k
+                    self._mode_code = _native.MODE_CODES[self._balance_mode]
+                    self._carry_i = 1 if self._carry else 0
+                    self._l_ptr = self._l.ctypes.data
+                    self._extra_ptr = self._extra.ctypes.data
+                    self._parr_ptr = self._parr.ctypes.data
+                    self._pp = [
+                        (
+                            self._dpool[a].ctypes.data,
+                            self._wpool[a].ctypes.data,
+                            self._spool[a].ctypes.data,
+                        )
+                        for a in range(k)
+                    ]
 
     def task_ready(self, task: int, time: float, work: float) -> None:
         assert self._l is not None and self._wcur is not None
@@ -161,6 +196,12 @@ class MQB(Scheduler):
             self._spool[alpha] = np.concatenate(
                 [self._spool[alpha], np.empty_like(self._spool[alpha])]
             )
+            if self._kpick is not None:
+                self._pp[alpha] = (
+                    dpool.ctypes.data,
+                    self._wpool[alpha].ctypes.data,
+                    self._spool[alpha].ctypes.data,
+                )
         self._pos[alpha][task] = row
         tasks.append(task)
         dpool[row] = self._d[task]
@@ -226,11 +267,51 @@ class MQB(Scheduler):
             sort_keys = (neg_seq, r.sum(axis=1))
         return tasks[int(np.lexsort(sort_keys)[-1])]
 
+    def _commit_pick(self, alpha: int, extra: np.ndarray) -> int:
+        """Pick the best ready alpha-task, pop it, project its carry.
+
+        The native kernel performs score + pop-swap + ``_l``/``extra``
+        updates in one C call over the pool buffers and returns the
+        winner's slot; Python mirrors the swap in the task list and
+        position dict.  Without a kernel (or for subclasses with their
+        own scoring) this is exactly the classic
+        ``_pick_best`` / ``_pop`` / carry sequence.
+        """
+        kpick = self._kpick
+        if kpick is not None and extra is self._extra:
+            tasks = self._ptasks[alpha]
+            dptr, wptr, sptr = self._pp[alpha]
+            slot = kpick(
+                dptr, wptr, sptr, len(tasks), self._k, alpha,
+                self._l_ptr, self._extra_ptr, self._parr_ptr,
+                self._mode_code, self._carry_i,
+            )
+            if slot >= 0:
+                pos = self._pos[alpha]
+                task = tasks[slot]
+                del pos[task]
+                last = len(tasks) - 1
+                if slot != last:
+                    moved = tasks[last]
+                    tasks[slot] = moved
+                    pos[moved] = slot
+                tasks.pop()
+                tel = self._telemetry
+                if tel is not None:
+                    tel.inc("native.calls")
+                return task
+        v = self._pick_best(alpha, extra)
+        self._pop(alpha, v)
+        if self._carry:
+            extra += self._d[v]
+        return v
+
     def select(self, alpha: int, n_slots: int, time: float) -> list[int]:
         """Per-type selection (used when MQB is driven queue-by-queue)."""
         assert self._d is not None
         out: list[int] = []
-        extra = np.zeros(self.job.num_types, dtype=np.float64)
+        extra = self._extra
+        extra[:] = 0.0
         pool = self._pos[alpha]  # insertion ordered, like the old dict pool
         while pool and len(out) < n_slots:
             if len(pool) <= n_slots - len(out):
@@ -241,11 +322,7 @@ class MQB(Scheduler):
                         extra += self._d[v]
                 out.extend(remaining)
                 break
-            v = self._pick_best(alpha, extra)
-            self._pop(alpha, v)
-            if self._carry:
-                extra += self._d[v]
-            out.append(v)
+            out.append(self._commit_pick(alpha, extra))
         return out
 
     def assign(self, free: list[int], time: float) -> list[int]:
@@ -259,7 +336,8 @@ class MQB(Scheduler):
         assert self._d is not None
         k = self.job.num_types
         free = list(free)
-        extra = np.zeros(k, dtype=np.float64)
+        extra = self._extra
+        extra[:] = 0.0
         chosen: list[int] = []
         progress = True
         while progress:
@@ -280,11 +358,7 @@ class MQB(Scheduler):
                     chosen.extend(batch)
                     free[alpha] -= len(batch)
                 else:
-                    v = self._pick_best(alpha, extra)
-                    self._pop(alpha, v)
-                    if self._carry:
-                        extra += self._d[v]
-                    chosen.append(v)
+                    chosen.append(self._commit_pick(alpha, extra))
                     free[alpha] -= 1
                 progress = True
         return chosen

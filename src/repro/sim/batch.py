@@ -50,6 +50,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro import native as _native
 from repro.core.kdag import KDag
 from repro.errors import SchedulingError
 from repro.obs.telemetry import Telemetry
@@ -475,6 +476,7 @@ class _MQBLockstep(_LockstepBase):
         d_rows: Sequence[np.ndarray],
         balance_mode: str,
         carry: bool,
+        kernel=None,
     ) -> None:
         super().__init__(rows, record_trace)
         ks = {r.job.num_types for r in rows} | {r.resources.num_types for r in rows}
@@ -500,6 +502,33 @@ class _MQBLockstep(_LockstepBase):
         self.pool_len_flat = np.zeros(self.RK, dtype=np.int64)
         self.pool_len = self.pool_len_flat.reshape(self.R, self.K)
         self._arange_k = np.arange(self.K, dtype=np.int64)
+        # Native kernel dispatch (see repro.native): the pick paths call
+        # one C routine per commit batch instead of building/lexsorting
+        # the score matrix in numpy.  All buffers it touches are
+        # allocated above and never reallocated, so the raw pointers are
+        # cached once; picks are bit-identical by the kernel's contract.
+        self.native_picks = 0
+        self.kernel = kernel
+        if kernel is not None:
+            from repro import native as _native
+
+            self._kcommit = kernel.pick_commit
+            self._mode_code = _native.MODE_CODES[balance_mode]
+            self._carry_i = 1 if carry else 0
+            self._kp = (
+                self.d_g.ctypes.data,
+                self.work_g.ctypes.data,
+                self.pool_task.ctypes.data,
+                self.pool_seq.ctypes.data,
+                self.pool_len_flat.ctypes.data,
+                self.l.ctypes.data,
+                self.extra.ctypes.data,
+                self.parr.ctypes.data,
+            )
+            self._kout = np.empty(self.R, dtype=np.int64)
+            self._kout_ptr = self._kout.ctypes.data
+            self._kpair = np.empty(2, dtype=np.int64)
+            self._kpair_ptr = self._kpair.ctypes.data
         self._seed_sources()
 
     def _on_ready(
@@ -592,6 +621,20 @@ class _MQBLockstep(_LockstepBase):
 
     def _pick_one(self, r: int, alpha: int) -> None:
         g = r * self.K + alpha
+        if self.kernel is not None:
+            self._kpair[0] = r
+            self._kpair[1] = alpha
+            rc = self._kcommit(
+                *self._kp, self._kpair_ptr, self._kpair_ptr + 8,
+                1, self.K, self.M, self._mode_code, self._carry_i,
+                self._kout_ptr,
+            )
+            if rc == 0:
+                self.native_picks += 1
+                task = int(self._kout[0])
+                self.free2[r, alpha] -= 1
+                self._dispatch_one(r, alpha, g, task)
+                return
         b = int(self.pool_len_flat[g])
         base = g * self.M
         tasks_f = self.pool_task[base : base + b]
@@ -676,8 +719,52 @@ class _MQBLockstep(_LockstepBase):
             )
 
     # -- multi-row vectorized paths (each row appears once per call) ----
+    def _pick_multi_native(
+        self, rows: np.ndarray, alphas: np.ndarray, g: np.ndarray
+    ) -> bool:
+        """One C call scores + commits every (row, alpha) pair's pick.
+
+        The kernel walks the pairs sequentially, which is equivalent to
+        the vectorized formulation because each row appears at most
+        once per call — no pair reads another pair's ``l``/``extra``/
+        pool updates.  Python keeps the vectorized dispatch tail
+        (processor stacks, finish times, trace), which is untouched by
+        the backend choice.  Returns False to fall through to the
+        numpy path if the kernel rejects the arguments.
+        """
+        n = len(rows)
+        rows_c = np.ascontiguousarray(rows, dtype=np.int64)
+        alphas_c = np.ascontiguousarray(alphas, dtype=np.int64)
+        rc = self._kcommit(
+            *self._kp, rows_c.ctypes.data, alphas_c.ctypes.data,
+            n, self.K, self.M, self._mode_code, self._carry_i,
+            self._kout_ptr,
+        )
+        if rc != 0:
+            return False
+        self.native_picks += n
+        wtasks = self._kout[:n]
+        self.free2[rows, alphas] -= 1
+        sp = self.sp_flat[g] - 1
+        procs = self.stack2[g, sp]
+        self.sp_flat[g] = sp
+        pseq = self.pseq_counter[rows]
+        self.pseq_counter[rows] = pseq + 1
+        finish = self.now[rows] + self.work_g[wtasks]
+        col = self.proc_base2[g] + procs
+        self.fin[rows, col] = finish
+        self.pseqb[rows, col] = pseq
+        self.rtaskb[rows, col] = wtasks
+        if self.record_trace:
+            self._trace_add(rows, alphas, wtasks, procs, self.now[rows], finish)
+        return True
+
     def _pick_multi(self, rows: np.ndarray, alphas: np.ndarray) -> None:
         g = rows * self.K + alphas
+        if self.kernel is not None and self._pick_multi_native(
+            rows, alphas, g
+        ):
+            return
         b = self.pool_len_flat[g]
         seg_starts = _excl_cumsum(b)
         nflat = int(b.sum())
@@ -830,6 +917,12 @@ def batch_supported(scheduler: Scheduler, job: KDag) -> bool:
     if _is_static(scheduler):
         return True
     if isinstance(scheduler, MQB):
+        cls = type(scheduler)
+        if cls._pick_best is not MQB._pick_best or cls.assign is not MQB.assign:
+            # A subclass with its own scoring or assignment (e.g. a
+            # third-party variant not caught by the energy/decentral
+            # family checks) would silently run its base class here.
+            return False
         work = job.work
         return bool(np.all(work == np.floor(work)))
     return False
@@ -987,22 +1080,35 @@ def simulate_batch_grid(
             for (a, i), res in zip(static_pairs, engine.results()):
                 results[a][i] = res
 
-    for (balance_mode, carry, _k), pairs in mqb_groups.items():
+    native_picks = 0
+    for (balance_mode, carry, k), pairs in mqb_groups.items():
         rows = []
         d_rows = []
         for a, i in pairs:
             job, resources = instances[i]
             sch = sch_list[a]
+            # The prepared scheduler only donates its descendant matrix
+            # here; detach any stale telemetry so its own (unused)
+            # native dispatch does not count fallbacks for this batch.
+            sch.attach_telemetry(None)
             sch.prepare(job, resources, rng_grid[a][i])
             rows.append(_Row(job, resources, sch.name))
             d_rows.append(np.asarray(sch._d, dtype=np.float64))  # type: ignore[attr-defined]
+        kernel = None
+        if _native.requested() and _native.supported(balance_mode, k):
+            kernel = _native.load_kernel()
+            if kernel is None:
+                _native.note_fallback(obs)
         try:
-            engine = _MQBLockstep(rows, record_trace, d_rows, balance_mode, carry)
+            engine = _MQBLockstep(
+                rows, record_trace, d_rows, balance_mode, carry, kernel=kernel
+            )
         except _BatchUnsupported:
             _run_fallback(pairs)
         else:
             rounds += engine.run()
             batched += len(pairs)
+            native_picks += engine.native_picks
             for (a, i), res in zip(pairs, engine.results()):
                 results[a][i] = res
 
@@ -1011,4 +1117,6 @@ def simulate_batch_grid(
     if obs is not None and batched:
         obs.inc("batch.instances", batched)
         obs.inc("batch.rounds", rounds)
+        if native_picks:
+            obs.inc("native.calls", native_picks)
     return results  # type: ignore[return-value]

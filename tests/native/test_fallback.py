@@ -1,0 +1,121 @@
+"""Graceful numpy fallback when the native kernel cannot be obtained.
+
+The fallback contract: ``REPRO_NATIVE=0`` never attempts a load or
+build; a requested-but-unbuildable kernel (no extension, no compiler,
+no cached shared object) runs the pure-numpy path with a **single**
+process-wide warning, counts ``native.fallbacks`` on attached
+telemetry, and produces bit-identical results.  These tests simulate
+the no-compiler host by monkeypatching the loader's strategies, so
+they run (and matter) even on hosts where the real kernel builds fine.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import ResourceConfig, make_scheduler, simulate
+from repro import native
+from repro.obs.telemetry import Telemetry
+from repro.sim.batch import simulate_batch
+from tests.conftest import make_random_job
+
+
+@pytest.fixture
+def fresh_loader_state():
+    """Reset the memoized loader around a test, restoring it after."""
+    token = native._reset_for_tests()
+    yield
+    native._restore(token)
+
+
+@pytest.fixture
+def broken_build(fresh_loader_state, monkeypatch, tmp_path):
+    """A host with no prebuilt extension, no compiler, no cached .so."""
+    monkeypatch.setattr(native, "_try_extension", lambda: None)
+    monkeypatch.setattr(native, "_find_compiler", lambda: None)
+    monkeypatch.setenv("REPRO_NATIVE_DIR", str(tmp_path / "empty-cache"))
+
+
+class TestDisabled:
+    def test_no_load_or_build_attempted(self, fresh_loader_state, monkeypatch, rng):
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+
+        def boom():  # pragma: no cover - the assertion is that it never runs
+            raise AssertionError("REPRO_NATIVE=0 must not attempt a load")
+
+        monkeypatch.setattr(native, "_try_extension", boom)
+        monkeypatch.setattr(native, "_build_shared_object", boom)
+        assert native.load_kernel() is None
+        job = make_random_job(rng, n=40, k=3)
+        tel = Telemetry()
+        res = simulate(job, ResourceConfig((2, 2, 2)), make_scheduler("mqb"),
+                       telemetry=tel)
+        assert res.makespan > 0
+        snap = tel.snapshot()
+        assert "native.calls" not in snap.counters
+        assert "native.fallbacks" not in snap.counters
+
+
+class TestForcedFallback:
+    def test_single_warning_fallbacks_counted_bit_identical(
+        self, broken_build, monkeypatch, rng
+    ):
+        job = make_random_job(rng, n=60, k=3)
+        system = ResourceConfig((2, 3, 2))
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        ref = simulate(job, system, make_scheduler("mqb"), record_trace=True)
+
+        monkeypatch.setenv("REPRO_NATIVE", "1")
+        tel = Telemetry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            first = simulate(job, system, make_scheduler("mqb"),
+                             record_trace=True, telemetry=tel)
+            second = simulate(job, system, make_scheduler("mqb"),
+                              record_trace=True, telemetry=tel)
+        ours = [w for w in caught if "native MQB kernel" in str(w.message)]
+        assert len(ours) == 1  # warn once per process, not per run
+        assert issubclass(ours[0].category, RuntimeWarning)
+
+        snap = tel.snapshot()
+        assert snap.counters.get("native.fallbacks") == 2  # one per run
+        assert "native.calls" not in snap.counters
+
+        for res in (first, second):
+            assert res.makespan == ref.makespan
+            assert res.decisions == ref.decisions
+            assert res.trace.segments == ref.trace.segments
+
+    def test_batch_fallback_counted_bit_identical(
+        self, broken_build, monkeypatch, rng
+    ):
+        system = ResourceConfig((2, 2, 2))
+        instances = [(make_random_job(rng, n=50, k=3), system) for _ in range(4)]
+
+        monkeypatch.setenv("REPRO_NATIVE", "0")
+        ref = simulate_batch(instances, "mqb", record_trace=True)
+
+        monkeypatch.setenv("REPRO_NATIVE", "1")
+        tel = Telemetry()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            nat = simulate_batch(instances, "mqb", record_trace=True,
+                                 telemetry=tel)
+        assert any("native MQB kernel" in str(w.message) for w in caught)
+        snap = tel.snapshot()
+        assert snap.counters.get("native.fallbacks", 0) >= 1
+        assert "native.calls" not in snap.counters
+        for r, n_ in zip(ref, nat):
+            assert n_.makespan == r.makespan
+            assert n_.trace.segments == r.trace.segments
+
+    def test_load_error_surfaced_in_status(self, broken_build, monkeypatch):
+        monkeypatch.setenv("REPRO_NATIVE", "1")
+        assert native.load_kernel() is None
+        status = native.native_status()
+        assert status["attempted"] and not status["loaded"]
+        assert "no C compiler" in status["error"]

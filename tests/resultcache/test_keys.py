@@ -96,6 +96,15 @@ class TestComparisonKeyInvalidation:
         monkeypatch.setattr(keys, "NUMPY_MAJOR", keys.NUMPY_MAJOR + 1)
         assert base_key() != before
 
+    @pytest.mark.parametrize("native", ["0", "1", "auto"])
+    def test_native_backend_flip_hits(self, monkeypatch, native):
+        # The compiled MQB kernel is bit-identical to numpy, so the
+        # selection backend must NOT enter the fingerprint: a cache
+        # written under one REPRO_NATIVE setting answers the other.
+        before = base_key()
+        monkeypatch.setenv("REPRO_NATIVE", native)
+        assert base_key() == before
+
 
 class TestDefaultsResolution:
     def test_none_params_equals_explicit_defaults(self):
