@@ -46,8 +46,32 @@ OUT_PATH = REPO_ROOT / "BENCH_service.json"
 CELL = "small-layered-ep"
 
 
-def percentile(latencies: list[float], q: float) -> float:
-    return float(np.percentile(np.asarray(latencies), q)) if latencies else 0.0
+def percentile(latencies: list[float], q: float) -> float | None:
+    """A percentile, or ``None`` on an empty sample (a fully rejected
+    level has no ok-latencies; null in the JSON beats a fake 0.0)."""
+    return float(np.percentile(np.asarray(latencies), q)) if latencies else None
+
+
+def fmt_ms(value: float | None) -> str:
+    return "n/a" if value is None else f"{value * 1000:.1f}ms"
+
+
+def merge_write(out: Path, key: str, payload: dict) -> None:
+    """Set ``key`` in the benchmark JSON, preserving other harnesses'
+    sections (``loadgen`` and ``soak`` share ``BENCH_service.json``)."""
+    merged: dict = {}
+    if out.exists():
+        try:
+            existing = json.loads(out.read_text())
+        except (OSError, json.JSONDecodeError):
+            existing = None
+        if isinstance(existing, dict):
+            if "benchmark" in existing:  # pre-merge flat layout
+                merged["loadgen"] = existing
+            else:
+                merged = existing
+    merged[key] = payload
+    out.write_text(json.dumps(merged, indent=2) + "\n")
 
 
 def run_level(
@@ -74,12 +98,25 @@ def run_level(
     threads: list[threading.Thread] = []
 
     def fire(index: int) -> None:
+        t0 = time.perf_counter()
         try:
             responses[index] = client.post(
                 "schedule",
                 {"cell": CELL, "scheduler": "mqb", "seed": index % distinct_seeds},
             )
-        except Exception as exc:  # transport failure = a hung/dropped request
+        except Exception as exc:
+            # A dead daemon mid-level is an *answered-with-error* data
+            # point (errors_other), not a hung request: record a
+            # synthetic status-0 response so the level's accounting
+            # still balances and the join below never waits on it.
+            responses[index] = ServiceResponse(
+                status=0,
+                body={"error": {
+                    "code": "transport",
+                    "message": f"{type(exc).__name__}: {exc}",
+                }},
+                latency=time.perf_counter() - t0,
+            )
             print(f"  !! transport failure on request {index}: {exc}",
                   file=sys.stderr)
 
@@ -114,7 +151,7 @@ def run_level(
             "p50": percentile(ok_latencies, 50),
             "p95": percentile(ok_latencies, 95),
             "p99": percentile(ok_latencies, 99),
-            "mean": float(np.mean(ok_latencies)) if ok_latencies else 0.0,
+            "mean": float(np.mean(ok_latencies)) if ok_latencies else None,
         },
         "sources": {
             source: sum(1 for r in ok if r.body.get("source") == source)
@@ -194,8 +231,8 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"  offered {record['offered']}, ok {record['ok']}, "
                 f"429 {record['rejected_429']}, "
-                f"p50 {record['latency']['p50'] * 1000:.1f}ms, "
-                f"p99 {record['latency']['p99'] * 1000:.1f}ms, "
+                f"p50 {fmt_ms(record['latency']['p50'])}, "
+                f"p99 {fmt_ms(record['latency']['p99'])}, "
                 f"throughput {record['throughput']:.1f}/s",
                 file=sys.stderr,
             )
@@ -251,9 +288,8 @@ def main(argv: list[str] | None = None) -> int:
         },
         "passed": exit_code == 0,
     }
-    out = Path(args.out)
-    out.write_text(json.dumps(payload, indent=2) + "\n")
-    print(f"[loadgen] wrote {out}", file=sys.stderr)
+    merge_write(Path(args.out), "loadgen", payload)
+    print(f"[loadgen] wrote {args.out}", file=sys.stderr)
     return exit_code
 
 

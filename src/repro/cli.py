@@ -14,6 +14,7 @@ Usage::
     repro cache stats
     repro serve --port 8512 --workers 4
     repro submit schedule medium-layered-ir --scheduler mqb
+    repro route --port 8600 --shards 4
 
 ``repro run`` prints the rendered tables and (with ``--out``) saves the
 raw JSON; ``repro report`` re-renders a saved result; ``repro demo``
@@ -36,7 +37,9 @@ cache stats|clear|prune`` manages the store; ``--no-cache`` (or
 ``repro serve`` runs the scheduling daemon (:mod:`repro.service`):
 JSON-over-HTTP submission of schedules, sweeps, and stream simulations
 with admission control and result deduplication; ``repro submit``
-talks to it.
+talks to it.  ``repro route`` runs the sharded cluster front-end
+(:mod:`repro.cluster`): a consistent-hash router over N supervised
+``repro serve`` shard processes, speaking the same protocol.
 """
 
 from __future__ import annotations
@@ -248,11 +251,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="recompute every instance (equivalent to REPRO_CACHE=0)",
     )
 
+    from repro.cluster.cli import add_cluster_parser
     from repro.resultcache.cli import add_cache_parser
     from repro.service.cli import add_service_parsers
 
     add_cache_parser(sub)
     add_service_parsers(sub)
+    add_cluster_parser(sub)
     return parser
 
 
@@ -516,6 +521,10 @@ def main(argv: list[str] | None = None) -> int:
         from repro.service.cli import cmd_submit
 
         return cmd_submit(args)
+    if args.command == "route":
+        from repro.cluster.cli import cmd_route
+
+        return cmd_route(args)
     return _cmd_report(args)
 
 

@@ -1,0 +1,123 @@
+"""Consistent-hash ring: stable request→shard placement.
+
+The router keys every work request by its content fingerprint (the
+same SHA-256 identity the result cache and the in-memory response
+cache use), so *placement is a pure function of the request's
+execution-relevant fields*: identical requests always land on the same
+shard, which is what keeps per-shard in-flight joining and the LRU
+response cache effective across a fleet.
+
+Classic consistent hashing with virtual nodes: each shard id is hashed
+onto the ring at ``replicas`` points; a key is owned by the first
+virtual node clockwise from the key's own hash.  Adding or removing
+one shard from an ``n``-shard ring therefore moves only ~``1/n`` of
+the key space (``tests/cluster/test_ring.py`` asserts the bound) —
+restarts and scale changes invalidate a bounded slice of every
+shard-local cache instead of reshuffling everything.
+
+Hashes are SHA-256 prefixes, not :func:`hash`: placement must be
+identical across processes and runs (``PYTHONHASHSEED`` varies), and
+the router, the soak harness and the tests all need to agree on who
+owns a key.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from bisect import bisect_right
+from typing import Iterable
+
+__all__ = ["HashRing", "DEFAULT_REPLICAS"]
+
+#: Virtual nodes per shard.  64 keeps the max/mean shard load under
+#: ~1.35 for small fleets (measured in the ring tests) at a lookup
+#: table of 64·n entries — bisect cost is logarithmic and tiny.
+DEFAULT_REPLICAS = 64
+
+
+def _hash64(key: str) -> int:
+    """First 8 bytes of SHA-256 as an unsigned int (process-stable)."""
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """A consistent-hash ring over string node ids.
+
+    Mutable (``add``/``remove``) but cheap to rebuild; the router
+    mutates it only on supervised membership changes, never per
+    request.
+    """
+
+    def __init__(
+        self, nodes: Iterable[str] = (), replicas: int = DEFAULT_REPLICAS
+    ) -> None:
+        if replicas < 1:
+            raise ValueError(f"replicas must be >= 1, got {replicas}")
+        self.replicas = int(replicas)
+        self._nodes: set[str] = set()
+        self._hashes: list[int] = []
+        self._owners: list[str] = []
+        for node in nodes:
+            self.add(node)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    @property
+    def nodes(self) -> frozenset[str]:
+        return frozenset(self._nodes)
+
+    def _points(self, node: str) -> list[int]:
+        return [_hash64(f"{node}#{i}") for i in range(self.replicas)]
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for point in self._points(node):
+            index = bisect_right(self._hashes, point)
+            self._hashes.insert(index, point)
+            self._owners.insert(index, node)
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.remove(node)
+        keep = [
+            (h, o) for h, o in zip(self._hashes, self._owners) if o != node
+        ]
+        self._hashes = [h for h, _ in keep]
+        self._owners = [o for _, o in keep]
+
+    def node_for(self, key: str) -> str | None:
+        """The owner of ``key``, or ``None`` on an empty ring."""
+        if not self._hashes:
+            return None
+        index = bisect_right(self._hashes, _hash64(key)) % len(self._hashes)
+        return self._owners[index]
+
+    def preference(self, key: str, limit: int | None = None) -> list[str]:
+        """Distinct nodes in clockwise ring order starting at ``key``.
+
+        The first entry is :meth:`node_for`; the rest are the failover
+        order the router walks when the primary is unhealthy.  The
+        order is a deterministic function of ``(key, membership)``, so
+        every retry of the same request walks the same replica chain.
+        """
+        if not self._hashes:
+            return []
+        want = len(self._nodes) if limit is None else min(limit, len(self._nodes))
+        start = bisect_right(self._hashes, _hash64(key))
+        seen: list[str] = []
+        for offset in range(len(self._owners)):
+            owner = self._owners[(start + offset) % len(self._owners)]
+            if owner not in seen:
+                seen.append(owner)
+                if len(seen) >= want:
+                    break
+        return seen

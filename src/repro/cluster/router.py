@@ -1,0 +1,521 @@
+"""The consistent-hash router: one listener in front of many shards.
+
+``repro route`` runs this: an asyncio HTTP listener speaking the
+daemon's exact versioned JSON protocol, placed in front of N
+``repro serve`` shard processes.  Work requests (``/schedule``,
+``/sweep``, ``/stream``) are validated *at the router* (malformed
+requests never touch a shard), keyed by their content fingerprint —
+the same SHA-256 identity the result cache and every shard's LRU
+response cache use — and forwarded to the owning shard on the
+consistent-hash ring (:mod:`repro.cluster.ring`).  Placement is
+therefore a pure function of the request: identical requests land on
+the same shard, so per-shard in-flight joining and response caching
+keep working cluster-wide, and the shared content-addressed result
+store on disk gives cross-shard warm-cache coherence for sweeps.
+
+Failover: requests are pure computations (idempotent by construction
+— the protocol's fingerprint *is* a proof of that), so a transport
+failure or a draining shard retries on the next distinct replica in
+ring order, bounded by ``retries``.  When the primary is unhealthy the
+request is *rebalanced* to the next replica; when no healthy shard
+remains the router answers a structured 503 ``no_shards``.  All of it
+is counted: ``router.routed`` / ``router.routed.<shard>`` /
+``router.retried`` / ``router.rebalanced`` / ``router.shard_down`` /
+``router.no_shards``.
+
+``/healthz`` aggregates supervised per-shard state (no fan-out — the
+supervisor already polls); ``/metrics`` fans out to every live shard
+and merges their telemetry snapshots into one cluster-level snapshot
+next to the router's own counters.
+
+Responses are passed through byte-for-byte: the router never
+re-serializes a shard's answer, which is what makes the 2-shard vs
+1-shard bit-identity test meaningful.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import sys
+import time
+from dataclasses import dataclass
+from time import perf_counter
+from urllib.parse import urlparse
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import TelemetrySnapshot, Telemetry, merge_snapshots
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+from repro.cluster.workers import WorkerSpec, WorkerSupervisor, serve_command
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    REQUEST_KINDS,
+    ProtocolError,
+    error_response,
+    parse_request,
+    request_fingerprint,
+)
+from repro.service.server import (
+    BadHttp,
+    read_http_request,
+    render_http_response,
+)
+
+__all__ = ["RouterConfig", "ClusterRouter", "run_cluster"]
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Cluster knobs: the listener, the fleet, supervision, failover."""
+
+    host: str = "127.0.0.1"
+    port: int = 8600
+    #: Managed mode: spawn this many ``repro serve`` shards on free
+    #: ports.  Ignored when ``shard_urls`` is non-empty (static mode).
+    shards: int = 2
+    #: Pool workers *per shard* (``repro serve --workers``); 0 runs
+    #: shard requests in-process, which is right for soak fleets on
+    #: small hosts.
+    workers_per_shard: int = 0
+    #: Static mode: route to these externally managed daemons instead
+    #: of spawning (health-checked, never restarted).
+    shard_urls: tuple[str, ...] = ()
+    #: Per-shard admission settings, forwarded to ``repro serve``.
+    queue_limit: int = 64
+    rate_limit: float | None = None
+    burst: float | None = None
+    default_deadline: float | None = None
+    cache_entries: int = 256
+    #: Virtual nodes per shard on the hash ring.
+    replicas: int = DEFAULT_REPLICAS
+    #: Extra replicas tried after the primary (transport failures and
+    #: draining shards only — admission 429s are answers, not failures).
+    retries: int = 2
+    health_interval: float = 0.5
+    probe_timeout: float = 2.0
+    fail_threshold: int = 2
+    kill_threshold: int = 10
+    backoff_base: float = 0.5
+    backoff_cap: float = 10.0
+    forward_timeout: float = 120.0
+    read_timeout: float = 30.0
+    drain_timeout: float = 20.0
+    max_body_bytes: int = 1 << 20
+
+    def __post_init__(self) -> None:
+        if not self.shard_urls and self.shards < 1:
+            raise ConfigurationError(
+                f"need at least one shard, got {self.shards}"
+            )
+        if self.retries < 0:
+            raise ConfigurationError(f"retries must be >= 0, got {self.retries}")
+
+
+def _specs_from_config(config: RouterConfig) -> list[WorkerSpec]:
+    if config.shard_urls:
+        specs = []
+        for index, url in enumerate(config.shard_urls):
+            parsed = urlparse(url if "//" in url else f"http://{url}")
+            if not parsed.hostname or not parsed.port:
+                raise ConfigurationError(
+                    f"shard URL needs host:port, got {url!r}"
+                )
+            specs.append(
+                WorkerSpec(
+                    shard_id=f"shard-{index}",
+                    host=parsed.hostname,
+                    port=parsed.port,
+                    command=None,
+                )
+            )
+        return specs
+    from repro.service.testing import free_port
+
+    specs = []
+    for index in range(config.shards):
+        port = free_port()
+        specs.append(
+            WorkerSpec(
+                shard_id=f"shard-{index}",
+                host="127.0.0.1",
+                port=port,
+                command=tuple(
+                    serve_command(
+                        port,
+                        workers=config.workers_per_shard,
+                        queue_limit=config.queue_limit,
+                        rate_limit=config.rate_limit,
+                        burst=config.burst,
+                        default_deadline=config.default_deadline,
+                        cache_entries=config.cache_entries,
+                    )
+                ),
+            )
+        )
+    return specs
+
+
+class ClusterRouter:
+    """Listener + ring + supervisor; one per ``repro route`` process."""
+
+    def __init__(
+        self,
+        config: RouterConfig | None = None,
+        telemetry: Telemetry | None = None,
+    ) -> None:
+        self.config = config or RouterConfig()
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.supervisor: WorkerSupervisor | None = None
+        self.ring = HashRing(replicas=self.config.replicas)
+        self.port: int | None = None
+        self._server: asyncio.Server | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._started_at = 0.0
+        self._in_flight = 0
+        self._draining = False
+
+    # -- lifecycle ------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn/adopt the fleet and bind the listener."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        specs = _specs_from_config(self.config)
+        self.supervisor = WorkerSupervisor(
+            specs,
+            health_interval=self.config.health_interval,
+            probe_timeout=self.config.probe_timeout,
+            fail_threshold=self.config.fail_threshold,
+            kill_threshold=self.config.kill_threshold,
+            backoff_base=self.config.backoff_base,
+            backoff_cap=self.config.backoff_cap,
+            telemetry=self.telemetry,
+        )
+        for spec in specs:
+            self.ring.add(spec.shard_id)
+        await self.supervisor.start()
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.config.host, self.config.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._started_at = time.monotonic()
+
+    def request_shutdown(self) -> None:
+        if self._loop is not None and self._shutdown is not None:
+            self._loop.call_soon_threadsafe(self._shutdown.set)
+
+    async def serve_forever(self) -> bool:
+        assert self._shutdown is not None, "start() first"
+        loop = asyncio.get_running_loop()
+        installed = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self._shutdown.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+        try:
+            await self._shutdown.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+        return await self.drain()
+
+    async def drain(self) -> bool:
+        """Coordinated drain: listener, in-flight forwards, then the fleet."""
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        deadline = time.monotonic() + self.config.drain_timeout
+        while self._in_flight > 0 and time.monotonic() < deadline:
+            await asyncio.sleep(0.02)
+        clean = self._in_flight == 0
+        if self.supervisor is not None:
+            remaining = max(0.1, deadline - time.monotonic())
+            clean = await self.supervisor.drain(timeout=remaining) and clean
+        return clean
+
+    # -- connection handling --------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            keep = True
+            while keep:
+                keep = await self._serve_one(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancels idle keep-alive connections; exit
+            # quietly (3.11's stream callback would log the cancel).
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        status, payload, retry_after = 500, b"{}", None
+        keep_alive = False
+        try:
+            request = await read_http_request(
+                reader,
+                timeout=self.config.read_timeout,
+                max_body_bytes=self.config.max_body_bytes,
+            )
+            if request is None:
+                return False
+            method, path, _headers, body, keep_alive = request
+            status, payload, retry_after = await self._dispatch(
+                method, path, body
+            )
+        except ProtocolError as err:
+            status = err.http_status
+            payload = json.dumps(err.to_body()).encode("utf-8")
+            retry_after = err.retry_after
+        except (BadHttp, asyncio.TimeoutError):
+            status, keep_alive = 400, False
+            payload = json.dumps(
+                error_response("bad_request", "malformed HTTP request")
+            ).encode("utf-8")
+        except (asyncio.IncompleteReadError, ConnectionError, BrokenPipeError):
+            return False
+        except Exception as exc:
+            status = 500
+            payload = json.dumps(
+                error_response("internal", f"{type(exc).__name__}: {exc}")
+            ).encode("utf-8")
+        if self._draining:
+            keep_alive = False
+        try:
+            writer.write(
+                render_http_response(
+                    status, payload, keep_alive=keep_alive,
+                    retry_after=retry_after,
+                )
+            )
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            return False
+        return keep_alive
+
+    # -- dispatch -------------------------------------------------------
+    async def _dispatch(
+        self, method: str, path: str, raw_body: bytes
+    ) -> tuple[int, bytes, float | None]:
+        if path == "/healthz":
+            self._require_method(method, "GET")
+            status, body = self._healthz_body()
+            return status, json.dumps(body).encode("utf-8"), None
+        if path == "/metrics":
+            self._require_method(method, "GET")
+            body = await self._metrics_body()
+            return 200, json.dumps(body).encode("utf-8"), None
+        kind = path.lstrip("/")
+        if kind not in REQUEST_KINDS:
+            raise ProtocolError(
+                "not_found",
+                f"no endpoint {path!r}; try /schedule /sweep /stream "
+                f"/healthz /metrics",
+            )
+        self._require_method(method, "POST")
+        if self._draining:
+            raise ProtocolError(
+                "draining", "router is draining; resubmit elsewhere or later"
+            )
+        self.telemetry.inc("router.requests")
+        try:
+            payload = json.loads(raw_body.decode("utf-8")) if raw_body else {}
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(
+                "bad_json", f"request body is not JSON: {exc}"
+            ) from None
+        # Validate locally so malformed requests never occupy a shard,
+        # and so the fingerprint below is defined.
+        request = parse_request(payload, expected_kind=kind)
+        fingerprint = request_fingerprint(request)
+        self._in_flight += 1
+        t0 = perf_counter()
+        try:
+            status, body, retry_after = await self._route(
+                kind, path, raw_body, fingerprint
+            )
+        finally:
+            self._in_flight -= 1
+        self.telemetry.add_time("router.latency", perf_counter() - t0)
+        return status, body, retry_after
+
+    async def _route(
+        self, kind: str, path: str, raw_body: bytes, fingerprint: str
+    ) -> tuple[int, bytes, float | None]:
+        """Forward to the fingerprint's shard, failing over in ring order."""
+        assert self.supervisor is not None
+        preference = self.ring.preference(fingerprint)
+        healthy = set(self.supervisor.healthy_ids())
+        candidates = [sid for sid in preference if sid in healthy]
+        if not candidates:
+            self.telemetry.inc("router.no_shards")
+            raise ProtocolError(
+                "no_shards",
+                f"no healthy shards (of {len(preference)}) to route "
+                f"{kind!r} to; retry shortly",
+                retry_after=self.config.health_interval * 2,
+            )
+        if candidates[0] != preference[0]:
+            self.telemetry.inc("router.rebalanced")
+        attempts = candidates[: self.config.retries + 1]
+        last_response = None
+        last_error: Exception | None = None
+        for index, shard_id in enumerate(attempts):
+            if index:
+                self.telemetry.inc("router.retried")
+            endpoint = self.supervisor.endpoint(shard_id)
+            try:
+                response = await endpoint.request(
+                    "POST", path, raw_body, timeout=self.config.forward_timeout
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError) as exc:
+                self.telemetry.inc("router.shard_down")
+                last_error = exc
+                continue
+            if (
+                response.status == 503
+                and response.json().get("error", {}).get("code") == "draining"
+            ):
+                # Restarting shard mid-drain: the work is idempotent,
+                # the next replica can serve it.
+                last_response = response
+                continue
+            self.telemetry.inc("router.routed")
+            self.telemetry.inc(f"router.routed.{shard_id}")
+            retry_after = None
+            if "retry-after" in response.headers:
+                try:
+                    retry_after = float(response.headers["retry-after"])
+                except ValueError:
+                    retry_after = None
+            return response.status, response.body, retry_after
+        if last_response is not None:
+            return last_response.status, last_response.body, None
+        self.telemetry.inc("router.no_shards")
+        raise ProtocolError(
+            "no_shards",
+            f"all {len(attempts)} candidate shards failed for {kind!r}: "
+            f"{type(last_error).__name__ if last_error else 'unknown'}: "
+            f"{last_error}",
+            retry_after=self.config.health_interval * 2,
+        )
+
+    # -- aggregation ----------------------------------------------------
+    def _healthz_body(self) -> tuple[int, dict]:
+        assert self.supervisor is not None
+        shards = self.supervisor.summary()
+        healthy = sum(1 for s in shards if s["healthy"])
+        if self._draining:
+            status = "draining"
+        elif healthy:
+            status = "ok"
+        else:
+            status = "no_shards"
+        code = 200 if status == "ok" else 503
+        return code, {
+            "protocol": PROTOCOL_VERSION,
+            "status": status,
+            "role": "router",
+            "uptime": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "healthy_shards": healthy,
+            "total_shards": len(shards),
+            "shards": shards,
+        }
+
+    async def _metrics_body(self) -> dict:
+        assert self.supervisor is not None
+
+        async def fetch(shard_id: str) -> tuple[str, dict | None]:
+            try:
+                response = await self.supervisor.endpoint(shard_id).request(
+                    "GET", "/metrics", timeout=self.config.probe_timeout
+                )
+            except (ConnectionError, OSError, asyncio.TimeoutError):
+                return shard_id, None
+            return shard_id, (response.json() if response.status == 200 else None)
+
+        fetched = dict(
+            await asyncio.gather(*(fetch(sid) for sid in self.supervisor.workers))
+        )
+        snapshots = []
+        shard_reports = []
+        for summary in self.supervisor.summary():
+            metrics = fetched.get(summary["id"])
+            if metrics and isinstance(metrics.get("telemetry"), dict):
+                try:
+                    snapshots.append(
+                        TelemetrySnapshot.from_dict(metrics["telemetry"])
+                    )
+                except (KeyError, TypeError, ValueError):
+                    pass
+            shard_reports.append({**summary, "metrics": metrics})
+        cluster = merge_snapshots(snapshots) if snapshots else None
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "status": "draining" if self._draining else "ok",
+            "role": "router",
+            "uptime": time.monotonic() - self._started_at,
+            "in_flight": self._in_flight,
+            "router": self.telemetry.snapshot().to_dict(),
+            "cluster": cluster.to_dict() if cluster is not None else None,
+            "shards": shard_reports,
+        }
+
+    @staticmethod
+    def _require_method(method: str, expected: str) -> None:
+        if method != expected:
+            raise ProtocolError(
+                "method_not_allowed", f"use {expected}, not {method}"
+            )
+
+
+def run_cluster(config: RouterConfig | None = None) -> int:
+    """Blocking entry point of ``repro route``; returns an exit code."""
+
+    async def main() -> bool:
+        router = ClusterRouter(config)
+        await router.start()
+        assert router.supervisor is not None
+        mode = (
+            f"{len(router.supervisor.workers)} managed shards"
+            if not router.config.shard_urls
+            else f"{len(router.supervisor.workers)} static shards"
+        )
+        print(
+            f"[repro route] listening on http://{router.config.host}:"
+            f"{router.port} ({mode}, replicas={router.config.replicas}, "
+            f"retries={router.config.retries}) — SIGTERM drains",
+            file=sys.stderr,
+            flush=True,
+        )
+        ready = await router.supervisor.wait_healthy(min_healthy=1)
+        shard_urls = [w.spec.url for w in router.supervisor.workers.values()]
+        print(
+            f"[repro route] shards {'healthy' if ready else 'NOT READY'}: "
+            f"{shard_urls}",
+            file=sys.stderr,
+            flush=True,
+        )
+        clean = await router.serve_forever()
+        print(
+            f"[repro route] drained {'cleanly' if clean else 'WITH TIMEOUT'}",
+            file=sys.stderr,
+            flush=True,
+        )
+        return clean
+
+    try:
+        return 0 if asyncio.run(main()) else 1
+    except KeyboardInterrupt:
+        return 130

@@ -1,0 +1,256 @@
+"""Cluster test harnesses: in-thread routers and subprocess clusters.
+
+:class:`ClusterThread` hosts a complete :class:`ClusterRouter` on a
+background thread with its own event loop.  In *static* form
+(:func:`static_cluster`) the shards are in-thread
+:class:`~repro.service.testing.ServiceThread` daemons — no subprocess
+spawn cost, so router behaviour (affinity, failover, aggregation,
+drain) is testable in milliseconds over real sockets.  In *managed*
+form the router spawns real ``repro serve`` subprocesses, which is
+what the supervision tests need (kill -9, restart, exit codes).
+
+:func:`spawn_cluster` launches ``repro route`` as a real subprocess
+for scripts that must observe OS-level behaviour (SIGTERM propagation,
+exit codes): the soak harness and the CI smoke step.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.obs.telemetry import Telemetry
+from repro.cluster.router import ClusterRouter, RouterConfig
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.server import ServiceConfig
+from repro.service.testing import ServiceThread
+
+__all__ = [
+    "ClusterThread",
+    "static_cluster",
+    "SpawnedCluster",
+    "spawn_cluster",
+    "wait_cluster_up",
+]
+
+
+class ClusterThread:
+    """Host a router (and, managed mode, its shard fleet) on a thread."""
+
+    def __init__(
+        self,
+        config: RouterConfig,
+        telemetry: Telemetry | None = None,
+        shard_threads: list[ServiceThread] | None = None,
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry if telemetry is not None else Telemetry()
+        self.shard_threads = shard_threads or []
+        self.router: ClusterRouter | None = None
+        self.port: int | None = None
+        self._thread: threading.Thread | None = None
+        self._started = threading.Event()
+        self._startup_error: BaseException | None = None
+        self.clean: bool | None = None
+
+    def __enter__(self) -> "ClusterThread":
+        # static_cluster() hands back an already-started cluster; using
+        # it as a context manager must not start it twice.
+        if self._thread is None:
+            self.start()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.stop()
+
+    def start(self, wait_healthy: float = 30.0) -> "ClusterThread":
+        if self._thread is not None:
+            raise ConfigurationError("ClusterThread already started")
+        self._thread = threading.Thread(
+            target=self._run, name="repro-router", daemon=True
+        )
+        self._thread.start()
+        self._started.wait(timeout=30.0)
+        if self._startup_error is not None:
+            raise self._startup_error
+        if self.port is None:
+            raise ConfigurationError("router thread failed to start in 30s")
+        if wait_healthy:
+            wait_cluster_up(self.client(), timeout=wait_healthy)
+        return self
+
+    def _run(self) -> None:
+        import asyncio
+
+        async def main() -> bool:
+            self.router = ClusterRouter(self.config, telemetry=self.telemetry)
+            try:
+                await self.router.start()
+            except BaseException as exc:
+                self._startup_error = exc
+                self._started.set()
+                raise
+            self.port = self.router.port
+            self._started.set()
+            return await self.router.serve_forever()
+
+        try:
+            self.clean = asyncio.run(main())
+        except BaseException:
+            self._started.set()
+
+    def stop(self, timeout: float = 30.0) -> bool | None:
+        """Drain the router (and managed shards), then stop static shards."""
+        clean: bool | None = None
+        if self._thread is not None:
+            if self.router is not None:
+                self.router.request_shutdown()
+            self._thread.join(timeout=timeout)
+            self._thread = None
+            clean = self.clean
+        for shard in self.shard_threads:
+            shard.stop(timeout=timeout)
+        return clean
+
+    def client(self, timeout: float = 60.0) -> ServiceClient:
+        assert self.port is not None, "start() first"
+        return ServiceClient(self.config.host, self.port, timeout=timeout)
+
+
+def static_cluster(
+    n_shards: int,
+    router_config: RouterConfig | None = None,
+    shard_config: ServiceConfig | None = None,
+    telemetry: Telemetry | None = None,
+    work_fns: dict | None = None,
+    per_shard_work_fns: list[dict] | None = None,
+) -> ClusterThread:
+    """A router over ``n_shards`` in-thread daemons, started and healthy.
+
+    ``per_shard_work_fns`` injects distinct work functions per shard
+    (e.g. each shard answering with its own index), which is how the
+    affinity tests observe placement without reaching into the router.
+    """
+    shards = []
+    for index in range(n_shards):
+        fns = work_fns
+        if per_shard_work_fns is not None:
+            fns = per_shard_work_fns[index]
+        config = shard_config or ServiceConfig(port=0, workers=0)
+        shards.append(ServiceThread(config, work_fns=fns).start())
+    base = router_config or RouterConfig()
+    config = RouterConfig(
+        **{
+            **base.__dict__,
+            "port": base.port if base.port != 8600 else 0,
+            "shard_urls": tuple(
+                f"http://127.0.0.1:{shard.port}" for shard in shards
+            ),
+        }
+    )
+    cluster = ClusterThread(config, telemetry=telemetry, shard_threads=shards)
+    try:
+        return cluster.start()
+    except BaseException:
+        for shard in shards:
+            shard.stop()
+        raise
+
+
+def wait_cluster_up(
+    client: ServiceClient, timeout: float = 30.0, min_status: str = "ok"
+) -> dict:
+    """Poll the router's ``/healthz`` until it reports healthy shards.
+
+    Unlike :meth:`ServiceClient.wait_until_up` this also rides out the
+    startup window where the router answers 503 ``no_shards`` while
+    its shards are still booting.
+    """
+    deadline = time.monotonic() + timeout
+    last: object = None
+    while time.monotonic() < deadline:
+        try:
+            body = client.healthz()
+            if body.get("status") == min_status or min_status == "any":
+                return body
+            last = body
+        except ServiceError as err:
+            if min_status == "any":
+                return err.response.body
+            last = err.response.body
+        except (ConnectionError, OSError) as exc:
+            last = exc
+        time.sleep(0.05)
+    raise ConfigurationError(
+        f"cluster at {client.url} not healthy within {timeout}s: {last}"
+    )
+
+
+@dataclass
+class SpawnedCluster:
+    """A ``repro route`` subprocess plus the client pointed at it."""
+
+    process: subprocess.Popen
+    client: ServiceClient
+
+    def terminate(self, timeout: float = 60.0) -> int:
+        """SIGTERM (coordinated drain) and wait; returns the exit code."""
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+        try:
+            return self.process.wait(timeout=timeout)
+        except subprocess.TimeoutExpired:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+            raise
+
+    def __enter__(self) -> "SpawnedCluster":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        if self.process.poll() is None:
+            self.process.kill()
+            self.process.wait(timeout=10.0)
+
+
+def spawn_cluster(
+    port: int,
+    shards: int,
+    workers_per_shard: int = 0,
+    queue_limit: int = 64,
+    default_deadline: float | None = None,
+    extra_args: list[str] | None = None,
+    startup_timeout: float = 60.0,
+) -> SpawnedCluster:
+    """Launch ``repro route`` as a subprocess and wait until it is healthy."""
+    cmd = [
+        sys.executable, "-m", "repro.cli", "route",
+        "--host", "127.0.0.1",
+        "--port", str(port),
+        "--shards", str(shards),
+        "--workers-per-shard", str(workers_per_shard),
+        "--queue-limit", str(queue_limit),
+    ]
+    if default_deadline is not None:
+        cmd += ["--default-deadline", str(default_deadline)]
+    cmd += extra_args or []
+    env = dict(os.environ)
+    src = os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+    )
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    process = subprocess.Popen(cmd, env=env)
+    client = ServiceClient("127.0.0.1", port)
+    try:
+        wait_cluster_up(client, timeout=startup_timeout)
+    except Exception:
+        process.kill()
+        process.wait(timeout=10.0)
+        raise
+    return SpawnedCluster(process=process, client=client)

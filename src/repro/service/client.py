@@ -2,8 +2,12 @@
 
 Built on :mod:`http.client` — the daemon's consumers (CLI, load
 generator, CI smoke) are synchronous, and a blocking client keeps them
-dependency-free.  One connection per request matches the server's
-``Connection: close`` discipline.
+dependency-free.  Connections are **keep-alive and per-thread**: each
+thread reuses one persistent connection across requests (the TCP
+handshake per request is the load generator's dominant client-side
+overhead at soak rates), reconnecting transparently — with a single
+retry, safe because every request is an idempotent pure computation —
+when the server has closed it (idle timeout, restart, drain).
 
 Two calling styles:
 
@@ -22,6 +26,7 @@ from __future__ import annotations
 import http.client
 import json
 import socket
+import threading
 from dataclasses import dataclass, field
 from time import perf_counter
 from urllib.parse import urlparse
@@ -91,6 +96,10 @@ class ServiceClient:
         self.host = host
         self.port = int(port)
         self.timeout = timeout
+        # One persistent keep-alive connection per thread:
+        # http.client connections are not thread-safe, and the load
+        # generator drives one client from many threads.
+        self._local = threading.local()
 
     @classmethod
     def from_url(cls, url: str, timeout: float = 120.0) -> "ServiceClient":
@@ -109,37 +118,70 @@ class ServiceClient:
         return f"http://{self.host}:{self.port}"
 
     # -- transport ------------------------------------------------------
+    def _acquire(self) -> tuple[http.client.HTTPConnection, bool]:
+        """This thread's pooled connection (or a fresh one), plus whether
+        it was reused — a reused connection may be stale (server idle
+        timeout, restart), so its failures are retried once."""
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            return conn, True
+        return (
+            http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            ),
+            False,
+        )
+
+    def _release(self, conn: http.client.HTTPConnection, raw) -> None:
+        if raw.will_close:
+            conn.close()
+        else:
+            self._local.conn = conn
+
+    def close(self) -> None:
+        """Close this thread's pooled connection (if any)."""
+        conn = getattr(self._local, "conn", None)
+        self._local.conn = None
+        if conn is not None:
+            conn.close()
+
     def request(
         self, method: str, path: str, payload: dict | None = None
     ) -> ServiceResponse:
         """One exchange; raises only on transport failure, never on 4xx/5xx."""
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
-        conn = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout
-        )
+        headers = {"Content-Type": "application/json"} if body else {}
         t0 = perf_counter()
-        try:
-            conn.request(
-                method,
-                path,
-                body=body,
-                headers={"Content-Type": "application/json"} if body else {},
-            )
-            raw = conn.getresponse()
-            data = raw.read()
+        for _attempt in (0, 1):
+            conn, reused = self._acquire()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                raw = conn.getresponse()
+                data = raw.read()
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                BrokenPipeError,
+                OSError,
+            ):
+                conn.close()
+                if not reused:
+                    raise
+                continue  # stale keep-alive connection: one fresh retry
             latency = perf_counter() - t0
             try:
                 decoded = json.loads(data) if data else {}
             except json.JSONDecodeError:
                 decoded = {"raw": data.decode("utf-8", "replace")}
+            self._release(conn, raw)
             return ServiceResponse(
                 status=raw.status,
                 body=decoded if isinstance(decoded, dict) else {"raw": decoded},
                 latency=latency,
                 headers={k.lower(): v for k, v in raw.getheaders()},
             )
-        finally:
-            conn.close()
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def post(self, kind: str, payload: dict) -> ServiceResponse:
         """POST a raw payload to the ``kind`` endpoint (no raising)."""

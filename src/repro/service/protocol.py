@@ -98,6 +98,9 @@ HTTP_STATUS: dict[str, int] = {
     "rate_limited": 429,
     "internal": 500,
     "draining": 503,
+    #: The cluster router's "ring is empty" answer: no healthy shard
+    #: to place the request on (all down, draining, or unreachable).
+    "no_shards": 503,
     "deadline_exceeded": 504,
 }
 

@@ -26,8 +26,14 @@ Graceful drain: SIGTERM/SIGINT stop the listener, reject new requests
 with ``503 draining``, wait for admitted requests (bounded by
 ``drain_timeout``), then shut the pool down — clean exit code 0, no
 orphaned workers (``scripts/service_smoke.py`` asserts this end to
-end).  Connections are ``Connection: close``; on loopback, where this
-daemon lives, connection reuse buys nothing worth the state machine.
+end).  Connections are HTTP/1.1 keep-alive: at soak rates the TCP
+handshake per request is the dominant client-side cost, so the server
+answers as many requests as the client pipelines sequentially on one
+connection, closing on client request (``Connection: close``), idle
+timeout, framing errors, or drain.  The low-level framing
+(:func:`read_http_request` / :func:`render_http_response`) is shared
+with the cluster router (:mod:`repro.cluster.router`), which speaks
+the same wire protocol in front of many daemons.
 """
 
 from __future__ import annotations
@@ -54,7 +60,14 @@ from repro.service.protocol import (
     parse_request,
 )
 
-__all__ = ["ServiceConfig", "ScheduleService", "run_service"]
+__all__ = [
+    "ServiceConfig",
+    "ScheduleService",
+    "run_service",
+    "BadHttp",
+    "read_http_request",
+    "render_http_response",
+]
 
 _REASONS = {
     200: "OK",
@@ -67,6 +80,94 @@ _REASONS = {
     503: "Service Unavailable",
     504: "Gateway Timeout",
 }
+
+
+class BadHttp(Exception):
+    """Malformed HTTP framing (before any JSON exists to answer with)."""
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader,
+    timeout: float,
+    max_body_bytes: int,
+) -> tuple[str, str, dict[str, str], bytes, bool] | None:
+    """Read one framed HTTP request off a (possibly reused) connection.
+
+    Returns ``(method, path, headers, body, keep_alive)`` — where
+    ``keep_alive`` is the *client's* preference per HTTP/1.1 defaults —
+    or ``None`` when the connection ended cleanly before a request
+    started (EOF or idle timeout between keep-alive requests), which
+    callers treat as a silent close, not an error.  Framing errors
+    raise :class:`BadHttp`; protocol-level size errors raise
+    :class:`ProtocolError`.
+    """
+    try:
+        request_line = await asyncio.wait_for(reader.readline(), timeout)
+    except asyncio.TimeoutError:
+        return None  # idle keep-alive connection: close silently
+    if not request_line:
+        return None  # clean EOF between requests
+    parts = request_line.decode("latin-1").split()
+    if len(parts) != 3:
+        raise BadHttp(f"bad request line {request_line!r}")
+    method, target, version = parts[0].upper(), parts[1], parts[2].upper()
+    headers: dict[str, str] = {}
+    while True:
+        line = await asyncio.wait_for(reader.readline(), timeout)
+        if line in (b"\r\n", b"\n"):
+            break
+        if not line:
+            raise BadHttp("connection closed inside request headers")
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise BadHttp(f"bad header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise ProtocolError(
+            "bad_request", "Content-Length must be an integer"
+        ) from None
+    if length < 0:
+        raise ProtocolError("bad_request", "negative Content-Length")
+    if length > max_body_bytes:
+        raise ProtocolError(
+            "payload_too_large",
+            f"request body of {length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit",
+        )
+    body = (
+        await asyncio.wait_for(reader.readexactly(length), timeout)
+        if length
+        else b""
+    )
+    connection = headers.get("connection", "").lower()
+    if version == "HTTP/1.0":
+        keep_alive = connection == "keep-alive"
+    else:
+        keep_alive = connection != "close"
+    return method, target.split("?", 1)[0], headers, body, keep_alive
+
+
+def render_http_response(
+    status: int,
+    payload: bytes,
+    keep_alive: bool,
+    retry_after: float | None = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """Serialize one framed HTTP response (body passed through verbatim)."""
+    head = [
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    if retry_after is not None:
+        # Retry-After is integer delay-seconds; round *up* so a
+        # hint of 0.2s never becomes "retry immediately".
+        head.append(f"Retry-After: {max(1, math.ceil(retry_after))}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
 
 
 @dataclass(frozen=True)
@@ -102,10 +203,6 @@ class ServiceConfig:
             )
         if self.workers < 0:
             raise ConfigurationError(f"workers must be >= 0, got {self.workers}")
-
-
-class _BadHttp(Exception):
-    """Malformed HTTP framing (before any JSON exists to answer with)."""
 
 
 class ScheduleService:
@@ -196,70 +293,58 @@ class ScheduleService:
     async def _handle_connection(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        status, body, retry_after = 500, error_response("internal", "unset"), None
         try:
-            method, path, payload = await self._read_request(reader)
+            keep = True
+            while keep:
+                keep = await self._serve_one(reader, writer)
+        except asyncio.CancelledError:
+            # Loop teardown cancels idle keep-alive connections; exit
+            # quietly (3.11's stream callback would log the cancel).
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _serve_one(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> bool:
+        """One request/response exchange; returns whether to keep serving."""
+        status, body, retry_after = 500, error_response("internal", "unset"), None
+        keep_alive = False
+        try:
+            request = await read_http_request(
+                reader,
+                timeout=self.config.read_timeout,
+                max_body_bytes=self.config.max_body_bytes,
+            )
+            if request is None:
+                return False  # clean EOF / idle timeout: close silently
+            method, path, _headers, payload, keep_alive = request
             status, body, retry_after = await self._dispatch(method, path, payload)
         except ProtocolError as err:
             status, body, retry_after = err.http_status, err.to_body(), err.retry_after
-        except (_BadHttp, asyncio.TimeoutError):
+        except (BadHttp, asyncio.TimeoutError):
+            # Framing is broken mid-request; answer and close (the
+            # stream position is no longer trustworthy).
             status, body = 400, error_response("bad_request", "malformed HTTP request")
+            keep_alive = False
         except (
             asyncio.IncompleteReadError, ConnectionError, BrokenPipeError
         ):
-            writer.close()
-            return
+            return False
         except Exception as exc:  # never leak a traceback as a hang
             status, body = 500, error_response(
                 "internal", f"{type(exc).__name__}: {exc}"
             )
+        if self.admission.draining:
+            keep_alive = False  # drain: finish this answer, then close
         try:
-            await self._write_response(writer, status, body, retry_after)
+            await self._write_response(writer, status, body, retry_after, keep_alive)
         except (ConnectionError, BrokenPipeError):
-            pass
-        finally:
-            writer.close()
-
-    async def _read_request(
-        self, reader: asyncio.StreamReader
-    ) -> tuple[str, str, bytes]:
-        timeout = self.config.read_timeout
-        request_line = await asyncio.wait_for(reader.readline(), timeout)
-        if not request_line:
-            raise _BadHttp("empty request")
-        parts = request_line.decode("latin-1").split()
-        if len(parts) != 3:
-            raise _BadHttp(f"bad request line {request_line!r}")
-        method, target = parts[0].upper(), parts[1]
-        headers: dict[str, str] = {}
-        while True:
-            line = await asyncio.wait_for(reader.readline(), timeout)
-            if line in (b"\r\n", b"\n", b""):
-                break
-            name, sep, value = line.decode("latin-1").partition(":")
-            if not sep:
-                raise _BadHttp(f"bad header line {line!r}")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise ProtocolError(
-                "bad_request", "Content-Length must be an integer"
-            ) from None
-        if length < 0:
-            raise ProtocolError("bad_request", "negative Content-Length")
-        if length > self.config.max_body_bytes:
-            raise ProtocolError(
-                "payload_too_large",
-                f"request body of {length} bytes exceeds the "
-                f"{self.config.max_body_bytes}-byte limit",
-            )
-        body = (
-            await asyncio.wait_for(reader.readexactly(length), timeout)
-            if length
-            else b""
-        )
-        return method, target.split("?", 1)[0], body
+            return False
+        return keep_alive
 
     async def _dispatch(
         self, method: str, path: str, raw_body: bytes
@@ -267,12 +352,18 @@ class ScheduleService:
         if path == "/healthz":
             self._require_method(method, "GET")
             draining = self.admission.draining
+            # Rich enough for a supervisor to act on: draining state,
+            # queue pressure, and uptime — not just liveness.
             return (
                 503 if draining else 200,
                 {
                     "protocol": PROTOCOL_VERSION,
                     "status": "draining" if draining else "ok",
                     "uptime": time.monotonic() - self._started_at,
+                    "draining": draining,
+                    "pending": self.admission.pending,
+                    "queue_limit": self.config.queue_limit,
+                    "in_flight": self.executor.in_flight,
                 },
                 None,
             )
@@ -345,19 +436,14 @@ class ScheduleService:
         status: int,
         body: dict,
         retry_after: float | None,
+        keep_alive: bool = False,
     ) -> None:
         payload = json.dumps(body).encode("utf-8")
-        head = [
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(payload)}",
-            "Connection: close",
-        ]
-        if retry_after is not None:
-            # Retry-After is integer delay-seconds; round *up* so a
-            # hint of 0.2s never becomes "retry immediately".
-            head.append(f"Retry-After: {max(1, math.ceil(retry_after))}")
-        writer.write(("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload)
+        writer.write(
+            render_http_response(
+                status, payload, keep_alive=keep_alive, retry_after=retry_after
+            )
+        )
         await writer.drain()
 
 

@@ -1,0 +1,143 @@
+"""Consistent-hash ring properties: stability, balance, bounded movement."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster.ring import DEFAULT_REPLICAS, HashRing
+
+KEYS = [f"key-{i}" for i in range(2000)]
+
+
+class TestDeterminism:
+    def test_same_membership_same_placement(self):
+        a = HashRing(["s0", "s1", "s2"])
+        b = HashRing(["s0", "s1", "s2"])
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_insertion_order_is_irrelevant(self):
+        a = HashRing(["s0", "s1", "s2", "s3"])
+        b = HashRing(["s3", "s1", "s0", "s2"])
+        assert [a.node_for(k) for k in KEYS] == [b.node_for(k) for k in KEYS]
+
+    def test_incremental_add_equals_fresh_build(self):
+        grown = HashRing(["s0"])
+        grown.add("s1")
+        grown.add("s2")
+        fresh = HashRing(["s0", "s1", "s2"])
+        assert [grown.node_for(k) for k in KEYS] == [
+            fresh.node_for(k) for k in KEYS
+        ]
+
+
+class TestMembershipChange:
+    def test_adding_a_node_moves_keys_only_to_it(self):
+        """The consistent-hashing contract: growth never reshuffles keys
+        *between* existing nodes — every moved key lands on the newcomer."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add("s4")
+        moved = 0
+        for key in KEYS:
+            after = ring.node_for(key)
+            if after != before[key]:
+                moved += 1
+                assert after == "s4", key
+        assert moved > 0
+
+    def test_add_moves_a_bounded_fraction(self):
+        """~1/n of the key space moves when the n-th node joins (allow
+        generous slack for virtual-node variance)."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add("s4")
+        moved = sum(1 for k in KEYS if ring.node_for(k) != before[k])
+        assert moved / len(KEYS) < 0.40  # expectation is 1/5
+
+    def test_remove_only_reassigns_the_leavers_keys(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove("s2")
+        for key in KEYS:
+            after = ring.node_for(key)
+            if before[key] == "s2":
+                assert after != "s2"
+            else:
+                assert after == before[key], key
+
+    def test_remove_then_add_restores_placement(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.remove("s1")
+        ring.add("s1")
+        assert {k: ring.node_for(k) for k in KEYS} == before
+
+    def test_add_and_remove_are_idempotent(self):
+        ring = HashRing(["s0", "s1"])
+        before = {k: ring.node_for(k) for k in KEYS}
+        ring.add("s0")
+        ring.remove("nope")
+        assert {k: ring.node_for(k) for k in KEYS} == before
+        assert len(ring) == 2
+
+
+class TestBalance:
+    def test_load_is_roughly_uniform(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        counts: dict[str, int] = {}
+        for key in KEYS:
+            owner = ring.node_for(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        mean = len(KEYS) / len(ring)
+        assert max(counts.values()) / mean < 1.6
+        assert set(counts) == {"s0", "s1", "s2", "s3"}
+
+
+class TestPreference:
+    def test_first_entry_is_the_owner(self):
+        ring = HashRing(["s0", "s1", "s2"])
+        for key in KEYS[:50]:
+            assert ring.preference(key)[0] == ring.node_for(key)
+
+    def test_preference_is_all_distinct_nodes(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        for key in KEYS[:50]:
+            chain = ring.preference(key)
+            assert sorted(chain) == ["s0", "s1", "s2", "s3"]
+
+    def test_preference_limit(self):
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        chain = ring.preference("some-key", limit=2)
+        assert len(chain) == 2
+        assert chain == ring.preference("some-key")[:2]
+
+    def test_preference_survives_primary_removal(self):
+        """The failover chain is consistent: removing the primary
+        promotes the old second choice for (almost) every key."""
+        ring = HashRing(["s0", "s1", "s2", "s3"])
+        samples = {k: ring.preference(k) for k in KEYS[:200]}
+        ring.remove("s0")
+        for key, chain in samples.items():
+            if chain[0] == "s0":
+                assert ring.node_for(key) == chain[1], key
+
+
+class TestEdges:
+    def test_empty_ring(self):
+        ring = HashRing()
+        assert ring.node_for("anything") is None
+        assert ring.preference("anything") == []
+        assert len(ring) == 0
+
+    def test_single_node_owns_everything(self):
+        ring = HashRing(["only"])
+        assert all(ring.node_for(k) == "only" for k in KEYS[:100])
+        assert ring.preference("k") == ["only"]
+
+    def test_bad_replicas_rejected(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_default_replicas(self):
+        assert HashRing(["a"]).replicas == DEFAULT_REPLICAS
+        assert "a" in HashRing(["a"])
